@@ -1,0 +1,440 @@
+package remotepeering
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation. Each benchmark measures the analysis that produces one
+// artifact; the expensive fixtures (paper-scale world, four-month campaign,
+// month of traffic) are built once and shared. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The printed metrics (b.ReportMetric) carry the headline numbers so a
+// bench run doubles as a reproduction log; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixtures are shared across benchmarks and built on first use.
+var (
+	fixOnce    sync.Once
+	fixWorld   *World
+	fixSpread  *SpreadResult
+	fixTraffic *TrafficDataset
+	fixStudy   *OffloadStudy
+	fixErr     error
+)
+
+func fixtures(b *testing.B) (*World, *SpreadResult, *TrafficDataset, *OffloadStudy) {
+	b.Helper()
+	fixOnce.Do(func() {
+		fixWorld, fixErr = GenerateWorld(WorldConfig{Seed: 1})
+		if fixErr != nil {
+			return
+		}
+		fixSpread, fixErr = RunSpreadStudy(fixWorld, SpreadOptions{Seed: 2})
+		if fixErr != nil {
+			return
+		}
+		fixTraffic, fixErr = CollectTraffic(fixWorld, TrafficConfig{Seed: 3})
+		if fixErr != nil {
+			return
+		}
+		fixStudy, fixErr = NewOffloadStudy(fixWorld, fixTraffic)
+	})
+	if fixErr != nil {
+		b.Fatal(fixErr)
+	}
+	return fixWorld, fixSpread, fixTraffic, fixStudy
+}
+
+func allIXPIndices(w *World) []int {
+	out := make([]int, len(w.IXPs))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// BenchmarkTable1 regenerates Table 1: the per-IXP probed/analyzed
+// interface counts after the six filters.
+func BenchmarkTable1(b *testing.B) {
+	w, spread, _, _ := fixtures(b)
+	b.ResetTimer()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rep, err := spread.Reanalyze(w, DetectorConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(rep.Table1())
+	}
+	b.ReportMetric(float64(rows), "IXPs")
+	b.ReportMetric(float64(len(spread.Report.Analyzed())), "analyzed-ifaces")
+}
+
+// BenchmarkFigure2 regenerates the minimum-RTT CDF.
+func BenchmarkFigure2(b *testing.B) {
+	_, spread, _, _ := fixtures(b)
+	b.ResetTimer()
+	var median float64
+	for i := 0; i < b.N; i++ {
+		cdf, err := spread.Report.Figure2CDF()
+		if err != nil {
+			b.Fatal(err)
+		}
+		median = cdf.Quantile(0.5)
+	}
+	b.ReportMetric(median, "median-ms")
+}
+
+// BenchmarkFigure3 regenerates the per-IXP classification into the four
+// minimum-RTT ranges.
+func BenchmarkFigure3(b *testing.B) {
+	_, spread, _, _ := fixtures(b)
+	b.ResetTimer()
+	var withRemote int
+	for i := 0; i < b.N; i++ {
+		_ = spread.Report.Figure3()
+		withRemote, _ = spread.Report.IXPsWithRemotePeering()
+	}
+	b.ReportMetric(float64(withRemote), "IXPs-with-remote")
+	b.ReportMetric(float64(spread.Report.IXPsWithIntercontinental()), "IXPs-intercontinental")
+}
+
+// BenchmarkFigure4a regenerates the IXP-count distributions of identified
+// and remotely peering networks.
+func BenchmarkFigure4a(b *testing.B) {
+	_, spread, _, _ := fixtures(b)
+	b.ResetTimer()
+	var nets, remote int
+	for i := 0; i < b.N; i++ {
+		all, rem := spread.Report.Figure4a()
+		nets, remote = 0, 0
+		for _, n := range all {
+			nets += n
+		}
+		for _, n := range rem {
+			remote += n
+		}
+	}
+	b.ReportMetric(float64(nets), "identified-networks")
+	b.ReportMetric(float64(remote), "remote-networks")
+}
+
+// BenchmarkFigure4b regenerates the interface-class fractions of remotely
+// peering networks by IXP count.
+func BenchmarkFigure4b(b *testing.B) {
+	_, spread, _, _ := fixtures(b)
+	b.ResetTimer()
+	var buckets int
+	for i := 0; i < b.N; i++ {
+		buckets = len(spread.Report.Figure4b())
+	}
+	b.ReportMetric(float64(buckets), "ixp-count-buckets")
+}
+
+// BenchmarkFigure5a regenerates the rank-ordered traffic contributions.
+func BenchmarkFigure5a(b *testing.B) {
+	w, _, ds, study := fixtures(b)
+	_ = w
+	b.ResetTimer()
+	var top float64
+	for i := 0; i < b.N; i++ {
+		entries := ds.TransitEntries()
+		top = entries[0].AvgInBps
+		_ = study
+	}
+	b.ReportMetric(top/1e6, "top-contributor-Mbps")
+	b.ReportMetric(float64(len(ds.TransitEntries())), "transit-networks")
+}
+
+// BenchmarkFigure5b regenerates one week of the transit and offload time
+// series (the full month is exercised by cmd/rpoffload).
+func BenchmarkFigure5b(b *testing.B) {
+	w, _, ds, study := fixtures(b)
+	covered := study.Covered(allIXPIndices(w), GroupAll)
+	b.ResetTimer()
+	var peakIn float64
+	for i := 0; i < b.N; i++ {
+		in, _ := ds.SeriesTotal(covered)
+		peakIn = 0
+		for _, v := range in[:2016] {
+			if v > peakIn {
+				peakIn = v
+			}
+		}
+	}
+	b.ReportMetric(peakIn/1e9, "offload-peak-Gbps")
+}
+
+// BenchmarkFigure6 regenerates the top-30 offload contributors with their
+// origin/destination vs transient decomposition.
+func BenchmarkFigure6(b *testing.B) {
+	_, _, _, study := fixtures(b)
+	b.ResetTimer()
+	var originDominates int
+	for i := 0; i < b.N; i++ {
+		top := study.TopContributors(30)
+		originDominates = 0
+		for _, c := range top {
+			if c.OriginInBps+c.DestOutBps > c.TransientInBps+c.TransientOutBps {
+				originDominates++
+			}
+		}
+	}
+	b.ReportMetric(float64(originDominates), "origin-dominant-of-30")
+}
+
+// BenchmarkFigure7 regenerates the single-IXP offload potentials across
+// the four peer groups.
+func BenchmarkFigure7(b *testing.B) {
+	_, _, _, study := fixtures(b)
+	b.ResetTimer()
+	var topGbps float64
+	for i := 0; i < b.N; i++ {
+		for _, g := range PeerGroups {
+			pots := study.SingleIXP(g)
+			if g == GroupAll {
+				topGbps = pots[0].Total() / 1e9
+			}
+		}
+	}
+	b.ReportMetric(topGbps, "best-IXP-Gbps")
+}
+
+// BenchmarkFigure8 regenerates the second-IXP residuals among AMS-IX,
+// LINX, DE-CIX, and the Terremark-analogue.
+func BenchmarkFigure8(b *testing.B) {
+	w, _, _, study := fixtures(b)
+	names := []string{"AMS-IX", "LINX", "DE-CIX", "Terremark"}
+	idx := make([]int, len(names))
+	for i, n := range names {
+		_, j, err := w.IXPByAcronym(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		idx[i] = j
+	}
+	b.ResetTimer()
+	var amsAfterLINX float64
+	for i := 0; i < b.N; i++ {
+		for a := range idx {
+			for c := range idx {
+				if a == c {
+					continue
+				}
+				r := study.Residual(idx[a], idx[c], GroupAll)
+				if names[a] == "LINX" && names[c] == "AMS-IX" {
+					amsAfterLINX = r / 1e9
+				}
+			}
+		}
+	}
+	b.ReportMetric(amsAfterLINX, "AMS-after-LINX-Gbps")
+}
+
+// BenchmarkFigure9 regenerates the greedy remaining-transit curves for all
+// four peer groups.
+func BenchmarkFigure9(b *testing.B) {
+	_, _, ds, study := fixtures(b)
+	in, out := ds.TransitTotals()
+	b.ResetTimer()
+	var g4Final float64
+	for i := 0; i < b.N; i++ {
+		for _, g := range PeerGroups {
+			steps := study.Greedy(g, 0)
+			if g == GroupAll {
+				g4Final = 100 * steps[len(steps)-1].Remaining() / (in + out)
+			}
+		}
+	}
+	b.ReportMetric(g4Final, "group4-remaining-%")
+}
+
+// BenchmarkFigure10 regenerates the reachable-interfaces greedy curves.
+func BenchmarkFigure10(b *testing.B) {
+	_, _, _, study := fixtures(b)
+	b.ResetTimer()
+	var after1 float64
+	for i := 0; i < b.N; i++ {
+		steps := study.GreedyInterfaces(GroupAll, 30)
+		after1 = steps[0].Remaining / 1e9
+	}
+	b.ReportMetric(study.TotalInterfaces()/1e9, "total-B")
+	b.ReportMetric(after1, "after-first-IXP-B")
+}
+
+// BenchmarkEconModel fits b from the Figure 9 curve and evaluates
+// equations 11, 13 and 14.
+func BenchmarkEconModel(b *testing.B) {
+	_, _, ds, study := fixtures(b)
+	in, out := ds.TransitTotals()
+	steps := study.Greedy(GroupAll, 30)
+	floor := steps[len(steps)-1].Remaining() * 0.98
+	var remaining []float64
+	for _, s := range steps {
+		v := (s.Remaining() - floor) / (in + out - floor)
+		if v > 0 {
+			remaining = append(remaining, v)
+		}
+	}
+	b.ResetTimer()
+	var fittedB float64
+	var viable bool
+	for i := 0; i < b.N; i++ {
+		fit, err := FitDecay(remaining)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fittedB = fit.B
+		p := DefaultEconParams(fit.B)
+		viable = p.RemoteViable()
+		_ = p.OptimalDirectN()
+		_ = p.OptimalRemoteM()
+	}
+	b.ReportMetric(fittedB, "fitted-b")
+	if viable {
+		b.ReportMetric(1, "remote-viable")
+	} else {
+		b.ReportMetric(0, "remote-viable")
+	}
+}
+
+// BenchmarkAblationThreshold sweeps the remoteness threshold (Section 3.1
+// sets 10 ms after inspecting Figure 2) and reports the false-positive and
+// false-negative counts at 5 ms — the design choice the high threshold
+// guards against.
+func BenchmarkAblationThreshold(b *testing.B) {
+	w, spread, _, _ := fixtures(b)
+	thresholds := []float64{5, 10, 15, 20}
+	b.ResetTimer()
+	var fpAt5, fnAt20 int
+	for i := 0; i < b.N; i++ {
+		for _, ms := range thresholds {
+			rep, err := spread.Reanalyze(w, DetectorConfig{
+				RemoteThreshold: durationMs(ms),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			v := rep.Validate(spread.Truth)
+			switch ms {
+			case 5:
+				fpAt5 = v.FalsePositives
+			case 20:
+				fnAt20 = v.FalseNegatives
+			}
+		}
+	}
+	b.ReportMetric(float64(fpAt5), "FP-at-5ms")
+	b.ReportMetric(float64(fnAt20), "FN-at-20ms")
+}
+
+// BenchmarkAblationFilters disables each filter in turn and reports the
+// precision drop without the TTL-match filter (which guards against
+// misdirected probes and odd OSes).
+func BenchmarkAblationFilters(b *testing.B) {
+	w, spread, _, _ := fixtures(b)
+	b.ResetTimer()
+	var worstPrecision float64
+	for i := 0; i < b.N; i++ {
+		worstPrecision = 1
+		for _, f := range []Filter{
+			FilterSampleSize, FilterTTLSwitch, FilterTTLMatch,
+			FilterRTTConsistent, FilterLGConsistent, FilterASNChange,
+		} {
+			rep, err := spread.Reanalyze(w, DetectorConfig{
+				Disabled: map[Filter]bool{f: true},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if p := rep.Validate(spread.Truth).Precision(); p < worstPrecision {
+				worstPrecision = p
+			}
+		}
+	}
+	b.ReportMetric(worstPrecision, "worst-precision-one-filter-off")
+}
+
+// BenchmarkAblationLG compares detection with PCH-only observations
+// against the full dual-LG campaign (the LG-consistent filter needs both).
+func BenchmarkAblationLG(b *testing.B) {
+	w, spread, _, _ := fixtures(b)
+	var pchOnly []Observation
+	for _, o := range spread.Raw {
+		if o.Family == "PCH" {
+			pchOnly = append(pchOnly, o)
+		}
+	}
+	reg := RegistryFromWorld(w)
+	b.ResetTimer()
+	var analyzedPCH int
+	for i := 0; i < b.N; i++ {
+		rep, err := AnalyzeObservations(pchOnly, reg, spread.Campaign.Duration, DetectorConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		analyzedPCH = len(rep.Analyzed())
+	}
+	b.ReportMetric(float64(analyzedPCH), "analyzed-PCH-only")
+	b.ReportMetric(float64(len(spread.Report.Analyzed())), "analyzed-dual-LG")
+}
+
+// BenchmarkAblationSampleSize sweeps the per-LG reply floor (the paper
+// chose 8 empirically). A floor above the RIPE NCC ceiling of 21 replies
+// wipes out every target at the dual-LG IXPs — the constraint that pinned
+// the paper's choice low.
+func BenchmarkAblationSampleSize(b *testing.B) {
+	w, spread, _, _ := fixtures(b)
+	b.ResetTimer()
+	var analyzedAt8, analyzedAt24 int
+	for i := 0; i < b.N; i++ {
+		for _, floor := range []int{4, 8, 24} {
+			rep, err := spread.Reanalyze(w, DetectorConfig{MinRepliesPerLG: floor})
+			if err != nil {
+				b.Fatal(err)
+			}
+			switch floor {
+			case 8:
+				analyzedAt8 = len(rep.Analyzed())
+			case 24:
+				analyzedAt24 = len(rep.Analyzed())
+			}
+		}
+	}
+	b.ReportMetric(float64(analyzedAt8), "analyzed-at-floor-8")
+	b.ReportMetric(float64(analyzedAt24), "analyzed-at-floor-24")
+}
+
+// BenchmarkWorldGeneration measures paper-scale world construction.
+func BenchmarkWorldGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateWorld(WorldConfig{Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignSingleIXP measures the full simulate-and-probe loop for
+// one mid-size IXP.
+func BenchmarkCampaignSingleIXP(b *testing.B) {
+	w, _, _, _ := fixtures(b)
+	_, idx, err := w.IXPByAcronym("France-IX")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunSpreadStudy(w, SpreadOptions{Seed: int64(i + 10), IXPs: []int{idx}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func durationMs(ms float64) time.Duration {
+	return time.Duration(ms * float64(time.Millisecond))
+}

@@ -1,0 +1,82 @@
+// Command rpworld generates and inspects the synthetic world: the AS-level
+// economy, the 65 IXPs with their memberships and ground-truth remote
+// peers, the hazard assignments at the studied IXPs, and the registry view.
+//
+// Usage:
+//
+//	rpworld [-seed N] [-leaves N] [-ixp ACRONYM]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"remotepeering"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "world generation seed")
+	leaves := flag.Int("leaves", 0, "leaf network count (0 = paper scale)")
+	ixp := flag.String("ixp", "", "show membership detail for one IXP acronym")
+	flag.Parse()
+
+	w, err := remotepeering.GenerateWorld(remotepeering.WorldConfig{Seed: *seed, LeafNetworks: *leaves})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *ixp != "" {
+		x, xi, err := w.IXPByAcronym(*ixp)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s — %s (%s, %s), subnet %s, peak %.2f Tbps\n",
+			x.Acronym, x.FullName, x.City(), x.Country, x.Subnet, x.PeakTrafficTbps)
+		fmt.Printf("membership slots: %d, distinct members: %d, remote: %d\n",
+			len(x.Members), len(x.MemberASNs()), x.RemoteMemberCount())
+		fmt.Printf("LGs: PCH=%v RIPE=%v, inter-site delay: %v\n",
+			x.HasPCHLG, x.HasRIPELG, w.InterSiteDelay(xi))
+		for _, m := range x.Members {
+			if !m.Remote {
+				continue
+			}
+			n := w.Graph.Network(m.ASN)
+			fmt.Printf("  remote: AS%-6d %-26s from %-14s via %s (%s)\n",
+				m.ASN, n.Name, m.AccessCity, m.Provider, m.IP)
+		}
+		return
+	}
+
+	fmt.Printf("networks: %d  (tier-1s: %d, NRENs: %d)\n", w.Graph.Len(), len(w.Tier1s), len(w.NRENs))
+	fmt.Printf("RedIRIS: AS%d (transit from AS%d, AS%d; GÉANT AS%d)\n",
+		w.RedIRIS, w.Transit1, w.Transit2, w.Geant)
+	fmt.Printf("IXPs: %d total, %d studied; probe-target interfaces: %d\n\n",
+		len(w.IXPs), w.NumStudied(), len(w.Ifaces))
+
+	fmt.Printf("%-12s %-14s %8s %8s %7s %5s %5s\n",
+		"IXP", "city", "members", "distinct", "remote", "PCH", "RIPE")
+	for i, x := range w.IXPs {
+		studied := ""
+		if i < w.NumStudied() {
+			studied = "*"
+		}
+		fmt.Printf("%-12s %-14s %8d %8d %7d %5v %5v %s\n",
+			x.Acronym, x.City(), len(x.Members), len(x.MemberASNs()),
+			x.RemoteMemberCount(), x.HasPCHLG, x.HasRIPELG, studied)
+	}
+
+	fmt.Println("\nhazards at studied IXPs:")
+	counts := map[string]int{}
+	for _, r := range w.Ifaces {
+		counts[r.Hazard.String()]++
+	}
+	for _, k := range []string{"none", "blackhole", "flaky", "ttl-switch", "odd-ttl", "misdirect", "congested", "far-site", "asn-churn"} {
+		fmt.Printf("  %-12s %d\n", k, counts[k])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rpworld:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Build-vs-buy scenario: the paper's Section 5 as a decision aid. A network
+// knows how its transit traffic decays with each reached IXP (the fitted b)
+// and its local prices; the example walks through equations 11, 13 and 14
+// to decide between staying on transit, building out for direct peering,
+// and buying remote peering — for three archetypes the paper discusses: a
+// global content network (low b), a regional eyeball network (high b), and
+// an African operator facing expensive transit and cheap remote peering.
+//
+//	go run ./examples/build-vs-buy
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"remotepeering"
+)
+
+func main() {
+	archetypes := []struct {
+		name   string
+		params remotepeering.EconParams
+		note   string
+	}{
+		{
+			name:   "global content network",
+			params: remotepeering.EconParams{P: 1.0, G: 0.08, U: 0.15, H: 0.02, V: 0.45, B: 0.15},
+			note:   "traffic spread worldwide: each extra IXP offloads little (low b)",
+		},
+		{
+			name:   "regional eyeball network",
+			params: remotepeering.EconParams{P: 1.0, G: 0.08, U: 0.15, H: 0.02, V: 0.45, B: 1.4},
+			note:   "traffic concentrated at the nearest big IXP (high b)",
+		},
+		{
+			name:   "African operator (expensive transit, cheap remote)",
+			params: remotepeering.EconParams{P: 2.5, G: 0.30, U: 0.15, H: 0.015, V: 0.45, B: 0.6},
+			note:   "h ≪ g: little local offload, long expensive haul to Europe",
+		},
+	}
+
+	for _, a := range archetypes {
+		p := a.params
+		if err := p.Validate(); err != nil {
+			fmt.Printf("%s: invalid parameters: %v\n", a.name, err)
+			continue
+		}
+		fmt.Printf("## %s\n   %s\n", a.name, a.note)
+
+		n := math.Max(0, p.OptimalDirectN())
+		m := math.Max(0, p.OptimalRemoteM())
+		allTransit := p.TotalCost(0, 0)
+		directOnly := p.TotalCost(n, 0)
+		withRemote := p.TotalCost(n, m)
+
+		fmt.Printf("   optimal build-out: ñ = %.1f direct IXPs  (eq. 11)\n", n)
+		fmt.Printf("   optimal purchase:  m̃ = %.1f remote IXPs  (eq. 13)\n", m)
+		fmt.Printf("   viability (eq. 14): ratio %.2f vs e^b %.2f ⇒ remote peering %s\n",
+			p.ViabilityRatio(), math.Exp(p.B), verdict(p.RemoteViable()))
+		fmt.Printf("   cost: all-transit %.3f → direct-only %.3f → direct+remote %.3f\n\n",
+			allTransit, directOnly, withRemote)
+	}
+
+	// The sensitivity the paper highlights: remote peering pays off for
+	// networks whose traffic is global (b below the threshold b*).
+	p := remotepeering.DefaultEconParams(0)
+	fmt.Printf("viability threshold for the reference prices: b* = %.2f\n", p.ViabilityThresholdB())
+	fmt.Println("networks with b below the threshold (global traffic) should buy remote peering;")
+	fmt.Println("networks above it (local traffic) are better served by transit or direct builds.")
+}
+
+func verdict(viable bool) string {
+	if viable {
+		return "pays off"
+	}
+	return "does not pay off"
+}

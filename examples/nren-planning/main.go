@@ -1,0 +1,98 @@
+// NREN traffic-engineering scenario: the paper's Section 4 from the
+// perspective of the network that would buy remote peering. The example
+// collects a month of border traffic, asks which IXPs are worth reaching
+// under each peering assumption, shows the diminishing returns after the
+// first handful of exchanges, and estimates the 95th-percentile billing
+// relief that drives the business case.
+//
+//	go run ./examples/nren-planning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"remotepeering"
+)
+
+func main() {
+	world, err := remotepeering.GenerateWorld(remotepeering.WorldConfig{
+		Seed:         7,
+		LeafNetworks: 6000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A week of 5-minute samples keeps the example quick.
+	traffic, err := remotepeering.CollectTraffic(world, remotepeering.TrafficConfig{
+		Seed:      8,
+		Intervals: 2016,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, out := traffic.TransitTotals()
+	fmt.Printf("transit-provider traffic: %.2f Gbps in, %.2f Gbps out across %d networks\n\n",
+		in/1e9, out/1e9, len(traffic.TransitEntries()))
+
+	study, err := remotepeering.NewOffloadStudy(world, traffic)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("potential remote peers after exclusions: %d\n\n", study.PotentialPeerCount())
+
+	// Which single IXP gives the most relief?
+	fmt.Println("best single IXPs (all policies):")
+	for _, p := range study.SingleIXP(remotepeering.GroupAll)[:5] {
+		fmt.Printf("  %-12s %.2f Gbps offloadable\n", p.Acronym, p.Total()/1e9)
+	}
+
+	// Diminishing returns: how far do five exchanges take us?
+	fmt.Println("\ngreedy expansion (all policies):")
+	steps := study.Greedy(remotepeering.GroupAll, 8)
+	total := in + out
+	for i, s := range steps {
+		fmt.Printf("  %d. %-12s remaining transit %.2f Gbps (%.1f%%)\n",
+			i+1, s.Acronym, s.Remaining()/1e9, 100*s.Remaining()/total)
+	}
+	achievable := steps[len(steps)-1].OffloadedInBps + steps[len(steps)-1].OffloadedOutBps
+	at3 := steps[2].OffloadedInBps + steps[2].OffloadedOutBps
+	fmt.Printf("  → the first 3 IXPs already realise %.0f%% of what 8 can\n", 100*at3/achievable)
+
+	// The bill is set by the 95th percentile, so check that peaks of the
+	// offloadable traffic coincide with the transit peaks (Figure 5b).
+	fmt.Println("\n95th-percentile billing view (inbound, first week):")
+	covered := study.Covered(ixpIndices(world), remotepeering.GroupAll)
+	allIn, _ := traffic.SeriesTotal(nil)
+	offIn, _ := traffic.SeriesTotal(covered)
+	p95All, err := remotepeering.P95(allIn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	residual := make([]float64, len(allIn))
+	for i := range allIn {
+		residual[i] = allIn[i] - offIn[i]
+	}
+	p95After, err := remotepeering.P95(residual)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  p95 before offload: %.2f Gbps, after: %.2f Gbps (−%.1f%% on the transit bill)\n",
+		p95All/1e9, p95After/1e9, 100*(p95All-p95After)/p95All)
+
+	// How much does the peering-policy assumption matter?
+	fmt.Println("\noffload by peer group (all 65 IXPs):")
+	for _, g := range remotepeering.PeerGroups {
+		gi, gOut := study.Potential(ixpIndices(world), g)
+		fmt.Printf("  %-46s %.2f Gbps (%.1f%%)\n", g, (gi+gOut)/1e9, 100*(gi+gOut)/total)
+	}
+}
+
+func ixpIndices(w *remotepeering.World) []int {
+	out := make([]int, len(w.IXPs))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

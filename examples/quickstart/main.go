@@ -1,0 +1,61 @@
+// Quickstart: generate a small synthetic world, run the remote-peering
+// detector over two IXPs, and check it against ground truth.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"remotepeering"
+)
+
+func main() {
+	// A reduced world (5,000 leaf networks) keeps the quickstart fast;
+	// drop LeafNetworks for the paper-scale run.
+	world, err := remotepeering.GenerateWorld(remotepeering.WorldConfig{
+		Seed:         42,
+		LeafNetworks: 5000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Measure two of the studied IXPs: AMS-IX (the largest, with both
+	// PCH and RIPE NCC looking glasses) and TorIX (the paper's
+	// ground-truth validation IXP).
+	_, ams, err := world.IXPByAcronym("AMS-IX")
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, tor, err := world.IXPByAcronym("TorIX")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	result, err := remotepeering.RunSpreadStudy(world, remotepeering.SpreadOptions{
+		Seed: 7,
+		IXPs: []int{ams, tor},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("collected %d ping observations\n\n", result.Observations)
+	for _, row := range result.Report.Table1() {
+		fmt.Printf("%-8s probed %4d, analyzed %4d, detected remote peers %3d\n",
+			row.Acronym, row.Probed, row.Analyzed, row.Remote)
+	}
+
+	v := result.Validation
+	fmt.Printf("\nagainst simulator ground truth: precision %.3f, recall %.3f (FP=%d FN=%d)\n",
+		v.Precision(), v.Recall(), v.FalsePositives, v.FalseNegatives)
+
+	cdf, err := result.Report.Figure2CDF()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("minimum-RTT distribution: median %.2f ms, 90th pct %.2f ms, share below the 10 ms threshold %.1f%%\n",
+		cdf.Quantile(0.5), cdf.Quantile(0.9), 100*cdf.At(10))
+}

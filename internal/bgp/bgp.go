@@ -1,0 +1,305 @@
+// Package bgp computes AS-level routes over the topo graph under the
+// standard Gao-Rexford policy model: routes learned from customers are
+// exported to everyone; routes learned from peers or providers are exported
+// only to customers. Route selection prefers customer routes over peer
+// routes over provider routes, breaking ties by AS-path length.
+//
+// The reproduction uses these paths the way the paper uses the BGP tables
+// of the RedIRIS border routers (Section 4.1): to attach an AS-level path
+// to every traffic flow, to identify which flows ride the transit
+// providers, and to classify a network's association with a flow as origin,
+// destination, or transient.
+package bgp
+
+import (
+	"fmt"
+	"sort"
+
+	"remotepeering/internal/topo"
+)
+
+// sortedKeys returns the keys of m in ascending order.
+func sortedKeys(m map[topo.ASN]int) []topo.ASN {
+	out := make([]topo.ASN, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RouteClass is the Gao-Rexford class of a selected route.
+type RouteClass int
+
+// Route classes in decreasing preference. ClassNone marks unreachable or
+// self.
+const (
+	ClassCustomer RouteClass = iota
+	ClassPeer
+	ClassProvider
+	ClassNone
+)
+
+// String implements fmt.Stringer.
+func (c RouteClass) String() string {
+	switch c {
+	case ClassCustomer:
+		return "customer"
+	case ClassPeer:
+		return "peer"
+	case ClassProvider:
+		return "provider"
+	case ClassNone:
+		return "none"
+	default:
+		return fmt.Sprintf("RouteClass(%d)", int(c))
+	}
+}
+
+const inf = int(1) << 30
+
+// RIB holds, for a fixed destination AS, the best valley-free route from
+// every other AS: its class, length, and next hop toward the destination.
+type RIB struct {
+	Dst topo.ASN
+
+	custDist map[topo.ASN]int
+	custNext map[topo.ASN]topo.ASN
+	peerDist map[topo.ASN]int
+	peerNext map[topo.ASN]topo.ASN
+	provDist map[topo.ASN]int
+	provNext map[topo.ASN]topo.ASN
+}
+
+// ComputeRIB computes best valley-free paths from every AS to dst.
+func ComputeRIB(g *topo.Graph, dst topo.ASN) (*RIB, error) {
+	if g.Network(dst) == nil {
+		return nil, fmt.Errorf("bgp: unknown destination ASN %d", dst)
+	}
+	r := &RIB{
+		Dst:      dst,
+		custDist: map[topo.ASN]int{dst: 0},
+		custNext: map[topo.ASN]topo.ASN{},
+		peerDist: map[topo.ASN]int{},
+		peerNext: map[topo.ASN]topo.ASN{},
+		provDist: map[topo.ASN]int{},
+		provNext: map[topo.ASN]topo.ASN{},
+	}
+
+	// Phase 1 — customer routes: BFS "uphill" from dst. A node u obtains a
+	// customer route when one of its customers c has a customer route
+	// (or u's customer is dst itself).
+	queue := []topo.ASN{dst}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		d := r.custDist[c]
+		for _, p := range g.Providers(c) {
+			if _, seen := r.custDist[p]; !seen {
+				r.custDist[p] = d + 1
+				r.custNext[p] = c
+				queue = append(queue, p)
+			}
+		}
+	}
+
+	// Phase 2 — peer routes: one peer hop from any node holding a
+	// customer route (including dst). Iterate in sorted ASN order and
+	// break distance ties toward the smaller neighbour so the selected
+	// next hops — and therefore reconstructed paths — are deterministic.
+	custNodes := sortedKeys(r.custDist)
+	for _, u := range custNodes {
+		d := r.custDist[u]
+		for _, p := range g.Peers(u) {
+			if _, hasCust := r.custDist[p]; hasCust {
+				continue // customer route always preferred
+			}
+			cur, ok := r.peerDist[p]
+			switch {
+			case !ok || d+1 < cur:
+				r.peerDist[p] = d + 1
+				r.peerNext[p] = u
+			case d+1 == cur && u < r.peerNext[p]:
+				r.peerNext[p] = u
+			}
+		}
+	}
+
+	// Phase 3 — provider routes: BFS "downhill". Any node with a route of
+	// any class exports it to its customers. We seed with all
+	// customer/peer-routed nodes and expand provider→customer edges in
+	// Dijkstra order (unit weights ⇒ a simple BFS over sorted levels
+	// suffices; we use repeated relaxation via a FIFO with level checks).
+	type seed struct {
+		asn  topo.ASN
+		dist int
+	}
+	var frontier []seed
+	for _, u := range custNodes {
+		frontier = append(frontier, seed{u, r.custDist[u]})
+	}
+	for _, u := range sortedKeys(r.peerDist) {
+		d := r.peerDist[u]
+		if cd, ok := r.custDist[u]; ok && cd <= d {
+			continue
+		}
+		frontier = append(frontier, seed{u, d})
+	}
+	// Bucket the frontier by distance for a BFS over increasing levels.
+	buckets := map[int][]topo.ASN{}
+	maxLevel := 0
+	for _, s := range frontier {
+		buckets[s.dist] = append(buckets[s.dist], s.asn)
+		if s.dist > maxLevel {
+			maxLevel = s.dist
+		}
+	}
+	bestKnown := func(u topo.ASN) int {
+		b := inf
+		if d, ok := r.custDist[u]; ok && d < b {
+			b = d
+		}
+		if d, ok := r.peerDist[u]; ok && d < b {
+			b = d
+		}
+		if d, ok := r.provDist[u]; ok && d < b {
+			b = d
+		}
+		return b
+	}
+	for level := 0; level <= maxLevel; level++ {
+		// Sort each level so that equal-distance relaxations settle on
+		// the same provider next hop in every run.
+		lvl := buckets[level]
+		sort.Slice(lvl, func(a, b int) bool { return lvl[a] < lvl[b] })
+		for _, v := range lvl {
+			if bestKnown(v) < level {
+				continue // superseded by a better route
+			}
+			for _, c := range g.Customers(v) {
+				nd := level + 1
+				if bestKnown(c) <= nd {
+					continue
+				}
+				if cur, ok := r.provDist[c]; ok && cur <= nd {
+					continue
+				}
+				r.provDist[c] = nd
+				r.provNext[c] = v
+				buckets[nd] = append(buckets[nd], c)
+				if nd > maxLevel {
+					maxLevel = nd
+				}
+			}
+		}
+	}
+	return r, nil
+}
+
+// Class returns the route class selected at src for the RIB's destination.
+func (r *RIB) Class(src topo.ASN) RouteClass {
+	if src == r.Dst {
+		return ClassNone
+	}
+	if _, ok := r.custDist[src]; ok {
+		return ClassCustomer
+	}
+	if _, ok := r.peerDist[src]; ok {
+		return ClassPeer
+	}
+	if _, ok := r.provDist[src]; ok {
+		return ClassProvider
+	}
+	return ClassNone
+}
+
+// Reachable reports whether src has any valley-free route to the
+// destination.
+func (r *RIB) Reachable(src topo.ASN) bool {
+	if src == r.Dst {
+		return true
+	}
+	return r.Class(src) != ClassNone
+}
+
+// PathLen returns the AS-path length (number of AS hops) from src to the
+// destination, or -1 if unreachable.
+func (r *RIB) PathLen(src topo.ASN) int {
+	if src == r.Dst {
+		return 0
+	}
+	switch r.Class(src) {
+	case ClassCustomer:
+		return r.custDist[src]
+	case ClassPeer:
+		return r.peerDist[src]
+	case ClassProvider:
+		return r.provDist[src]
+	default:
+		return -1
+	}
+}
+
+// Path returns the AS path from src to the destination, inclusive of both
+// endpoints, or nil if unreachable. The returned path is valley-free by
+// construction.
+func (r *RIB) Path(src topo.ASN) []topo.ASN {
+	if src == r.Dst {
+		return []topo.ASN{src}
+	}
+	if !r.Reachable(src) {
+		return nil
+	}
+	path := []topo.ASN{src}
+	cur := src
+	// Walk provider-class hops first (downhill exports), then at most one
+	// peer hop, then customer-class hops to the destination.
+	for cur != r.Dst {
+		switch r.Class(cur) {
+		case ClassCustomer:
+			cur = r.custNext[cur]
+		case ClassPeer:
+			cur = r.peerNext[cur]
+		case ClassProvider:
+			cur = r.provNext[cur]
+		default:
+			return nil // inconsistent RIB; treat as unreachable
+		}
+		path = append(path, cur)
+		if len(path) > 64 {
+			return nil // defensive: no sane AS path is this long
+		}
+	}
+	return path
+}
+
+// NextHop returns the next AS toward the destination from src, or false if
+// unreachable or src is the destination.
+func (r *RIB) NextHop(src topo.ASN) (topo.ASN, bool) {
+	switch r.Class(src) {
+	case ClassCustomer:
+		return r.custNext[src], true
+	case ClassPeer:
+		return r.peerNext[src], true
+	case ClassProvider:
+		return r.provNext[src], true
+	default:
+		return 0, false
+	}
+}
+
+// ReachableCount returns the number of ASes (excluding dst) with a route.
+func (r *RIB) ReachableCount() int {
+	seen := map[topo.ASN]bool{}
+	for u := range r.custDist {
+		seen[u] = true
+	}
+	for u := range r.peerDist {
+		seen[u] = true
+	}
+	for u := range r.provDist {
+		seen[u] = true
+	}
+	delete(seen, r.Dst)
+	return len(seen)
+}

@@ -1,0 +1,329 @@
+package bgp
+
+import (
+	"testing"
+
+	"remotepeering/internal/topo"
+)
+
+// build constructs a graph from transit edges (customer, provider) and
+// peering edges.
+func build(t *testing.T, maxASN topo.ASN, transit [][2]topo.ASN, peering [][2]topo.ASN) *topo.Graph {
+	t.Helper()
+	g := topo.NewGraph()
+	for a := topo.ASN(1); a <= maxASN; a++ {
+		if err := g.AddNetwork(&topo.Network{ASN: a}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range transit {
+		if err := g.AddTransit(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range peering {
+		if err := g.AddPeering(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func asPath(p []topo.ASN) []uint32 {
+	out := make([]uint32, len(p))
+	for i, a := range p {
+		out[i] = uint32(a)
+	}
+	return out
+}
+
+func pathEq(got []topo.ASN, want ...topo.ASN) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCustomerRoutePreferred(t *testing.T) {
+	// 1 is customer of 2; 1 also peers with 3 which peers with 2.
+	// Traffic 2→... wait, we compute routes TO dst=1.
+	// 2 must use its customer route to 1 even if a peer path exists.
+	g := build(t, 3,
+		[][2]topo.ASN{{1, 2}},
+		[][2]topo.ASN{{1, 3}, {3, 2}},
+	)
+	rib, err := ComputeRIB(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rib.Class(2) != ClassCustomer {
+		t.Errorf("class(2) = %v, want customer", rib.Class(2))
+	}
+	if !pathEq(rib.Path(2), 2, 1) {
+		t.Errorf("path(2) = %v", asPath(rib.Path(2)))
+	}
+	// 3 reaches 1 via its direct peering.
+	if rib.Class(3) != ClassPeer {
+		t.Errorf("class(3) = %v, want peer", rib.Class(3))
+	}
+	if !pathEq(rib.Path(3), 3, 1) {
+		t.Errorf("path(3) = %v", asPath(rib.Path(3)))
+	}
+}
+
+func TestValleyFreeBlocksPeerPeerChains(t *testing.T) {
+	// 1 peers with 2, 2 peers with 3. No transit. 3 must NOT reach 1
+	// (a route learned from a peer is not exported to another peer).
+	g := build(t, 3, nil, [][2]topo.ASN{{1, 2}, {2, 3}})
+	rib, err := ComputeRIB(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rib.Reachable(3) {
+		t.Error("peer-peer-peer path is a valley and must be rejected")
+	}
+	if rib.Class(3) != ClassNone || rib.PathLen(3) != -1 || rib.Path(3) != nil {
+		t.Error("unreachable node must report none/-1/nil")
+	}
+}
+
+func TestProviderRouteDownhill(t *testing.T) {
+	// Classic tree: 3 is tier-1 with customers 2 and 4; 2 has customer 1.
+	// dst = 1. 4 must reach 1 via its provider 3 (class provider),
+	// path 4 3 2 1.
+	g := build(t, 4, [][2]topo.ASN{{1, 2}, {2, 3}, {4, 3}}, nil)
+	rib, err := ComputeRIB(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rib.Class(4) != ClassProvider {
+		t.Errorf("class(4) = %v, want provider", rib.Class(4))
+	}
+	if !pathEq(rib.Path(4), 4, 3, 2, 1) {
+		t.Errorf("path(4) = %v", asPath(rib.Path(4)))
+	}
+	if rib.PathLen(4) != 3 {
+		t.Errorf("PathLen(4) = %d", rib.PathLen(4))
+	}
+}
+
+func TestPeerShortcutOverLongCustomerNo(t *testing.T) {
+	// Even a longer customer route beats a short peer route.
+	// dst=1. 5's customers chain: 1←2←3←5 (so 5 has a 3-hop customer
+	// route) and 5 peers with 1 directly (1-hop peer route).
+	g := build(t, 5,
+		[][2]topo.ASN{{1, 2}, {2, 3}, {3, 5}},
+		[][2]topo.ASN{{5, 1}},
+	)
+	rib, err := ComputeRIB(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rib.Class(5) != ClassCustomer {
+		t.Errorf("class(5) = %v, want customer (policy beats length)", rib.Class(5))
+	}
+	if rib.PathLen(5) != 3 {
+		t.Errorf("PathLen(5) = %d, want 3", rib.PathLen(5))
+	}
+}
+
+func TestTierOnePeeringMesh(t *testing.T) {
+	// Two tier-1s (10, 11) peer; each has a customer (1 under 10, 2 under
+	// 11). Traffic 2→1 must go 2, 11, 10, 1: up, across the peering mesh,
+	// down.
+	g := build(t, 11,
+		[][2]topo.ASN{{1, 10}, {2, 11}},
+		[][2]topo.ASN{{10, 11}},
+	)
+	rib, err := ComputeRIB(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pathEq(rib.Path(2), 2, 11, 10, 1) {
+		t.Errorf("path(2) = %v", asPath(rib.Path(2)))
+	}
+	if rib.Class(2) != ClassProvider {
+		t.Errorf("class(2) = %v", rib.Class(2))
+	}
+	// The peering hop is visible from 11's perspective.
+	if rib.Class(11) != ClassPeer {
+		t.Errorf("class(11) = %v", rib.Class(11))
+	}
+}
+
+func TestMultihomingPicksShorterCustomerRoute(t *testing.T) {
+	// dst=1 multihomes to providers 2 and 3. 4 is provider of 2; 5 is
+	// provider of 3 and of 4. From 5, two customer routes exist:
+	// 5-4-2-1 (3 hops) and 5-3-1 (2 hops): pick the shorter.
+	g := build(t, 5,
+		[][2]topo.ASN{{1, 2}, {1, 3}, {2, 4}, {4, 5}, {3, 5}},
+		nil,
+	)
+	rib, err := ComputeRIB(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pathEq(rib.Path(5), 5, 3, 1) {
+		t.Errorf("path(5) = %v, want 5 3 1", asPath(rib.Path(5)))
+	}
+}
+
+func TestSelfPath(t *testing.T) {
+	g := build(t, 2, [][2]topo.ASN{{1, 2}}, nil)
+	rib, err := ComputeRIB(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pathEq(rib.Path(1), 1) {
+		t.Errorf("self path = %v", asPath(rib.Path(1)))
+	}
+	if rib.PathLen(1) != 0 || !rib.Reachable(1) {
+		t.Error("self must be reachable at distance 0")
+	}
+	if rib.Class(1) != ClassNone {
+		t.Errorf("self class = %v", rib.Class(1))
+	}
+}
+
+func TestUnknownDestination(t *testing.T) {
+	g := build(t, 2, nil, nil)
+	if _, err := ComputeRIB(g, 99); err == nil {
+		t.Error("want error for unknown destination")
+	}
+}
+
+func TestNextHop(t *testing.T) {
+	g := build(t, 3, [][2]topo.ASN{{1, 2}, {2, 3}}, nil)
+	rib, err := ComputeRIB(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nh, ok := rib.NextHop(3)
+	if !ok || nh != 2 {
+		t.Errorf("NextHop(3) = %v %v", nh, ok)
+	}
+	if _, ok := rib.NextHop(1); ok {
+		t.Error("destination has no next hop")
+	}
+}
+
+func TestReachableCount(t *testing.T) {
+	// Connected chain of 4 + 1 isolated node.
+	g := build(t, 5, [][2]topo.ASN{{1, 2}, {2, 3}, {3, 4}}, nil)
+	rib, err := ComputeRIB(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rib.ReachableCount(); got != 3 {
+		t.Errorf("ReachableCount = %d, want 3", got)
+	}
+	if rib.Reachable(5) {
+		t.Error("isolated node must be unreachable")
+	}
+}
+
+func TestPathsAreValleyFreeProperty(t *testing.T) {
+	// Build a random-ish but deterministic graph and verify every
+	// reconstructed path obeys the valley-free property: once the path
+	// goes down (provider→customer) or across (peer), it never goes up
+	// again, and it crosses at most one peering edge.
+	const n = 60
+	var transit, peering [][2]topo.ASN
+	// Three tiers: 1-5 are tier-1 (full peer mesh), 6-20 mid (customers
+	// of two tier-1s), 21-60 leaves (customers of two mids).
+	for i := topo.ASN(1); i <= 5; i++ {
+		for j := i + 1; j <= 5; j++ {
+			peering = append(peering, [2]topo.ASN{i, j})
+		}
+	}
+	for i := topo.ASN(6); i <= 20; i++ {
+		transit = append(transit, [2]topo.ASN{i, 1 + (i % 5)})
+		transit = append(transit, [2]topo.ASN{i, 1 + ((i + 2) % 5)})
+	}
+	for i := topo.ASN(21); i <= 60; i++ {
+		transit = append(transit, [2]topo.ASN{i, 6 + (i % 15)})
+		transit = append(transit, [2]topo.ASN{i, 6 + ((i + 7) % 15)})
+	}
+	// A few lateral peerings between mids.
+	peering = append(peering, [2]topo.ASN{6, 7}, [2]topo.ASN{8, 9}, [2]topo.ASN{10, 11})
+
+	g := build(t, 60, transit, peering)
+
+	relOf := func(a, b topo.ASN) string {
+		for _, p := range g.Providers(a) {
+			if p == b {
+				return "up"
+			}
+		}
+		for _, c := range g.Customers(a) {
+			if c == b {
+				return "down"
+			}
+		}
+		for _, p := range g.Peers(a) {
+			if p == b {
+				return "peer"
+			}
+		}
+		return "none"
+	}
+
+	for _, dst := range []topo.ASN{21, 35, 60, 6, 1} {
+		rib, err := ComputeRIB(g, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range g.ASNs() {
+			path := rib.Path(src)
+			if src == dst {
+				continue
+			}
+			if path == nil {
+				t.Errorf("dst %d: %d unreachable in a connected graph", dst, src)
+				continue
+			}
+			// Check link validity and valley-freedom.
+			phase := "up" // allowed transitions: up* (peer|down)? down*
+			peerUsed := false
+			for i := 0; i+1 < len(path); i++ {
+				rel := relOf(path[i], path[i+1])
+				switch rel {
+				case "none":
+					t.Fatalf("dst %d src %d: non-adjacent hop %d-%d in %v",
+						dst, src, path[i], path[i+1], asPath(path))
+				case "up":
+					if phase != "up" {
+						t.Fatalf("dst %d src %d: valley in path %v", dst, src, asPath(path))
+					}
+				case "peer":
+					if phase != "up" || peerUsed {
+						t.Fatalf("dst %d src %d: illegal peer hop in %v", dst, src, asPath(path))
+					}
+					peerUsed = true
+					phase = "down"
+				case "down":
+					phase = "down"
+				}
+			}
+		}
+	}
+}
+
+func TestRouteClassString(t *testing.T) {
+	for c, s := range map[RouteClass]string{
+		ClassCustomer: "customer", ClassPeer: "peer",
+		ClassProvider: "provider", ClassNone: "none",
+	} {
+		if c.String() != s {
+			t.Errorf("%v", c)
+		}
+	}
+	if RouteClass(9).String() == "" {
+		t.Error("unknown class renders empty")
+	}
+}

@@ -1,0 +1,168 @@
+package bgp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"remotepeering/internal/stats"
+	"remotepeering/internal/topo"
+)
+
+// randomHierarchy builds a deterministic three-tier graph: a tier-1 peer
+// mesh, mid providers, and leaves.
+func randomHierarchy(seed int64, n int) *topo.Graph {
+	if n < 10 {
+		n = 10
+	}
+	if n > 200 {
+		n = 200
+	}
+	src := stats.NewSource(seed)
+	g := topo.NewGraph()
+	for i := 1; i <= n; i++ {
+		_ = g.AddNetwork(&topo.Network{ASN: topo.ASN(i)})
+	}
+	tier1 := n / 10
+	if tier1 < 2 {
+		tier1 = 2
+	}
+	mid := n / 3
+	for i := 1; i <= tier1; i++ {
+		for j := i + 1; j <= tier1; j++ {
+			_ = g.AddPeering(topo.ASN(i), topo.ASN(j))
+		}
+	}
+	for i := tier1 + 1; i <= mid; i++ {
+		_ = g.AddTransit(topo.ASN(i), topo.ASN(1+src.Intn(tier1)))
+		if src.Float64() < 0.5 {
+			_ = g.AddTransit(topo.ASN(i), topo.ASN(1+src.Intn(tier1)))
+		}
+	}
+	for i := mid + 1; i <= n; i++ {
+		_ = g.AddTransit(topo.ASN(i), topo.ASN(tier1+1+src.Intn(mid-tier1)))
+		if src.Float64() < 0.3 {
+			_ = g.AddTransit(topo.ASN(i), topo.ASN(tier1+1+src.Intn(mid-tier1)))
+		}
+		// Occasional lateral peering between leaves.
+		if src.Float64() < 0.15 && i > mid+2 {
+			_ = g.AddPeering(topo.ASN(i), topo.ASN(mid+1+src.Intn(i-mid-1)))
+		}
+	}
+	return g
+}
+
+func TestEveryoneReachableInHierarchyProperty(t *testing.T) {
+	// In a connected customer-provider hierarchy with a tier-1 mesh,
+	// valley-free routing reaches every destination.
+	f := func(seed int64, n uint8, dstSel uint8) bool {
+		g := randomHierarchy(seed, int(n))
+		asns := g.ASNs()
+		dst := asns[int(dstSel)%len(asns)]
+		rib, err := ComputeRIB(g, dst)
+		if err != nil {
+			return false
+		}
+		for _, src := range asns {
+			if !rib.Reachable(src) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathLenMatchesPathProperty(t *testing.T) {
+	f := func(seed int64, n uint8, dstSel uint8) bool {
+		g := randomHierarchy(seed, int(n))
+		asns := g.ASNs()
+		dst := asns[int(dstSel)%len(asns)]
+		rib, err := ComputeRIB(g, dst)
+		if err != nil {
+			return false
+		}
+		for _, src := range asns {
+			p := rib.Path(src)
+			if p == nil {
+				continue
+			}
+			if len(p)-1 != rib.PathLen(src) {
+				return false
+			}
+			if p[0] != src || p[len(p)-1] != dst {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextHopConsistentWithPathProperty(t *testing.T) {
+	f := func(seed int64, n uint8, dstSel uint8) bool {
+		g := randomHierarchy(seed, int(n))
+		asns := g.ASNs()
+		dst := asns[int(dstSel)%len(asns)]
+		rib, err := ComputeRIB(g, dst)
+		if err != nil {
+			return false
+		}
+		for _, src := range asns {
+			if src == dst {
+				continue
+			}
+			p := rib.Path(src)
+			nh, ok := rib.NextHop(src)
+			if p == nil {
+				if ok {
+					return false
+				}
+				continue
+			}
+			if !ok || p[1] != nh {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCustomerPreferenceProperty(t *testing.T) {
+	// Whenever a node has any route, and one of its customers has a
+	// customer-class route, the node's class must be customer (policy
+	// preference is absolute).
+	f := func(seed int64, n uint8, dstSel uint8) bool {
+		g := randomHierarchy(seed, int(n))
+		asns := g.ASNs()
+		dst := asns[int(dstSel)%len(asns)]
+		rib, err := ComputeRIB(g, dst)
+		if err != nil {
+			return false
+		}
+		for _, u := range asns {
+			if u == dst || !rib.Reachable(u) {
+				continue
+			}
+			hasCustRoute := false
+			for _, c := range g.Customers(u) {
+				if c == dst || (rib.Reachable(c) && rib.Class(c) == ClassCustomer) {
+					hasCustRoute = true
+				}
+			}
+			if hasCustRoute && rib.Class(u) != ClassCustomer {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

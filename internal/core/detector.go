@@ -1,0 +1,371 @@
+// Package core implements the paper's primary contribution: the ping-based
+// detector of remote peering at IXPs (Section 3.1). The detector consumes
+// the raw looking-glass observations and the public registry view, applies
+// the six data-hygiene filters in the paper's order — sample-size,
+// TTL-switch, TTL-match, RTT-consistent, LG-consistent, ASN-change — and
+// classifies each surviving ("analyzed") interface by its minimum RTT
+// against the 10 ms remoteness threshold, with the Figure 3 distance bands
+// ([10,20) intercity, [20,50) intercountry, ≥50 ms intercontinental).
+//
+// The filters are deliberately conservative: the paper optimises for
+// avoiding false positives when estimating the spread of remote peering,
+// accepting false negatives (e.g. remote peers closer than the threshold
+// horizon) as the price.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"remotepeering/internal/geo"
+	"remotepeering/internal/lg"
+	"remotepeering/internal/registry"
+	"remotepeering/internal/topo"
+)
+
+// Filter identifies one of the six data-hygiene filters.
+type Filter int
+
+// Filters in the paper's application order. FilterNone marks an interface
+// that survived all six and entered the analyzed set.
+const (
+	FilterNone Filter = iota
+	FilterSampleSize
+	FilterTTLSwitch
+	FilterTTLMatch
+	FilterRTTConsistent
+	FilterLGConsistent
+	FilterASNChange
+)
+
+// String implements fmt.Stringer.
+func (f Filter) String() string {
+	switch f {
+	case FilterNone:
+		return "analyzed"
+	case FilterSampleSize:
+		return "sample-size"
+	case FilterTTLSwitch:
+		return "ttl-switch"
+	case FilterTTLMatch:
+		return "ttl-match"
+	case FilterRTTConsistent:
+		return "rtt-consistent"
+	case FilterLGConsistent:
+		return "lg-consistent"
+	case FilterASNChange:
+		return "asn-change"
+	default:
+		return fmt.Sprintf("Filter(%d)", int(f))
+	}
+}
+
+// AllFilters lists the six filters in application order.
+var AllFilters = []Filter{
+	FilterSampleSize, FilterTTLSwitch, FilterTTLMatch,
+	FilterRTTConsistent, FilterLGConsistent, FilterASNChange,
+}
+
+// Config holds the methodology parameters. The zero value is replaced by
+// the paper's published settings.
+type Config struct {
+	// RemoteThreshold is the minimum-RTT remoteness threshold (10 ms).
+	RemoteThreshold time.Duration
+	// MinRepliesPerLG is the sample-size filter's floor (8 replies per
+	// probing LG server).
+	MinRepliesPerLG int
+	// MinConsistentReplies is the RTT-consistent filter's floor (4
+	// replies within the consistency window).
+	MinConsistentReplies int
+	// ConsistencyAbs and ConsistencyFrac define the window
+	// max(ConsistencyAbs, ConsistencyFrac·minRTT) used by both the
+	// RTT-consistent and LG-consistent filters (5 ms / 10%).
+	ConsistencyAbs  time.Duration
+	ConsistencyFrac float64
+	// AcceptedTTLs are the expected initial TTL values (64, 255).
+	AcceptedTTLs []uint8
+	// Disabled switches off individual filters, for the ablation study.
+	Disabled map[Filter]bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.RemoteThreshold == 0 {
+		c.RemoteThreshold = 10 * time.Millisecond
+	}
+	if c.MinRepliesPerLG == 0 {
+		c.MinRepliesPerLG = 8
+	}
+	if c.MinConsistentReplies == 0 {
+		c.MinConsistentReplies = 4
+	}
+	if c.ConsistencyAbs == 0 {
+		c.ConsistencyAbs = 5 * time.Millisecond
+	}
+	if c.ConsistencyFrac == 0 {
+		c.ConsistencyFrac = 0.10
+	}
+	if len(c.AcceptedTTLs) == 0 {
+		c.AcceptedTTLs = []uint8{64, 255}
+	}
+	return c
+}
+
+// window returns the consistency window around a minimum RTT.
+func (c Config) window(min time.Duration) time.Duration {
+	frac := time.Duration(c.ConsistencyFrac * float64(min))
+	if frac > c.ConsistencyAbs {
+		return frac
+	}
+	return c.ConsistencyAbs
+}
+
+// InterfaceResult is the detector's verdict on one probed interface.
+type InterfaceResult struct {
+	IXPIndex int
+	Acronym  string
+	IP       netip.Addr
+	// Replies is the number of echo replies received (all LGs pooled).
+	Replies int
+	// Discard names the filter that removed the interface, or FilterNone
+	// if it is analyzed.
+	Discard Filter
+	// MinRTT is the minimum observed RTT (analyzed interfaces only).
+	MinRTT time.Duration
+	// Class is the Figure 3 distance class of MinRTT.
+	Class geo.DistanceClass
+	// Remote reports MinRTT ≥ the remoteness threshold.
+	Remote bool
+	// ASN is the registry identification; Identified is false when public
+	// data cannot name the owner.
+	ASN        topo.ASN
+	Identified bool
+}
+
+// Report is the detector's full output.
+type Report struct {
+	Cfg Config
+	// Interfaces holds every probed interface's verdict, ordered by IXP
+	// and address.
+	Interfaces []InterfaceResult
+	// Discards counts interfaces removed by each filter.
+	Discards map[Filter]int
+}
+
+// Analyze runs the detection pipeline over a campaign's observations.
+func Analyze(obs []lg.Observation, reg *registry.Registry, campaign time.Duration, cfg Config) (*Report, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("core: no observations")
+	}
+	if campaign <= 0 {
+		return nil, fmt.Errorf("core: non-positive campaign duration %v", campaign)
+	}
+	cfg = cfg.withDefaults()
+
+	type ifaceKey struct {
+		ixp int
+		ip  netip.Addr
+	}
+	type ifaceObs struct {
+		acronym  string
+		families map[string][]lg.Observation // replies only, per LG family
+		replies  int
+	}
+	groups := make(map[ifaceKey]*ifaceObs)
+	var order []ifaceKey
+	for _, o := range obs {
+		k := ifaceKey{o.IXPIndex, o.Target}
+		g, ok := groups[k]
+		if !ok {
+			g = &ifaceObs{acronym: o.Acronym, families: make(map[string][]lg.Observation)}
+			groups[k] = g
+			order = append(order, k)
+		}
+		if _, seen := g.families[o.Family]; !seen {
+			g.families[o.Family] = nil
+		}
+		if !o.TimedOut {
+			g.families[o.Family] = append(g.families[o.Family], o)
+			g.replies++
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].ixp != order[j].ixp {
+			return order[i].ixp < order[j].ixp
+		}
+		return order[i].ip.Less(order[j].ip)
+	})
+
+	rep := &Report{Cfg: cfg, Discards: make(map[Filter]int)}
+	accepted := func(ttl uint8) bool {
+		for _, t := range cfg.AcceptedTTLs {
+			if ttl == t {
+				return true
+			}
+		}
+		return false
+	}
+	enabled := func(f Filter) bool { return !cfg.Disabled[f] }
+
+	for _, k := range order {
+		g := groups[k]
+		res := InterfaceResult{
+			IXPIndex: k.ixp,
+			Acronym:  g.acronym,
+			IP:       k.ip,
+			Replies:  g.replies,
+		}
+
+		// Identification (used by the ASN-change filter and the network
+		// analyses): registry lookups at campaign start and end.
+		asnEarly, okEarly := reg.LookupASN(k.ixp, k.ip, 0)
+		asnLate, okLate := reg.LookupASN(k.ixp, k.ip, 1)
+		if okEarly {
+			res.ASN = asnEarly
+			res.Identified = true
+		}
+
+		res.Discard = func() Filter {
+			// 1. Sample-size: every probing LG server must have returned
+			// at least MinRepliesPerLG replies.
+			if enabled(FilterSampleSize) {
+				for _, replies := range g.families {
+					if len(replies) < cfg.MinRepliesPerLG {
+						return FilterSampleSize
+					}
+				}
+			}
+
+			// 2. TTL-switch: the reply TTL must not change during the
+			// measurement period.
+			ttls := map[uint8]bool{}
+			for _, replies := range g.families {
+				for _, o := range replies {
+					ttls[o.TTL] = true
+				}
+			}
+			if enabled(FilterTTLSwitch) && len(ttls) > 1 {
+				return FilterTTLSwitch
+			}
+
+			// 3. TTL-match: the reply TTL must be one of the expected
+			// initial values; anything else betrays an extra IP hop or
+			// an unusual OS.
+			if enabled(FilterTTLMatch) {
+				for t := range ttls {
+					if !accepted(t) {
+						return FilterTTLMatch
+					}
+				}
+			}
+
+			// 4. RTT-consistent: at least MinConsistentReplies of the
+			// collected replies must sit within the window above the
+			// minimum RTT.
+			min, consistent := minAndWithin(g.families, cfg)
+			if enabled(FilterRTTConsistent) && consistent < cfg.MinConsistentReplies {
+				return FilterRTTConsistent
+			}
+			_ = min
+
+			// 5. LG-consistent: when both LG families probed the
+			// interface, their per-family minimum RTTs must agree within
+			// the window.
+			if enabled(FilterLGConsistent) && len(g.families) >= 2 {
+				var mins []time.Duration
+				for _, replies := range g.families {
+					if m, ok := minRTT(replies); ok {
+						mins = append(mins, m)
+					}
+				}
+				if len(mins) >= 2 {
+					lo, hi := mins[0], mins[0]
+					for _, m := range mins[1:] {
+						if m < lo {
+							lo = m
+						}
+						if m > hi {
+							hi = m
+						}
+					}
+					if hi > lo+cfg.window(lo) {
+						return FilterLGConsistent
+					}
+				}
+			}
+
+			// 6. ASN-change: the registry identification must be stable
+			// across the campaign.
+			if enabled(FilterASNChange) && okEarly && okLate && asnEarly != asnLate {
+				return FilterASNChange
+			}
+			return FilterNone
+		}()
+
+		if res.Discard == FilterNone {
+			var all []lg.Observation
+			for _, replies := range g.families {
+				all = append(all, replies...)
+			}
+			m, ok := minRTT(all)
+			if !ok {
+				// No replies at all and the sample-size filter was
+				// disabled: treat as a sample-size discard regardless,
+				// since there is nothing to classify.
+				res.Discard = FilterSampleSize
+			} else {
+				res.MinRTT = m
+				res.Class = geo.ClassifyRTT(m)
+				res.Remote = m >= cfg.RemoteThreshold
+			}
+		}
+		if res.Discard != FilterNone {
+			rep.Discards[res.Discard]++
+		}
+		rep.Interfaces = append(rep.Interfaces, res)
+	}
+	return rep, nil
+}
+
+// minRTT returns the minimum RTT among replies.
+func minRTT(replies []lg.Observation) (time.Duration, bool) {
+	if len(replies) == 0 {
+		return 0, false
+	}
+	m := replies[0].RTT
+	for _, o := range replies[1:] {
+		if o.RTT < m {
+			m = o.RTT
+		}
+	}
+	return m, true
+}
+
+// minAndWithin returns the pooled minimum RTT and the number of replies
+// within the consistency window above it.
+func minAndWithin(families map[string][]lg.Observation, cfg Config) (time.Duration, int) {
+	var min time.Duration
+	first := true
+	for _, replies := range families {
+		for _, o := range replies {
+			if first || o.RTT < min {
+				min = o.RTT
+				first = false
+			}
+		}
+	}
+	if first {
+		return 0, 0
+	}
+	limit := min + cfg.window(min)
+	n := 0
+	for _, replies := range families {
+		for _, o := range replies {
+			if o.RTT <= limit {
+				n++
+			}
+		}
+	}
+	return min, n
+}

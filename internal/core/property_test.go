@@ -1,0 +1,181 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"remotepeering/internal/lg"
+	"remotepeering/internal/stats"
+)
+
+// randomObservations builds a deterministic pseudo-random observation set
+// for a handful of interfaces with varied reply counts, RTTs and TTLs.
+func randomObservations(seed int64) []lg.Observation {
+	src := stats.NewSource(seed)
+	var obs []lg.Observation
+	nIfaces := 3 + src.Intn(12)
+	for i := 0; i < nIfaces; i++ {
+		ip := netip.AddrFrom4([4]byte{10, 1, 0, byte(10 + i)})
+		families := []string{"PCH"}
+		if src.Float64() < 0.5 {
+			families = append(families, "RIPE")
+		}
+		baseRTT := time.Duration(src.Float64()*80) * time.Millisecond
+		ttl := uint8(64)
+		if src.Float64() < 0.5 {
+			ttl = 255
+		}
+		if src.Float64() < 0.15 {
+			ttl = 128 // odd OS
+		}
+		for _, fam := range families {
+			n := src.Intn(30)
+			for k := 0; k < n; k++ {
+				jitter := time.Duration(src.Float64()*3) * time.Millisecond
+				obs = append(obs, lg.Observation{
+					IXPIndex: 0, Acronym: "RAND-IX", Family: fam, Target: ip,
+					SentAt: time.Duration(k) * time.Hour,
+					RTT:    baseRTT + jitter + 100*time.Microsecond,
+					TTL:    ttl,
+				})
+			}
+			for k := 0; k < src.Intn(5); k++ {
+				obs = append(obs, lg.Observation{
+					IXPIndex: 0, Acronym: "RAND-IX", Family: fam, Target: ip,
+					SentAt: time.Duration(100+k) * time.Hour, TimedOut: true,
+				})
+			}
+		}
+	}
+	return obs
+}
+
+func TestThresholdMonotonicityProperty(t *testing.T) {
+	// Raising the remoteness threshold can only shrink the set of
+	// interfaces classified remote; it never changes which interfaces
+	// are analyzed.
+	f := func(seed int64) bool {
+		obs := randomObservations(seed)
+		if len(obs) == 0 {
+			return true
+		}
+		reg := emptyRegistry()
+		prevRemote := 1 << 30
+		prevAnalyzed := -1
+		for _, ms := range []time.Duration{5, 10, 20, 50} {
+			rep, err := Analyze(obs, reg, 120*day, Config{RemoteThreshold: ms * time.Millisecond})
+			if err != nil {
+				return false
+			}
+			remote := 0
+			for _, r := range rep.Analyzed() {
+				if r.Remote {
+					remote++
+				}
+			}
+			if remote > prevRemote {
+				return false
+			}
+			if prevAnalyzed >= 0 && len(rep.Analyzed()) != prevAnalyzed {
+				return false
+			}
+			prevRemote = remote
+			prevAnalyzed = len(rep.Analyzed())
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDisablingFiltersNeverShrinksAnalyzedProperty(t *testing.T) {
+	// Each filter only removes interfaces: disabling any one of them can
+	// only grow (or keep) the analyzed set.
+	f := func(seed int64) bool {
+		obs := randomObservations(seed)
+		if len(obs) == 0 {
+			return true
+		}
+		reg := emptyRegistry()
+		base, err := Analyze(obs, reg, 120*day, Config{})
+		if err != nil {
+			return false
+		}
+		baseN := len(base.Analyzed())
+		for _, filter := range AllFilters {
+			rep, err := Analyze(obs, reg, 120*day, Config{Disabled: map[Filter]bool{filter: true}})
+			if err != nil {
+				return false
+			}
+			if len(rep.Analyzed()) < baseN {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiscardCountsPartitionProperty(t *testing.T) {
+	// Probed = analyzed + Σ discards, and every interface carries exactly
+	// one verdict.
+	f := func(seed int64) bool {
+		obs := randomObservations(seed)
+		if len(obs) == 0 {
+			return true
+		}
+		rep, err := Analyze(obs, emptyRegistry(), 120*day, Config{})
+		if err != nil {
+			return false
+		}
+		discards := 0
+		for _, n := range rep.Discards {
+			discards += n
+		}
+		return len(rep.Analyzed())+discards == len(rep.Interfaces)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyzeOrderInvariantProperty(t *testing.T) {
+	// The verdicts must not depend on observation order.
+	f := func(seed int64) bool {
+		obs := randomObservations(seed)
+		if len(obs) < 2 {
+			return true
+		}
+		rep1, err := Analyze(obs, emptyRegistry(), 120*day, Config{})
+		if err != nil {
+			return false
+		}
+		// Reverse the observations.
+		rev := make([]lg.Observation, len(obs))
+		for i, o := range obs {
+			rev[len(obs)-1-i] = o
+		}
+		rep2, err := Analyze(rev, emptyRegistry(), 120*day, Config{})
+		if err != nil {
+			return false
+		}
+		if len(rep1.Interfaces) != len(rep2.Interfaces) {
+			return false
+		}
+		for i := range rep1.Interfaces {
+			a, b := rep1.Interfaces[i], rep2.Interfaces[i]
+			if a.IP != b.IP || a.Discard != b.Discard || a.MinRTT != b.MinRTT || a.Remote != b.Remote {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

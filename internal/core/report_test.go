@@ -1,0 +1,189 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"remotepeering/internal/lg"
+	"remotepeering/internal/registry"
+	"remotepeering/internal/worldgen"
+)
+
+// buildReport constructs a report over a small synthetic population:
+//
+//	IXP 0: AS 100 local, AS 200 remote (22 ms), AS 300 unidentified local
+//	IXP 1: AS 100 local, AS 200 remote (55 ms)
+//	IXP 2: AS 400 local only
+func buildReport(t *testing.T) *Report {
+	t.Helper()
+	w := &worldgen.World{Ifaces: []worldgen.IfaceRecord{
+		{IXPIndex: 0, IP: netip.MustParseAddr("10.1.0.10"), ASN: 100, RegistryHasASN: true},
+		{IXPIndex: 0, IP: netip.MustParseAddr("10.1.0.11"), ASN: 200, RegistryHasASN: true},
+		{IXPIndex: 0, IP: netip.MustParseAddr("10.1.0.12"), ASN: 300, RegistryHasASN: false},
+		{IXPIndex: 1, IP: netip.MustParseAddr("10.2.0.10"), ASN: 100, RegistryHasASN: true},
+		{IXPIndex: 1, IP: netip.MustParseAddr("10.2.0.11"), ASN: 200, RegistryHasASN: true},
+		{IXPIndex: 2, IP: netip.MustParseAddr("10.3.0.10"), ASN: 400, RegistryHasASN: true},
+	}}
+	reg := registry.FromWorld(w)
+
+	var obs []lg.Observation
+	add := func(ixp int, ip string, rtt time.Duration) {
+		b := newObs(ixp, ip)
+		b.acronym = []string{"IXA", "IXB", "IXC"}[ixp]
+		b.replies("PCH", 30, rtt, 64)
+		obs = append(obs, b.obs...)
+	}
+	add(0, "10.1.0.10", 900*time.Microsecond)
+	add(0, "10.1.0.11", 22*time.Millisecond)
+	add(0, "10.1.0.12", 700*time.Microsecond)
+	add(1, "10.2.0.10", time.Millisecond)
+	add(1, "10.2.0.11", 55*time.Millisecond)
+	add(2, "10.3.0.10", 500*time.Microsecond)
+
+	rep, err := Analyze(obs, reg, 120*day, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestTable1Summary(t *testing.T) {
+	rep := buildReport(t)
+	rows := rep.Table1()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Probed != 3 || rows[0].Analyzed != 3 || rows[0].Remote != 1 {
+		t.Errorf("row 0 = %+v", rows[0])
+	}
+	if rows[2].Remote != 0 {
+		t.Errorf("row 2 = %+v", rows[2])
+	}
+}
+
+func TestFigure2CDFShape(t *testing.T) {
+	rep := buildReport(t)
+	cdf, err := rep.Figure2CDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cdf.Len() != 6 {
+		t.Errorf("CDF over %d interfaces, want 6", cdf.Len())
+	}
+	// 4 of 6 below 10 ms.
+	if got := cdf.At(10); got < 0.66 || got > 0.67 {
+		t.Errorf("F(10ms) = %v", got)
+	}
+	if cdf.At(60) != 1 {
+		t.Errorf("F(60ms) = %v", cdf.At(60))
+	}
+}
+
+func TestFigure3Rows(t *testing.T) {
+	rep := buildReport(t)
+	rows := rep.Figure3()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Ordered by analyzed count descending: IXA (3) first.
+	if rows[0].Acronym != "IXA" {
+		t.Errorf("first row = %s", rows[0].Acronym)
+	}
+	if rows[0].Counts != [4]int{2, 0, 1, 0} {
+		t.Errorf("IXA counts = %v", rows[0].Counts)
+	}
+	// IXB: one local, one intercontinental.
+	var ixb Figure3Row
+	for _, r := range rows {
+		if r.Acronym == "IXB" {
+			ixb = r
+		}
+	}
+	if ixb.Counts != [4]int{1, 0, 0, 1} {
+		t.Errorf("IXB counts = %v", ixb.Counts)
+	}
+}
+
+func TestIXPsWithRemotePeering(t *testing.T) {
+	rep := buildReport(t)
+	with, total := rep.IXPsWithRemotePeering()
+	if with != 2 || total != 3 {
+		t.Errorf("IXPs with remote = %d/%d, want 2/3", with, total)
+	}
+	if rep.IXPsWithIntercontinental() != 1 {
+		t.Errorf("intercontinental IXPs = %d", rep.IXPsWithIntercontinental())
+	}
+}
+
+func TestNetworksAggregation(t *testing.T) {
+	rep := buildReport(t)
+	nets := rep.Networks()
+	// AS 300 is unidentified and must not appear.
+	if len(nets) != 3 {
+		t.Fatalf("networks = %d, want 3", len(nets))
+	}
+	byASN := map[uint32]NetworkSummary{}
+	for _, n := range nets {
+		byASN[uint32(n.ASN)] = n
+	}
+	if n := byASN[100]; n.IXPCount != 2 || n.Remote {
+		t.Errorf("AS100 = %+v", n)
+	}
+	if n := byASN[200]; n.IXPCount != 2 || !n.Remote || len(n.Interfaces) != 2 {
+		t.Errorf("AS200 = %+v", n)
+	}
+	if n := byASN[400]; n.IXPCount != 1 || n.Remote {
+		t.Errorf("AS400 = %+v", n)
+	}
+}
+
+func TestFigure4aDistributions(t *testing.T) {
+	rep := buildReport(t)
+	all, remote := rep.Figure4a()
+	if all[2] != 2 || all[1] != 1 {
+		t.Errorf("all = %v", all)
+	}
+	if remote[2] != 1 || remote[1] != 0 {
+		t.Errorf("remote = %v", remote)
+	}
+}
+
+func TestFigure4bFractions(t *testing.T) {
+	rep := buildReport(t)
+	fr := rep.Figure4b()
+	// Only AS200 is remote, with IXP count 2: one intercountry, one
+	// intercontinental interface.
+	f, ok := fr[2]
+	if !ok {
+		t.Fatalf("no entry for IXP count 2: %v", fr)
+	}
+	if f[2] != 0.5 || f[3] != 0.5 || f[0] != 0 {
+		t.Errorf("fractions = %v", f)
+	}
+	if _, ok := fr[1]; ok {
+		t.Error("no remote network has IXP count 1 here")
+	}
+}
+
+func TestValidationScores(t *testing.T) {
+	rep := buildReport(t)
+	truth := func(ixp int, ip netip.Addr) bool {
+		return ip == netip.MustParseAddr("10.1.0.11") || ip == netip.MustParseAddr("10.2.0.11")
+	}
+	v := rep.Validate(truth)
+	if v.TruePositives != 2 || v.FalsePositives != 0 || v.FalseNegatives != 0 || v.TrueNegatives != 4 {
+		t.Errorf("validation = %+v", v)
+	}
+	if v.Precision() != 1 || v.Recall() != 1 {
+		t.Errorf("precision %v recall %v", v.Precision(), v.Recall())
+	}
+	// Inverted truth: everything flagged is wrong.
+	v = rep.Validate(func(int, netip.Addr) bool { return false })
+	if v.Precision() != 0 {
+		t.Errorf("precision = %v, want 0", v.Precision())
+	}
+	if v.Recall() != 1 {
+		t.Errorf("recall with zero actual remotes = %v, want vacuous 1", v.Recall())
+	}
+}

@@ -1,0 +1,185 @@
+// Package econ implements the paper's Section 5 economic model of remote
+// peering versus transit and direct peering.
+//
+// A network delivers global traffic through three options — transit
+// (fraction t), direct peering at n distant IXPs (fraction d), and remote
+// peering at m IXPs (fraction r), with t+d+r = 1 (eq. 1). Generalising the
+// diminishing marginal utility measured in Section 4.3, the transit
+// fraction decays exponentially in the number of reached IXPs:
+//
+//	t = e^{-b(n+m)}                                   (eq. 3)
+//
+// Costs: transit is purely traffic-dependent with normalised price p
+// (eq. 4); direct peering pays a per-IXP traffic-independent cost g plus
+// traffic-dependent u (eq. 5); remote peering pays h per IXP plus v per
+// unit traffic (eq. 6), with h < g (the remote-peering provider buys IXP
+// resources in bulk, eq. 7) and u < v < p (eq. 8). Minimising total cost
+// yields the optimal numbers of directly (ñ, eq. 11) and remotely (m̃,
+// eq. 13) reached IXPs, and remote peering is economically viable when
+//
+//	g·(p−v) / (h·(p−u)) ≥ e^b                         (eq. 14)
+package econ
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"remotepeering/internal/stats"
+)
+
+// Params holds the model parameters of Section 5.1.
+type Params struct {
+	// P is the normalised transit price (traffic-dependent).
+	P float64
+	// G is the per-IXP traffic-independent cost of direct peering
+	// (membership fees, equipment at the distant IXP).
+	G float64
+	// U is the per-unit traffic-dependent cost of direct peering.
+	U float64
+	// H is the per-IXP traffic-independent cost of remote peering.
+	H float64
+	// V is the per-unit traffic-dependent cost of remote peering.
+	V float64
+	// B is the decay rate of the transit fraction (eq. 3): 0 means
+	// peering at distant IXPs cannot offload anything; large values mean
+	// a single IXP offloads nearly everything. Networks with global
+	// traffic have low b.
+	B float64
+}
+
+// Validate checks the structural assumptions of Section 2.3/5.1
+// (inequalities 7 and 8) and basic positivity.
+func (p Params) Validate() error {
+	switch {
+	case p.P <= 0 || p.G <= 0 || p.U <= 0 || p.H <= 0 || p.V <= 0:
+		return errors.New("econ: all prices must be positive")
+	case p.H >= p.G:
+		return fmt.Errorf("econ: inequality 7 violated: remote per-IXP cost h=%v must be below direct g=%v", p.H, p.G)
+	case !(p.U < p.V && p.V < p.P):
+		return fmt.Errorf("econ: inequality 8 violated: need u < v < p, got u=%v v=%v p=%v", p.U, p.V, p.P)
+	case p.B < 0:
+		return fmt.Errorf("econ: negative decay rate b=%v", p.B)
+	}
+	return nil
+}
+
+// TransitFraction returns t = e^{-b(n+m)} (eq. 3).
+func (p Params) TransitFraction(n, m float64) float64 {
+	return math.Exp(-p.B * (n + m))
+}
+
+// Fractions returns the traffic split (t, d, r) when the network peers
+// directly at the first n IXPs and remotely at the next m: direct peering
+// realises the offload of the first n exchanges, remote peering the
+// increment from the next m.
+func (p Params) Fractions(n, m float64) (t, d, r float64) {
+	t = p.TransitFraction(n, m)
+	d = 1 - math.Exp(-p.B*n)
+	r = math.Exp(-p.B*n) - t
+	return t, d, r
+}
+
+// TotalCost evaluates eq. 9 for the given IXP counts.
+func (p Params) TotalCost(n, m float64) float64 {
+	t, d, r := p.Fractions(n, m)
+	return p.P*t + p.G*n + p.U*d + p.H*m + p.V*r
+}
+
+// OptimalDirectN returns ñ (eq. 11): the cost-minimising number of
+// directly reached IXPs under a transit+direct strategy. It can be
+// negative when even the first IXP does not pay off; callers clamp as
+// needed.
+func (p Params) OptimalDirectN() float64 {
+	if p.B == 0 {
+		return 0
+	}
+	return math.Log(p.B*(p.P-p.U)/p.G) / p.B
+}
+
+// DirectOffload returns d̃ = 1 − e^{−b·ñ} (eq. 11).
+func (p Params) DirectOffload() float64 {
+	n := p.OptimalDirectN()
+	if n <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-p.B*n)
+}
+
+// OptimalRemoteM returns m̃ (eq. 13): the cost-minimising number of
+// additional remotely reached IXPs after peering directly at ñ.
+func (p Params) OptimalRemoteM() float64 {
+	if p.B == 0 {
+		return 0
+	}
+	return math.Log(p.G*(p.P-p.V)/(p.H*(p.P-p.U))) / p.B
+}
+
+// ViabilityRatio returns g(p−v)/(h(p−u)), the left side of eq. 14.
+func (p Params) ViabilityRatio() float64 {
+	return p.G * (p.P - p.V) / (p.H * (p.P - p.U))
+}
+
+// RemoteViable reports whether remote peering at one or more IXPs reduces
+// total cost (eq. 14: m̃ ≥ 1).
+func (p Params) RemoteViable() bool {
+	return p.ViabilityRatio() >= math.Exp(p.B)
+}
+
+// ViabilityThresholdB returns the largest decay rate b at which remote
+// peering stays viable for these prices: b* = ln(g(p−v)/(h(p−u))).
+// Networks with global traffic (low b) fall below it; networks whose
+// traffic concentrates at one nearby IXP (high b) exceed it.
+func (p Params) ViabilityThresholdB() float64 {
+	return math.Log(p.ViabilityRatio())
+}
+
+// CostBreakdown itemises eq. 9.
+type CostBreakdown struct {
+	Transit       float64 // p·t
+	DirectFixed   float64 // g·n
+	DirectTraffic float64 // u·d
+	RemoteFixed   float64 // h·m
+	RemoteTraffic float64 // v·r
+}
+
+// Total sums the components.
+func (c CostBreakdown) Total() float64 {
+	return c.Transit + c.DirectFixed + c.DirectTraffic + c.RemoteFixed + c.RemoteTraffic
+}
+
+// Breakdown returns the per-component costs at (n, m).
+func (p Params) Breakdown(n, m float64) CostBreakdown {
+	t, d, r := p.Fractions(n, m)
+	return CostBreakdown{
+		Transit:       p.P * t,
+		DirectFixed:   p.G * n,
+		DirectTraffic: p.U * d,
+		RemoteFixed:   p.H * m,
+		RemoteTraffic: p.V * r,
+	}
+}
+
+// FitB generalises empirical remaining-transit curves into the model's b
+// (the operation Section 5.1 performs on the RedIRIS measurements):
+// remaining[i] is the transit fraction after reaching i+1 IXPs, fitted to
+// t = e^{-b·k} by least squares in log space. The returned fit's B field
+// is the decay rate; A should be near 1 for well-behaved curves.
+func FitB(remaining []float64) (stats.ExpFit, error) {
+	if len(remaining) < 2 {
+		return stats.ExpFit{}, errors.New("econ: need at least two points to fit b")
+	}
+	xs := make([]float64, len(remaining))
+	for i := range remaining {
+		xs[i] = float64(i + 1)
+	}
+	return stats.FitExpDecay(xs, remaining)
+}
+
+// DefaultParams returns a plausible parameterisation used by the examples
+// and benchmarks: transit at the normalised price 1, direct peering with
+// high fixed and low marginal cost, remote peering in between (satisfying
+// inequalities 7 and 8).
+func DefaultParams(b float64) Params {
+	return Params{P: 1.0, G: 0.08, U: 0.15, H: 0.02, V: 0.45, B: b}
+}

@@ -1,0 +1,227 @@
+package econ
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func validParams() Params {
+	return Params{P: 1.0, G: 0.08, U: 0.15, H: 0.02, V: 0.45, B: 0.5}
+}
+
+func TestValidate(t *testing.T) {
+	if err := validParams().Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{P: 0, G: 1, U: 1, H: 1, V: 1},                      // non-positive price
+		{P: 1, G: 0.02, U: 0.15, H: 0.08, V: 0.45, B: 0.5},  // h ≥ g
+		{P: 1, G: 0.08, U: 0.45, H: 0.02, V: 0.15, B: 0.5},  // u ≥ v
+		{P: 0.4, G: 0.08, U: 0.15, H: 0.02, V: 0.45, B: 1},  // v ≥ p
+		{P: 1, G: 0.08, U: 0.15, H: 0.02, V: 0.45, B: -0.1}, // negative b
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestFractionsSumToOne(t *testing.T) {
+	p := validParams()
+	f := func(n, m float64) bool {
+		n = math.Abs(math.Mod(n, 30))
+		m = math.Abs(math.Mod(m, 30))
+		tt, d, r := p.Fractions(n, m)
+		if tt < 0 || d < 0 || r < -1e-12 {
+			return false
+		}
+		return math.Abs(tt+d+r-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransitFractionBoundaries(t *testing.T) {
+	p := validParams()
+	if got := p.TransitFraction(0, 0); got != 1 {
+		t.Errorf("t(0,0) = %v, want 1 (all transit)", got)
+	}
+	// b = 0: peering never helps (the paper's immobile-traffic case).
+	p0 := validParams()
+	p0.B = 0
+	if got := p0.TransitFraction(10, 10); got != 1 {
+		t.Errorf("b=0: t = %v, want 1", got)
+	}
+	// Very large b: one IXP offloads nearly everything.
+	pInf := validParams()
+	pInf.B = 50
+	if got := pInf.TransitFraction(1, 0); got > 1e-20 {
+		t.Errorf("b→∞: t = %v, want ≈ 0", got)
+	}
+}
+
+func TestOptimalDirectNIsArgmin(t *testing.T) {
+	// Equation 11 must minimise the transit+direct cost (m = 0) — verify
+	// numerically against a fine grid.
+	for _, b := range []float64{0.2, 0.5, 1.0, 2.0} {
+		p := validParams()
+		p.B = b
+		nOpt := p.OptimalDirectN()
+		if nOpt <= 0 {
+			continue
+		}
+		costAt := func(n float64) float64 { return p.TotalCost(n, 0) }
+		best := costAt(nOpt)
+		for n := 0.0; n <= 40; n += 0.01 {
+			if costAt(n) < best-1e-9 {
+				t.Fatalf("b=%v: cost(%v)=%v beats cost(ñ=%v)=%v", b, n, costAt(n), nOpt, best)
+			}
+		}
+	}
+}
+
+func TestOptimalRemoteMIsArgmin(t *testing.T) {
+	// Equation 13: after fixing ñ, m̃ must minimise eq. 12.
+	for _, b := range []float64{0.2, 0.5, 1.0} {
+		p := validParams()
+		p.B = b
+		nOpt := p.OptimalDirectN()
+		if nOpt < 0 {
+			nOpt = 0
+		}
+		mOpt := p.OptimalRemoteM()
+		if mOpt <= 0 {
+			continue
+		}
+		costAt := func(m float64) float64 { return p.TotalCost(nOpt, m) }
+		best := costAt(mOpt)
+		for m := 0.0; m <= 40; m += 0.01 {
+			if costAt(m) < best-1e-9 {
+				t.Fatalf("b=%v: cost(m=%v)=%v beats cost(m̃=%v)=%v", b, m, costAt(m), mOpt, best)
+			}
+		}
+	}
+}
+
+func TestViabilityConditionMatchesOptimalM(t *testing.T) {
+	// Inequality 14 ⇔ m̃ ≥ 1.
+	for _, b := range []float64{0.05, 0.1, 0.3, 0.5, 0.8, 1.2, 2, 3} {
+		p := validParams()
+		p.B = b
+		viable := p.RemoteViable()
+		mOpt := p.OptimalRemoteM()
+		if viable != (mOpt >= 1) {
+			t.Errorf("b=%v: RemoteViable=%v but m̃=%v", b, viable, mOpt)
+		}
+	}
+}
+
+func TestViabilityFavoursGlobalTraffic(t *testing.T) {
+	// Section 5.2: remote peering is more viable for networks with lower
+	// b (global traffic). Viability must be monotone: once b exceeds the
+	// threshold, it never becomes viable again.
+	p := validParams()
+	threshold := p.ViabilityThresholdB()
+	if threshold <= 0 {
+		t.Fatalf("threshold b* = %v; these prices should admit viability", threshold)
+	}
+	pLow := p
+	pLow.B = threshold * 0.9
+	if !pLow.RemoteViable() {
+		t.Error("below-threshold b should be viable")
+	}
+	pHigh := p
+	pHigh.B = threshold * 1.1
+	if pHigh.RemoteViable() {
+		t.Error("above-threshold b should not be viable")
+	}
+}
+
+func TestAfricanScenarioCheaperRemote(t *testing.T) {
+	// Section 5.2: in regions where local IXPs offer little offload and
+	// transit is expensive, h is much smaller than g, which raises the
+	// viability ratio g(p−v)/(h(p−u)).
+	base := validParams()
+	african := base
+	african.H = base.H / 5 // remote peering far cheaper than building out
+	if african.ViabilityRatio() <= base.ViabilityRatio() {
+		t.Error("smaller h must raise the viability ratio")
+	}
+	if african.ViabilityThresholdB() <= base.ViabilityThresholdB() {
+		t.Error("smaller h must widen the viable b range")
+	}
+}
+
+func TestTotalCostDecomposition(t *testing.T) {
+	p := validParams()
+	for _, nm := range [][2]float64{{0, 0}, {2, 0}, {2, 3}, {0, 4}} {
+		br := p.Breakdown(nm[0], nm[1])
+		if math.Abs(br.Total()-p.TotalCost(nm[0], nm[1])) > 1e-12 {
+			t.Errorf("breakdown total mismatch at %v", nm)
+		}
+		if br.Transit < 0 || br.DirectFixed < 0 || br.DirectTraffic < 0 ||
+			br.RemoteFixed < 0 || br.RemoteTraffic < 0 {
+			t.Errorf("negative component at %v: %+v", nm, br)
+		}
+	}
+	// All-transit baseline: cost = p.
+	if got := p.TotalCost(0, 0); math.Abs(got-p.P) > 1e-12 {
+		t.Errorf("cost(0,0) = %v, want p = %v", got, p.P)
+	}
+}
+
+func TestRemotePeeringReducesCostWhenViable(t *testing.T) {
+	p := validParams() // b=0.5; check it is viable first
+	if !p.RemoteViable() {
+		t.Skip("parameterisation not viable; adjust test fixture")
+	}
+	n := math.Max(0, p.OptimalDirectN())
+	withoutRemote := p.TotalCost(n, 0)
+	withRemote := p.TotalCost(n, p.OptimalRemoteM())
+	if withRemote >= withoutRemote {
+		t.Errorf("remote peering should cut cost: %v → %v", withoutRemote, withRemote)
+	}
+}
+
+func TestFitBRecoversModel(t *testing.T) {
+	// Generate an exact e^{-b·k} curve and recover b.
+	b := 0.37
+	var remaining []float64
+	for k := 1; k <= 20; k++ {
+		remaining = append(remaining, math.Exp(-b*float64(k)))
+	}
+	fit, err := FitB(remaining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.B-b) > 1e-9 {
+		t.Errorf("fitted b = %v, want %v", fit.B, b)
+	}
+	if math.Abs(fit.A-1) > 1e-9 {
+		t.Errorf("fitted A = %v, want 1", fit.A)
+	}
+	if _, err := FitB([]float64{1}); err == nil {
+		t.Error("want error for a single point")
+	}
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	p := DefaultParams(0.5)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.RemoteViable() {
+		t.Error("the default parameterisation should make remote peering viable at b=0.5")
+	}
+}
+
+func TestOptimalNZeroWhenBZero(t *testing.T) {
+	p := validParams()
+	p.B = 0
+	if p.OptimalDirectN() != 0 || p.OptimalRemoteM() != 0 || p.DirectOffload() != 0 {
+		t.Error("b=0 must disable peering optimisation")
+	}
+}

@@ -1,0 +1,289 @@
+// Package geo supplies the geographic substrate for the reproduction:
+// coordinates of the cities hosting the studied IXPs, great-circle
+// distances, and the fibre propagation-delay model that turns distance into
+// round-trip time. Section 3.2 of the paper interprets minimum-RTT ranges
+// [10 ms, 20 ms), [20 ms, 50 ms) and [50 ms, ∞) as roughly intercity,
+// intercountry and intercontinental distances; this package is what gives
+// those ranges physical meaning inside the simulator.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Coord is a latitude/longitude pair in degrees.
+type Coord struct {
+	Lat float64
+	Lon float64
+}
+
+// EarthRadiusKm is the mean Earth radius used by Haversine.
+const EarthRadiusKm = 6371.0
+
+// HaversineKm returns the great-circle distance between two coordinates in
+// kilometres.
+func HaversineKm(a, b Coord) float64 {
+	const deg2rad = math.Pi / 180
+	lat1 := a.Lat * deg2rad
+	lat2 := b.Lat * deg2rad
+	dLat := (b.Lat - a.Lat) * deg2rad
+	dLon := (b.Lon - a.Lon) * deg2rad
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * EarthRadiusKm * math.Asin(math.Min(1, math.Sqrt(s)))
+}
+
+// PropagationModel converts geographic distance into one-way propagation
+// delay. Light in fibre travels at roughly 2/3 of c, and terrestrial fibre
+// paths are longer than great circles; PathStretch accounts for that.
+type PropagationModel struct {
+	// FibreFraction is the speed of light in fibre as a fraction of c.
+	// Defaults to 2/3 when zero.
+	FibreFraction float64
+	// PathStretch multiplies great-circle distance to approximate real
+	// fibre routing. Defaults to 1.5 when zero (a conventional figure for
+	// terrestrial routes).
+	PathStretch float64
+}
+
+// DefaultPropagation is the model used throughout the reproduction.
+var DefaultPropagation = PropagationModel{FibreFraction: 2.0 / 3.0, PathStretch: 1.5}
+
+const speedOfLightKmPerMs = 299.792458 // km per millisecond in vacuum
+
+// OneWayDelay returns the one-way propagation delay for the great-circle
+// distance between a and b.
+func (m PropagationModel) OneWayDelay(a, b Coord) time.Duration {
+	ff := m.FibreFraction
+	if ff == 0 {
+		ff = 2.0 / 3.0
+	}
+	ps := m.PathStretch
+	if ps == 0 {
+		ps = 1.5
+	}
+	km := HaversineKm(a, b) * ps
+	ms := km / (speedOfLightKmPerMs * ff)
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// RTT returns the round-trip propagation delay between a and b.
+func (m PropagationModel) RTT(a, b Coord) time.Duration {
+	return 2 * m.OneWayDelay(a, b)
+}
+
+// City is a named location. Country uses ISO-like short names as printed in
+// Table 1 of the paper, and Continent is one of "Europe", "North America",
+// "South America", "Asia".
+type City struct {
+	Name      string
+	Country   string
+	Continent string
+	Coord     Coord
+}
+
+// cities is the database of locations relevant to the study: the cities of
+// the 22 studied IXPs (Table 1), the extra cities needed for the 65-IXP
+// Euro-IX set of Section 4, and a spread of cities used to place remote
+// peers at intercity / intercountry / intercontinental distances.
+var cities = map[string]City{
+	// Table 1 IXP cities.
+	"Amsterdam":    {"Amsterdam", "Netherlands", "Europe", Coord{52.37, 4.90}},
+	"Frankfurt":    {"Frankfurt", "Germany", "Europe", Coord{50.11, 8.68}},
+	"London":       {"London", "UK", "Europe", Coord{51.51, -0.13}},
+	"Hong Kong":    {"Hong Kong", "China", "Asia", Coord{22.32, 114.17}},
+	"New York":     {"New York", "USA", "North America", Coord{40.71, -74.01}},
+	"Moscow":       {"Moscow", "Russia", "Europe", Coord{55.76, 37.62}},
+	"Warsaw":       {"Warsaw", "Poland", "Europe", Coord{52.23, 21.01}},
+	"Paris":        {"Paris", "France", "Europe", Coord{48.86, 2.35}},
+	"Sao Paolo":    {"Sao Paolo", "Brazil", "South America", Coord{-23.55, -46.63}},
+	"Seattle":      {"Seattle", "USA", "North America", Coord{47.61, -122.33}},
+	"Tokyo":        {"Tokyo", "Japan", "Asia", Coord{35.68, 139.69}},
+	"Toronto":      {"Toronto", "Canada", "North America", Coord{43.65, -79.38}},
+	"Vienna":       {"Vienna", "Austria", "Europe", Coord{48.21, 16.37}},
+	"Milan":        {"Milan", "Italy", "Europe", Coord{45.46, 9.19}},
+	"Turin":        {"Turin", "Italy", "Europe", Coord{45.07, 7.69}},
+	"Stockholm":    {"Stockholm", "Sweden", "Europe", Coord{59.33, 18.07}},
+	"Seoul":        {"Seoul", "South Korea", "Asia", Coord{37.57, 126.98}},
+	"Buenos Aires": {"Buenos Aires", "Argentina", "South America", Coord{-34.60, -58.38}},
+	"Dublin":       {"Dublin", "Ireland", "Europe", Coord{53.35, -6.26}},
+
+	// Section 4 (Euro-IX / offload study) cities.
+	"Miami":      {"Miami", "USA", "North America", Coord{25.76, -80.19}},
+	"Madrid":     {"Madrid", "Spain", "Europe", Coord{40.42, -3.70}},
+	"Barcelona":  {"Barcelona", "Spain", "Europe", Coord{41.39, 2.17}},
+	"Lyon":       {"Lyon", "France", "Europe", Coord{45.76, 4.84}},
+	"Padua":      {"Padua", "Italy", "Europe", Coord{45.41, 11.88}},
+	"Copenhagen": {"Copenhagen", "Denmark", "Europe", Coord{55.68, 12.57}},
+	"Zurich":     {"Zurich", "Switzerland", "Europe", Coord{47.37, 8.54}},
+	"Brussels":   {"Brussels", "Belgium", "Europe", Coord{50.85, 4.35}},
+	"Prague":     {"Prague", "Czech Republic", "Europe", Coord{50.08, 14.44}},
+	"Budapest":   {"Budapest", "Hungary", "Europe", Coord{47.50, 19.04}},
+	"Bucharest":  {"Bucharest", "Romania", "Europe", Coord{44.43, 26.10}},
+	"Kiev":       {"Kiev", "Ukraine", "Europe", Coord{50.45, 30.52}},
+	"Lisbon":     {"Lisbon", "Portugal", "Europe", Coord{38.72, -9.14}},
+	"Rome":       {"Rome", "Italy", "Europe", Coord{41.90, 12.50}},
+	"Oslo":       {"Oslo", "Norway", "Europe", Coord{59.91, 10.75}},
+	"Helsinki":   {"Helsinki", "Finland", "Europe", Coord{60.17, 24.94}},
+	"Athens":     {"Athens", "Greece", "Europe", Coord{37.98, 23.73}},
+	"Sofia":      {"Sofia", "Bulgaria", "Europe", Coord{42.70, 23.32}},
+	"Zagreb":     {"Zagreb", "Croatia", "Europe", Coord{45.81, 15.98}},
+	"Belgrade":   {"Belgrade", "Serbia", "Europe", Coord{44.79, 20.45}},
+	"Riga":       {"Riga", "Latvia", "Europe", Coord{56.95, 24.11}},
+	"Vilnius":    {"Vilnius", "Lithuania", "Europe", Coord{54.69, 25.28}},
+	"Tallinn":    {"Tallinn", "Estonia", "Europe", Coord{59.44, 24.75}},
+	"Luxembourg": {"Luxembourg", "Luxembourg", "Europe", Coord{49.61, 6.13}},
+	"Geneva":     {"Geneva", "Switzerland", "Europe", Coord{46.20, 6.14}},
+	"Manchester": {"Manchester", "UK", "Europe", Coord{53.48, -2.24}},
+	"Edinburgh":  {"Edinburgh", "UK", "Europe", Coord{55.95, -3.19}},
+	"Hamburg":    {"Hamburg", "Germany", "Europe", Coord{53.55, 9.99}},
+	"Munich":     {"Munich", "Germany", "Europe", Coord{48.14, 11.58}},
+	"Marseille":  {"Marseille", "France", "Europe", Coord{43.30, 5.37}},
+	"Bratislava": {"Bratislava", "Slovakia", "Europe", Coord{48.15, 17.11}},
+	"Ljubljana":  {"Ljubljana", "Slovenia", "Europe", Coord{46.06, 14.51}},
+
+	// Additional cities for remote-peer placement and offload membership.
+	"Istanbul":     {"Istanbul", "Turkey", "Europe", Coord{41.01, 28.98}},
+	"Ankara":       {"Ankara", "Turkey", "Europe", Coord{39.93, 32.86}},
+	"Los Angeles":  {"Los Angeles", "USA", "North America", Coord{34.05, -118.24}},
+	"Chicago":      {"Chicago", "USA", "North America", Coord{41.88, -87.63}},
+	"Dallas":       {"Dallas", "USA", "North America", Coord{32.78, -96.80}},
+	"Ashburn":      {"Ashburn", "USA", "North America", Coord{39.04, -77.49}},
+	"San Jose":     {"San Jose", "USA", "North America", Coord{37.34, -121.89}},
+	"Montreal":     {"Montreal", "Canada", "North America", Coord{45.50, -73.57}},
+	"Mexico City":  {"Mexico City", "Mexico", "North America", Coord{19.43, -99.13}},
+	"Bogota":       {"Bogota", "Colombia", "South America", Coord{4.71, -74.07}},
+	"Lima":         {"Lima", "Peru", "South America", Coord{-12.05, -77.04}},
+	"Santiago":     {"Santiago", "Chile", "South America", Coord{-33.45, -70.67}},
+	"Caracas":      {"Caracas", "Venezuela", "South America", Coord{10.48, -66.90}},
+	"Rio":          {"Rio", "Brazil", "South America", Coord{-22.91, -43.17}},
+	"Porto Alegre": {"Porto Alegre", "Brazil", "South America", Coord{-30.03, -51.23}},
+	"Curitiba":     {"Curitiba", "Brazil", "South America", Coord{-25.43, -49.27}},
+	"Singapore":    {"Singapore", "Singapore", "Asia", Coord{1.35, 103.82}},
+	"Taipei":       {"Taipei", "Taiwan", "Asia", Coord{25.03, 121.57}},
+	"Osaka":        {"Osaka", "Japan", "Asia", Coord{34.69, 135.50}},
+	"Mumbai":       {"Mumbai", "India", "Asia", Coord{19.08, 72.88}},
+	"Jakarta":      {"Jakarta", "Indonesia", "Asia", Coord{-6.21, 106.85}},
+	"Kuala Lumpur": {"Kuala Lumpur", "Malaysia", "Asia", Coord{3.14, 101.69}},
+	"Bangkok":      {"Bangkok", "Thailand", "Asia", Coord{13.76, 100.50}},
+	"Sydney":       {"Sydney", "Australia", "Asia", Coord{-33.87, 151.21}},
+	"Johannesburg": {"Johannesburg", "South Africa", "Europe", Coord{-26.20, 28.05}},
+	"Nairobi":      {"Nairobi", "Kenya", "Europe", Coord{-1.29, 36.82}},
+	"Lagos":        {"Lagos", "Nigeria", "Europe", Coord{6.52, 3.38}},
+	"Cairo":        {"Cairo", "Egypt", "Europe", Coord{30.04, 31.24}},
+	"Tel Aviv":     {"Tel Aviv", "Israel", "Asia", Coord{32.09, 34.78}},
+	"Dubai":        {"Dubai", "UAE", "Asia", Coord{25.20, 55.27}},
+
+	// North American depth, so IXPs there have remote-peer candidates in
+	// every distance band.
+	"Boston":       {"Boston", "USA", "North America", Coord{42.36, -71.06}},
+	"Philadelphia": {"Philadelphia", "USA", "North America", Coord{39.95, -75.17}},
+	"Washington":   {"Washington", "USA", "North America", Coord{38.91, -77.04}},
+	"Atlanta":      {"Atlanta", "USA", "North America", Coord{33.75, -84.39}},
+	"Detroit":      {"Detroit", "USA", "North America", Coord{42.33, -83.05}},
+	"Cleveland":    {"Cleveland", "USA", "North America", Coord{41.50, -81.69}},
+	"Pittsburgh":   {"Pittsburgh", "USA", "North America", Coord{40.44, -79.99}},
+	"Denver":       {"Denver", "USA", "North America", Coord{39.74, -104.99}},
+	"Houston":      {"Houston", "USA", "North America", Coord{29.76, -95.37}},
+	"Phoenix":      {"Phoenix", "USA", "North America", Coord{33.45, -112.07}},
+	"Minneapolis":  {"Minneapolis", "USA", "North America", Coord{44.98, -93.27}},
+	"St Louis":     {"St Louis", "USA", "North America", Coord{38.63, -90.20}},
+	"Vancouver":    {"Vancouver", "Canada", "North America", Coord{49.28, -123.12}},
+	"Ottawa":       {"Ottawa", "Canada", "North America", Coord{45.42, -75.70}},
+	"Quebec City":  {"Quebec City", "Canada", "North America", Coord{46.81, -71.21}},
+
+	// Asian depth for HKIX, JPIX, KINX, DIX-IE bands.
+	"Sapporo":   {"Sapporo", "Japan", "Asia", Coord{43.06, 141.35}},
+	"Fukuoka":   {"Fukuoka", "Japan", "Asia", Coord{33.59, 130.40}},
+	"Busan":     {"Busan", "South Korea", "Asia", Coord{35.18, 129.08}},
+	"Beijing":   {"Beijing", "China", "Asia", Coord{39.90, 116.41}},
+	"Shanghai":  {"Shanghai", "China", "Asia", Coord{31.23, 121.47}},
+	"Guangzhou": {"Guangzhou", "China", "Asia", Coord{23.13, 113.26}},
+	"Manila":    {"Manila", "Philippines", "Asia", Coord{14.60, 120.98}},
+	"Hanoi":     {"Hanoi", "Vietnam", "Asia", Coord{21.03, 105.85}},
+
+	// South American depth for PTT and CABASE bands.
+	"Montevideo":     {"Montevideo", "Uruguay", "South America", Coord{-34.90, -56.19}},
+	"Asuncion":       {"Asuncion", "Paraguay", "South America", Coord{-25.26, -57.58}},
+	"Brasilia":       {"Brasilia", "Brazil", "South America", Coord{-15.79, -47.88}},
+	"Recife":         {"Recife", "Brazil", "South America", Coord{-8.05, -34.88}},
+	"Fortaleza":      {"Fortaleza", "Brazil", "South America", Coord{-3.73, -38.52}},
+	"Salvador":       {"Salvador", "Brazil", "South America", Coord{-12.97, -38.50}},
+	"Belo Horizonte": {"Belo Horizonte", "Brazil", "South America", Coord{-19.92, -43.94}},
+	"Cordoba":        {"Cordoba", "Argentina", "South America", Coord{-31.42, -64.18}},
+	"Mendoza":        {"Mendoza", "Argentina", "South America", Coord{-32.89, -68.85}},
+}
+
+// LookupCity returns the City record for name.
+func LookupCity(name string) (City, error) {
+	c, ok := cities[name]
+	if !ok {
+		return City{}, fmt.Errorf("geo: unknown city %q", name)
+	}
+	return c, nil
+}
+
+// MustCity is LookupCity for static city names baked into generators; it
+// panics on unknown names, which indicates a programming error.
+func MustCity(name string) City {
+	c, err := LookupCity(name)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// CityNames returns all known city names (order unspecified).
+func CityNames() []string {
+	names := make([]string, 0, len(cities))
+	for n := range cities {
+		names = append(names, n)
+	}
+	return names
+}
+
+// DistanceClass buckets a round-trip propagation time the same way the
+// paper's Figure 3 does.
+type DistanceClass int
+
+// Distance classes in increasing remoteness. ClassLocal is below the 10 ms
+// remoteness threshold.
+const (
+	ClassLocal            DistanceClass = iota // RTT < 10 ms
+	ClassIntercity                             // 10 ms ≤ RTT < 20 ms
+	ClassIntercountry                          // 20 ms ≤ RTT < 50 ms
+	ClassIntercontinental                      // RTT ≥ 50 ms
+)
+
+// String implements fmt.Stringer.
+func (d DistanceClass) String() string {
+	switch d {
+	case ClassLocal:
+		return "local"
+	case ClassIntercity:
+		return "intercity"
+	case ClassIntercountry:
+		return "intercountry"
+	case ClassIntercontinental:
+		return "intercontinental"
+	default:
+		return fmt.Sprintf("DistanceClass(%d)", int(d))
+	}
+}
+
+// ClassifyRTT assigns an RTT to the paper's Figure 3 bins.
+func ClassifyRTT(rtt time.Duration) DistanceClass {
+	ms := float64(rtt) / float64(time.Millisecond)
+	switch {
+	case ms < 10:
+		return ClassLocal
+	case ms < 20:
+		return ClassIntercity
+	case ms < 50:
+		return ClassIntercountry
+	default:
+		return ClassIntercontinental
+	}
+}

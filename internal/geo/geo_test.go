@@ -1,0 +1,204 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHaversineKnownDistances(t *testing.T) {
+	tests := []struct {
+		a, b   string
+		wantKm float64
+		tolKm  float64
+	}{
+		{"Amsterdam", "London", 360, 40},
+		{"Amsterdam", "Frankfurt", 365, 40},
+		{"London", "New York", 5570, 120},
+		{"Amsterdam", "Hong Kong", 9300, 250},
+		{"Sao Paolo", "Buenos Aires", 1680, 120},
+		{"Tokyo", "Seoul", 1160, 100},
+	}
+	for _, tc := range tests {
+		a, b := MustCity(tc.a), MustCity(tc.b)
+		got := HaversineKm(a.Coord, b.Coord)
+		if math.Abs(got-tc.wantKm) > tc.tolKm {
+			t.Errorf("distance %s-%s = %.0f km, want %.0f±%.0f", tc.a, tc.b, got, tc.wantKm, tc.tolKm)
+		}
+	}
+}
+
+func TestHaversineProperties(t *testing.T) {
+	// Symmetry and identity, via testing/quick over plausible coordinates.
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Coord{Lat: math.Mod(lat1, 90), Lon: math.Mod(lon1, 180)}
+		b := Coord{Lat: math.Mod(lat2, 90), Lon: math.Mod(lon2, 180)}
+		ab := HaversineKm(a, b)
+		ba := HaversineKm(b, a)
+		if math.IsNaN(ab) || ab < 0 {
+			return false
+		}
+		if math.Abs(ab-ba) > 1e-6 {
+			return false
+		}
+		return HaversineKm(a, a) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHaversineAntipodalBounded(t *testing.T) {
+	d := HaversineKm(Coord{90, 0}, Coord{-90, 0})
+	circ := math.Pi * EarthRadiusKm
+	if math.Abs(d-circ) > 1 {
+		t.Errorf("pole-to-pole = %v, want ≈ %v", d, circ)
+	}
+}
+
+func TestPropagationDelayScale(t *testing.T) {
+	// Amsterdam–London: ~360 km great circle. With 1.5 stretch and 2/3 c,
+	// RTT ≈ 2·360·1.5 / 200 km/ms ≈ 5.4 ms... that is over the paper's
+	// remoteness threshold, which matches the paper's observation that
+	// London networks remotely peering at AMS-IX are detectable only with
+	// consistent measurements — and indeed the minimum RTT classes in
+	// Figure 3 put 10-20 ms as "intercity" reach.
+	ams, lon := MustCity("Amsterdam"), MustCity("London")
+	rtt := DefaultPropagation.RTT(ams.Coord, lon.Coord)
+	if rtt < 3*time.Millisecond || rtt > 8*time.Millisecond {
+		t.Errorf("AMS-LON RTT = %v, want 3-8 ms", rtt)
+	}
+
+	// Intra-metro (same coordinates) is zero propagation.
+	if d := DefaultPropagation.RTT(ams.Coord, ams.Coord); d != 0 {
+		t.Errorf("same-city RTT = %v", d)
+	}
+
+	// Transatlantic must land in the intercontinental class.
+	ny := MustCity("New York")
+	rtt = DefaultPropagation.RTT(lon.Coord, ny.Coord)
+	if ClassifyRTT(rtt) != ClassIntercontinental {
+		t.Errorf("LON-NYC RTT %v classified %v, want intercontinental", rtt, ClassifyRTT(rtt))
+	}
+}
+
+func TestPropagationZeroValueDefaults(t *testing.T) {
+	var m PropagationModel // zero value must behave like the default
+	a, b := MustCity("Amsterdam").Coord, MustCity("Frankfurt").Coord
+	if got, want := m.RTT(a, b), DefaultPropagation.RTT(a, b); got != want {
+		t.Errorf("zero-value model RTT = %v, default = %v", got, want)
+	}
+}
+
+func TestOneWayIsHalfRTT(t *testing.T) {
+	a, b := MustCity("Paris").Coord, MustCity("Vienna").Coord
+	if 2*DefaultPropagation.OneWayDelay(a, b) != DefaultPropagation.RTT(a, b) {
+		t.Error("RTT must be exactly twice the one-way delay")
+	}
+}
+
+func TestLookupCity(t *testing.T) {
+	c, err := LookupCity("Toronto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Country != "Canada" || c.Continent != "North America" {
+		t.Errorf("Toronto record: %+v", c)
+	}
+	if _, err := LookupCity("Atlantis"); err == nil {
+		t.Error("want error for unknown city")
+	}
+}
+
+func TestMustCityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCity should panic on unknown city")
+		}
+	}()
+	MustCity("Atlantis")
+}
+
+func TestTable1CitiesPresent(t *testing.T) {
+	// Every city in Table 1 of the paper must be in the database.
+	for _, name := range []string{
+		"Amsterdam", "Frankfurt", "London", "Hong Kong", "New York",
+		"Moscow", "Warsaw", "Paris", "Sao Paolo", "Seattle", "Tokyo",
+		"Toronto", "Vienna", "Milan", "Turin", "Stockholm", "Seoul",
+		"Buenos Aires", "Dublin",
+	} {
+		if _, err := LookupCity(name); err != nil {
+			t.Errorf("Table 1 city missing: %v", err)
+		}
+	}
+}
+
+func TestCityNamesCoversDatabase(t *testing.T) {
+	names := CityNames()
+	if len(names) < 50 {
+		t.Errorf("only %d cities; the offload study needs a broad set", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate city name %q", n)
+		}
+		seen[n] = true
+		if _, err := LookupCity(n); err != nil {
+			t.Errorf("CityNames returned unknown city %q", n)
+		}
+	}
+}
+
+func TestClassifyRTT(t *testing.T) {
+	tests := []struct {
+		rtt  time.Duration
+		want DistanceClass
+	}{
+		{0, ClassLocal},
+		{9999 * time.Microsecond, ClassLocal},
+		{10 * time.Millisecond, ClassIntercity},
+		{19999 * time.Microsecond, ClassIntercity},
+		{20 * time.Millisecond, ClassIntercountry},
+		{49 * time.Millisecond, ClassIntercountry},
+		{50 * time.Millisecond, ClassIntercontinental},
+		{300 * time.Millisecond, ClassIntercontinental},
+	}
+	for _, tc := range tests {
+		if got := ClassifyRTT(tc.rtt); got != tc.want {
+			t.Errorf("ClassifyRTT(%v) = %v, want %v", tc.rtt, got, tc.want)
+		}
+	}
+}
+
+func TestDistanceClassString(t *testing.T) {
+	want := map[DistanceClass]string{
+		ClassLocal:            "local",
+		ClassIntercity:        "intercity",
+		ClassIntercountry:     "intercountry",
+		ClassIntercontinental: "intercontinental",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if DistanceClass(99).String() == "" {
+		t.Error("unknown class should still render")
+	}
+}
+
+func TestContinentClassesAreGeographicallyConsistent(t *testing.T) {
+	// Any two European capitals in the database should not be
+	// intercontinental by propagation alone.
+	eur := []string{"Amsterdam", "Paris", "Vienna", "Warsaw", "Dublin", "Milan", "Stockholm"}
+	for i, a := range eur {
+		for _, b := range eur[i+1:] {
+			rtt := DefaultPropagation.RTT(MustCity(a).Coord, MustCity(b).Coord)
+			if ClassifyRTT(rtt) == ClassIntercontinental {
+				t.Errorf("%s-%s classified intercontinental (%v)", a, b, rtt)
+			}
+		}
+	}
+}

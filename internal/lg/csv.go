@@ -1,0 +1,102 @@
+package lg
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"net/netip"
+	"strconv"
+	"time"
+)
+
+// csvHeader is the column layout of the observation interchange format.
+// The paper published its measurement data in a comparable per-probe form;
+// this lets campaigns be archived and re-analyzed without re-simulation.
+var csvHeader = []string{"ixp_index", "acronym", "family", "target", "sent_at_ns", "rtt_ns", "ttl", "timed_out"}
+
+// WriteCSV streams observations to w in the interchange format.
+func WriteCSV(w io.Writer, obs []Observation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("lg: write header: %w", err)
+	}
+	row := make([]string, len(csvHeader))
+	for i, o := range obs {
+		row[0] = strconv.Itoa(o.IXPIndex)
+		row[1] = o.Acronym
+		row[2] = o.Family
+		row[3] = o.Target.String()
+		row[4] = strconv.FormatInt(int64(o.SentAt), 10)
+		row[5] = strconv.FormatInt(int64(o.RTT), 10)
+		row[6] = strconv.Itoa(int(o.TTL))
+		row[7] = strconv.FormatBool(o.TimedOut)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("lg: write row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses observations previously written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Observation, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("lg: read header: %w", err)
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("lg: unexpected column %d: %q (want %q)", i, header[i], h)
+		}
+	}
+	var out []Observation
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("lg: line %d: %w", line, err)
+		}
+		o, err := parseRow(rec)
+		if err != nil {
+			return nil, fmt.Errorf("lg: line %d: %w", line, err)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+func parseRow(rec []string) (Observation, error) {
+	var o Observation
+	var err error
+	if o.IXPIndex, err = strconv.Atoi(rec[0]); err != nil {
+		return o, fmt.Errorf("ixp_index: %w", err)
+	}
+	o.Acronym = rec[1]
+	o.Family = rec[2]
+	if o.Target, err = netip.ParseAddr(rec[3]); err != nil {
+		return o, fmt.Errorf("target: %w", err)
+	}
+	sent, err := strconv.ParseInt(rec[4], 10, 64)
+	if err != nil {
+		return o, fmt.Errorf("sent_at_ns: %w", err)
+	}
+	o.SentAt = time.Duration(sent)
+	rtt, err := strconv.ParseInt(rec[5], 10, 64)
+	if err != nil {
+		return o, fmt.Errorf("rtt_ns: %w", err)
+	}
+	o.RTT = time.Duration(rtt)
+	ttl, err := strconv.Atoi(rec[6])
+	if err != nil || ttl < 0 || ttl > 255 {
+		return o, fmt.Errorf("ttl: invalid value %q", rec[6])
+	}
+	o.TTL = uint8(ttl)
+	if o.TimedOut, err = strconv.ParseBool(rec[7]); err != nil {
+		return o, fmt.Errorf("timed_out: %w", err)
+	}
+	return o, nil
+}

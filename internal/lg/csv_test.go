@@ -1,0 +1,113 @@
+package lg
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"remotepeering/internal/ixpsim"
+	"remotepeering/internal/netsim"
+	"remotepeering/internal/stats"
+)
+
+func sampleObs() []Observation {
+	return []Observation{
+		{IXPIndex: 0, Acronym: "AMS-IX", Family: "PCH",
+			Target: netip.MustParseAddr("10.1.0.10"),
+			SentAt: 5 * time.Minute, RTT: 780 * time.Microsecond, TTL: 64},
+		{IXPIndex: 3, Acronym: "HKIX", Family: "RIPE",
+			Target: netip.MustParseAddr("10.4.0.99"),
+			SentAt: 77 * time.Hour, TimedOut: true},
+		{IXPIndex: 21, Acronym: "TIE", Family: "PCH",
+			Target: netip.MustParseAddr("10.22.0.44"),
+			SentAt: 100 * 24 * time.Hour, RTT: 93 * time.Millisecond, TTL: 255},
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := sampleObs()
+	if err := WriteCSV(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip: %d of %d rows", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Errorf("row %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+}
+
+func TestCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("empty round trip returned %d rows", len(out))
+	}
+}
+
+func TestReadCSVRejectsBadData(t *testing.T) {
+	cases := map[string]string{
+		"wrong header": "a,b,c,d,e,f,g,h\n",
+		"bad ip":       strings.Join(csvHeader, ",") + "\n0,X,PCH,not-an-ip,1,1,64,false\n",
+		"bad ttl":      strings.Join(csvHeader, ",") + "\n0,X,PCH,10.0.0.1,1,1,999,false\n",
+		"bad bool":     strings.Join(csvHeader, ",") + "\n0,X,PCH,10.0.0.1,1,1,64,maybe\n",
+		"bad index":    strings.Join(csvHeader, ",") + "\nnope,X,PCH,10.0.0.1,1,1,64,false\n",
+		"bad rtt":      strings.Join(csvHeader, ",") + "\n0,X,PCH,10.0.0.1,1,zzz,64,false\n",
+		"short row":    strings.Join(csvHeader, ",") + "\n0,X,PCH\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadCSV(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCSVCampaignScale(t *testing.T) {
+	// A real campaign's observations survive the round trip unchanged.
+	w := smallWorld(t)
+	var e netsim.Engine
+	src := stats.NewSource(23)
+	sim, err := ixpsim.Build(&e, w, 19, 120*24*time.Hour, src.Split("sim")) // INEX
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp := NewCampaign(Config{PCHRounds: 2, RIPERounds: 1})
+	if err := camp.Schedule(&e, sim, src.Split("camp")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	obs := camp.Observations()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, obs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(obs) {
+		t.Fatalf("%d of %d observations", len(back), len(obs))
+	}
+	for i := range obs {
+		if obs[i] != back[i] {
+			t.Fatalf("observation %d mutated", i)
+		}
+	}
+}

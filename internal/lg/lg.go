@@ -1,0 +1,162 @@
+// Package lg drives the measurement campaign of Section 3.1: looking-glass
+// servers at the studied IXPs ping the registry-listed member interfaces.
+// It reproduces the paper's probing discipline — HTML queries to PCH
+// servers trigger 5 pings each and RIPE NCC servers 3, at most one query
+// per minute per server, with the rounds spread over the four-month
+// campaign at different times of day and days of the week (the defence
+// against transient congestion).
+package lg
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"remotepeering/internal/ixpsim"
+	"remotepeering/internal/netsim"
+	"remotepeering/internal/stats"
+)
+
+// Observation is one ping outcome as seen from an LG server: the raw
+// material of the paper's detector.
+type Observation struct {
+	IXPIndex int
+	Acronym  string
+	Family   string // ixpsim.FamilyPCH or ixpsim.FamilyRIPE
+	Target   netip.Addr
+	SentAt   time.Duration
+	RTT      time.Duration
+	TTL      uint8
+	TimedOut bool
+}
+
+// Config parameterises the campaign. The zero value is replaced by the
+// paper's regime.
+type Config struct {
+	// Duration of the campaign. Default 120 days (October 2013 to
+	// January 2014).
+	Duration time.Duration
+	// PCHRounds and RIPERounds are the number of query rounds per target
+	// per LG family. The paper observed at most 54 replies from PCH
+	// (≈ 11 queries × 5 pings) and at most 21 from RIPE NCC (7 × 3).
+	PCHRounds  int
+	RIPERounds int
+	// PingsPerQueryPCH and PingsPerQueryRIPE are the pings one HTML query
+	// triggers (5 and 3 in the paper).
+	PingsPerQueryPCH  int
+	PingsPerQueryRIPE int
+	// QuerySpacing is the per-server rate limit (1 minute in the paper).
+	QuerySpacing time.Duration
+	// PingTimeout bounds how long a reply is awaited.
+	PingTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Duration == 0 {
+		c.Duration = 120 * 24 * time.Hour
+	}
+	if c.PCHRounds == 0 {
+		c.PCHRounds = 11
+	}
+	if c.RIPERounds == 0 {
+		c.RIPERounds = 7
+	}
+	if c.PingsPerQueryPCH == 0 {
+		c.PingsPerQueryPCH = 5
+	}
+	if c.PingsPerQueryRIPE == 0 {
+		c.PingsPerQueryRIPE = 3
+	}
+	if c.QuerySpacing == 0 {
+		c.QuerySpacing = time.Minute
+	}
+	if c.PingTimeout == 0 {
+		c.PingTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Campaign schedules and collects a measurement campaign across a set of
+// simulated IXPs sharing one engine.
+type Campaign struct {
+	cfg Config
+	obs []Observation
+}
+
+// NewCampaign creates a campaign with the given configuration.
+func NewCampaign(cfg Config) *Campaign {
+	return &Campaign{cfg: cfg.withDefaults()}
+}
+
+// Schedule enqueues all probe events for the given simulated IXP onto the
+// engine. Call once per IXP, then run the engine, then read Observations.
+func (c *Campaign) Schedule(e *netsim.Engine, sim *ixpsim.SimIXP, src *stats.Source) error {
+	if len(sim.Targets) == 0 {
+		return fmt.Errorf("lg: IXP %s has no probe targets", sim.Acronym)
+	}
+	for _, server := range sim.LGs {
+		server := server
+		rounds, pings := c.cfg.PCHRounds, c.cfg.PingsPerQueryPCH
+		if server.Family == ixpsim.FamilyRIPE {
+			rounds, pings = c.cfg.RIPERounds, c.cfg.PingsPerQueryRIPE
+		}
+		roundSpan := c.cfg.Duration / time.Duration(rounds)
+		for r := 0; r < rounds; r++ {
+			// Each round starts at a different time of day and day of
+			// week: base + jitter inside the first half of the span.
+			base := time.Duration(r) * roundSpan
+			jitter := time.Duration(src.Int63n(int64(roundSpan / 2)))
+			roundStart := base + jitter
+			for ti, target := range sim.Targets {
+				qAt := roundStart + time.Duration(ti)*c.cfg.QuerySpacing
+				c.scheduleQuery(e, sim, server, target, qAt, pings)
+			}
+		}
+	}
+	return nil
+}
+
+// scheduleQuery issues one LG query: `pings` echo requests spaced one
+// second apart.
+func (c *Campaign) scheduleQuery(e *netsim.Engine, sim *ixpsim.SimIXP, server *ixpsim.LGServer, target netip.Addr, at time.Duration, pings int) {
+	for p := 0; p < pings; p++ {
+		sendAt := at + time.Duration(p)*time.Second
+		e.Schedule(sendAt, func() {
+			server.Node.Ping(target, c.cfg.PingTimeout, func(r netsim.PingResult) {
+				c.obs = append(c.obs, Observation{
+					IXPIndex: sim.IXPIndex,
+					Acronym:  sim.Acronym,
+					Family:   server.Family,
+					Target:   target,
+					SentAt:   r.SentAt,
+					RTT:      r.RTT,
+					TTL:      r.TTL,
+					TimedOut: r.TimedOut,
+				})
+			})
+		})
+	}
+}
+
+// Observations returns everything collected so far, sorted by IXP, target,
+// family, and send time so downstream processing is deterministic.
+func (c *Campaign) Observations() []Observation {
+	sort.SliceStable(c.obs, func(i, j int) bool {
+		a, b := c.obs[i], c.obs[j]
+		if a.IXPIndex != b.IXPIndex {
+			return a.IXPIndex < b.IXPIndex
+		}
+		if a.Target != b.Target {
+			return a.Target.Less(b.Target)
+		}
+		if a.Family != b.Family {
+			return a.Family < b.Family
+		}
+		return a.SentAt < b.SentAt
+	})
+	return c.obs
+}
+
+// Config returns the effective configuration.
+func (c *Campaign) Config() Config { return c.cfg }

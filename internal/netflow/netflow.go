@@ -1,0 +1,424 @@
+// Package netflow reproduces the traffic side of Section 4.1: a month of
+// 5-minute NetFlow records collected at the border routers of the
+// RedIRIS-analogue NREN, joined with BGP paths. The generator produces the
+// published shape of the dataset rather than its (proprietary) bytes:
+//
+//   - 29,570-ish networks exchanging transit traffic with RedIRIS, with
+//     rank-ordered contributions spanning ~1 Gbps down to a few bps and the
+//     characteristic bend near rank 20,000 (Figure 5a);
+//   - pronounced diurnal and weekly periodicity, stronger inbound than
+//     outbound (Figure 5b);
+//   - AS-level paths for every flow, classifying each network's association
+//     as origin, destination, or transient (Figure 6), and marking which
+//     flows ride the two tier-1 transit providers;
+//   - content-heavy top contributors (the Microsoft/Yahoo/CDN analogues).
+package netflow
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"remotepeering/internal/bgp"
+	"remotepeering/internal/stats"
+	"remotepeering/internal/topo"
+	"remotepeering/internal/worldgen"
+)
+
+// Config parameterises collection. Zero values take paper-scale defaults.
+type Config struct {
+	// Seed drives the traffic randomness (independent from the world's).
+	Seed int64
+	// Intervals is the number of 5-minute samples (default 8064 — the
+	// paper's February 2013 month: 28 days × 288).
+	Intervals int
+	// IntervalLength is the metering granularity (default 5 minutes).
+	IntervalLength time.Duration
+	// TotalInboundBps and TotalOutboundBps set the average
+	// transit-provider traffic level. Defaults: 8 Gbps in, 4.5 Gbps out
+	// (inbound dominates, as in the paper).
+	TotalInboundBps  float64
+	TotalOutboundBps float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Intervals == 0 {
+		c.Intervals = 8064
+	}
+	if c.IntervalLength == 0 {
+		c.IntervalLength = 5 * time.Minute
+	}
+	if c.TotalInboundBps == 0 {
+		c.TotalInboundBps = 8e9
+	}
+	if c.TotalOutboundBps == 0 {
+		c.TotalOutboundBps = 4.5e9
+	}
+	return c
+}
+
+// Entry is one network's aggregate association with the RedIRIS border
+// traffic.
+type Entry struct {
+	ASN topo.ASN
+	// AvgInBps is the network's average contribution as an origin of
+	// inbound traffic; AvgOutBps as a destination of outbound traffic.
+	AvgInBps  float64
+	AvgOutBps float64
+	// Transit marks flows that ride one of the two tier-1 transit
+	// providers (only such traffic is offloadable). Non-transit entries
+	// arrive via GÉANT, an existing CDN peering, or a home-IXP peering.
+	Transit bool
+	// Path is the AS path from the network to RedIRIS (inbound
+	// direction); outbound is assumed symmetric.
+	Path []topo.ASN
+}
+
+// Dataset is the collected month of border traffic.
+type Dataset struct {
+	Cfg     Config
+	Entries []Entry
+
+	byASN map[topo.ASN]int
+	// transient[a] accumulates the in+out average rates of flows whose
+	// path crosses a as an intermediary.
+	transient   map[topo.ASN]float64
+	transientIn map[topo.ASN]float64
+	transOut    map[topo.ASN]float64
+	seed        int64
+}
+
+// Collect builds the dataset from the world.
+func Collect(w *worldgen.World, cfg Config) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	src := stats.NewSource(cfg.Seed).Split("netflow")
+
+	rib, err := bgp.ComputeRIB(w.Graph, w.RedIRIS)
+	if err != nil {
+		return nil, fmt.Errorf("netflow: %w", err)
+	}
+
+	type cand struct {
+		asn    topo.ASN
+		weight float64
+	}
+	var cands []cand
+	for _, asn := range w.Graph.ASNs() {
+		if asn == w.RedIRIS {
+			continue
+		}
+		if !rib.Reachable(asn) {
+			continue
+		}
+		n := w.Graph.Network(asn)
+		cands = append(cands, cand{asn, contributionWeight(n, src)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].weight != cands[j].weight {
+			return cands[i].weight > cands[j].weight
+		}
+		return cands[i].asn < cands[j].asn
+	})
+
+	ds := &Dataset{
+		Cfg:         cfg,
+		byASN:       make(map[topo.ASN]int),
+		transient:   make(map[topo.ASN]float64),
+		transientIn: make(map[topo.ASN]float64),
+		transOut:    make(map[topo.ASN]float64),
+		seed:        cfg.Seed,
+	}
+
+	// Rank-based contribution with the Figure 5a bend near rank 20,000.
+	const bend = 20000
+	rawRate := func(rank int) float64 {
+		r := float64(rank + 6)
+		v := math.Pow(r, -1.4)
+		if rank > bend {
+			v *= math.Pow(float64(rank)/bend, -5)
+		}
+		return v
+	}
+	var totalRaw float64
+	for i := range cands {
+		totalRaw += rawRate(i + 1)
+	}
+
+	for i, c := range cands {
+		n := w.Graph.Network(c.asn)
+		share := rawRate(i+1) / totalRaw
+		inFrac := inboundFraction(n.Kind)
+		path := rib.Path(c.asn)
+		entry := Entry{
+			ASN:       c.asn,
+			AvgInBps:  share * cfg.TotalInboundBps * inFrac / 0.64,
+			AvgOutBps: share * cfg.TotalOutboundBps * (1 - inFrac) / 0.36,
+			Path:      path,
+		}
+		if len(path) >= 2 {
+			gateway := path[len(path)-2]
+			entry.Transit = gateway == w.Transit1 || gateway == w.Transit2
+		}
+		ds.byASN[c.asn] = len(ds.Entries)
+		ds.Entries = append(ds.Entries, entry)
+	}
+
+	// Normalise so transit totals hit the configured levels exactly.
+	var sumIn, sumOut float64
+	for _, e := range ds.Entries {
+		if e.Transit {
+			sumIn += e.AvgInBps
+			sumOut += e.AvgOutBps
+		}
+	}
+	if sumIn <= 0 || sumOut <= 0 {
+		return nil, fmt.Errorf("netflow: degenerate traffic totals (in=%v out=%v)", sumIn, sumOut)
+	}
+	inScale := cfg.TotalInboundBps / sumIn
+	outScale := cfg.TotalOutboundBps / sumOut
+	for i := range ds.Entries {
+		ds.Entries[i].AvgInBps *= inScale
+		ds.Entries[i].AvgOutBps *= outScale
+	}
+
+	// Transient accounting for Figure 6: every AS strictly inside a path
+	// carries that flow as an intermediary.
+	for _, e := range ds.Entries {
+		for _, mid := range e.Path[1:max(1, len(e.Path)-1)] {
+			ds.transient[mid] += e.AvgInBps + e.AvgOutBps
+			ds.transientIn[mid] += e.AvgInBps
+			ds.transOut[mid] += e.AvgOutBps
+		}
+	}
+	return ds, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// contributionWeight ranks networks for contribution assignment: content
+// and CDNs carry the most traffic toward an NREN, followed by transit
+// wholesale, with leaf networks weighted by their regional affinity to
+// Spain (South American networks loom large in RedIRIS traffic, which is
+// what makes the Terremark-analogue a top offload IXP in Figure 7).
+func contributionWeight(n *topo.Network, src *stats.Source) float64 {
+	var base float64
+	switch n.Kind {
+	case topo.KindContent:
+		base = 120 / float64(1+n.SizeRank)
+	case topo.KindCDN:
+		base = 90 / float64(1+n.SizeRank)
+	case topo.KindTier1:
+		base = 40
+	case topo.KindTransit:
+		base = 25 / math.Pow(float64(1+n.SizeRank), 0.8)
+	case topo.KindNREN:
+		// Research backbones swap bulk datasets with the NREN; the
+		// GÉANT members among them do not ride transit anyway.
+		base = 400 / math.Pow(float64(1+n.SizeRank), 0.6)
+	default:
+		base = 8 / math.Pow(float64(1+n.SizeRank), 0.25)
+	}
+	base *= cityAffinity(n.City)
+	return base * src.LogNormal(0, 0.5)
+}
+
+// cityAffinity weights a network's traffic affinity with the Spanish NREN.
+func cityAffinity(city string) float64 {
+	switch city {
+	case "Madrid", "Barcelona":
+		return 3
+	case "Sao Paolo", "Rio", "Porto Alegre", "Curitiba", "Buenos Aires",
+		"Bogota", "Lima", "Santiago", "Caracas", "Mexico City",
+		"Montevideo", "Asuncion", "Brasilia", "Recife", "Fortaleza",
+		"Salvador", "Belo Horizonte", "Cordoba", "Mendoza":
+		return 2.2
+	case "Lisbon", "Paris", "London", "Amsterdam", "Frankfurt", "Milan",
+		"Marseille", "Lyon":
+		return 1.3
+	default:
+		return 1
+	}
+}
+
+// inboundFraction is the share of a network's combined contribution that is
+// inbound (content flows down toward the NREN's campuses).
+func inboundFraction(k topo.NetworkKind) float64 {
+	switch k {
+	case topo.KindContent, topo.KindCDN:
+		return 0.85
+	case topo.KindNREN:
+		return 0.66
+	case topo.KindHosting:
+		return 0.7
+	case topo.KindTransit, topo.KindTier1:
+		return 0.6
+	default:
+		return 0.55
+	}
+}
+
+// Entry returns the record for asn, if present.
+func (d *Dataset) Entry(asn topo.ASN) (Entry, bool) {
+	i, ok := d.byASN[asn]
+	if !ok {
+		return Entry{}, false
+	}
+	return d.Entries[i], true
+}
+
+// TransitEntries returns only the entries riding the transit providers —
+// the paper's 29,570-network dataset.
+func (d *Dataset) TransitEntries() []Entry {
+	out := make([]Entry, 0, len(d.Entries))
+	for _, e := range d.Entries {
+		if e.Transit {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TransitTotals returns the average transit-provider traffic in each
+// direction.
+func (d *Dataset) TransitTotals() (inBps, outBps float64) {
+	for _, e := range d.Entries {
+		if e.Transit {
+			inBps += e.AvgInBps
+			outBps += e.AvgOutBps
+		}
+	}
+	return inBps, outBps
+}
+
+// Transient returns the combined in+out average rate crossing asn as an
+// intermediary, plus the directional splits (Figure 6's "transient
+// traffic").
+func (d *Dataset) Transient(asn topo.ASN) (total, in, out float64) {
+	return d.transient[asn], d.transientIn[asn], d.transOut[asn]
+}
+
+// hash01 derives a deterministic uniform [0,1) value from the dataset
+// seed, an ASN, an interval index, and a direction tag, giving O(1) random
+// access into the synthetic time series without storing it.
+func (d *Dataset) hash01(asn topo.ASN, interval int, dir uint64) float64 {
+	x := uint64(d.seed)*0x9E3779B97F4A7C15 ^ uint64(asn)<<32 ^ uint64(uint32(interval)) ^ dir<<61
+	// splitmix64 finaliser.
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// diurnalFactor is the multiplicative time-of-day/day-of-week profile. The
+// epoch is midnight Monday. amplitude scales the swing; inbound traffic
+// uses a larger amplitude than outbound, giving Figure 5b's pronounced
+// inbound periodicity.
+func diurnalFactor(interval int, intervalLen time.Duration, amplitude float64) float64 {
+	at := time.Duration(interval) * intervalLen
+	const day = 24 * time.Hour
+	const week = 7 * day
+	hour := float64(at%day) / float64(time.Hour)
+	dow := int(at%week) / int(day)
+	// Busy early evening, quiet pre-dawn.
+	level := math.Cos(2 * math.Pi * (hour - 19) / 24)
+	weekend := 1.0
+	if dow >= 5 {
+		weekend = 0.7
+	}
+	return weekend * (1 + amplitude*level)
+}
+
+// Rate returns the network's metered traffic in the given 5-minute
+// interval (bps), inbound and outbound. Deterministic in (seed, asn,
+// interval).
+func (d *Dataset) Rate(asn topo.ASN, interval int) (inBps, outBps float64) {
+	i, ok := d.byASN[asn]
+	if !ok {
+		return 0, 0
+	}
+	e := d.Entries[i]
+	// Multiplicative lognormal jitter, direction-specific.
+	jIn := math.Exp(0.3 * normFromUniform(d.hash01(asn, interval, 1)))
+	jOut := math.Exp(0.3 * normFromUniform(d.hash01(asn, interval, 2)))
+	inBps = e.AvgInBps * diurnalFactor(interval, d.Cfg.IntervalLength, 0.55) * jIn
+	outBps = e.AvgOutBps * diurnalFactor(interval, d.Cfg.IntervalLength, 0.25) * jOut
+	return inBps, outBps
+}
+
+// normFromUniform converts a uniform (0,1) value into a standard normal
+// deviate via the inverse-CDF approximation of Acklam (sufficient for
+// traffic jitter).
+func normFromUniform(u float64) float64 {
+	if u <= 0 {
+		u = 1e-12
+	}
+	if u >= 1 {
+		u = 1 - 1e-12
+	}
+	// Beasley-Springer-Moro style rational approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	dd := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const plow = 0.02425
+	switch {
+	case u < plow:
+		q := math.Sqrt(-2 * math.Log(u))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((dd[0]*q+dd[1])*q+dd[2])*q+dd[3])*q + 1)
+	case u > 1-plow:
+		q := math.Sqrt(-2 * math.Log(1-u))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((dd[0]*q+dd[1])*q+dd[2])*q+dd[3])*q + 1)
+	default:
+		q := u - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	}
+}
+
+// SeriesTotal sums the per-interval rate over a set of networks, returning
+// inbound and outbound time series (Figure 5b's curves). A nil set means
+// all transit entries.
+func (d *Dataset) SeriesTotal(set map[topo.ASN]bool) (in, out []float64) {
+	in = make([]float64, d.Cfg.Intervals)
+	out = make([]float64, d.Cfg.Intervals)
+	for _, e := range d.Entries {
+		if !e.Transit {
+			continue
+		}
+		if set != nil && !set[e.ASN] {
+			continue
+		}
+		// The diurnal profile and jitter are per-network; summing
+		// network-by-network keeps the series deterministic.
+		for t := 0; t < d.Cfg.Intervals; t++ {
+			i, o := d.Rate(e.ASN, t)
+			in[t] += i
+			out[t] += o
+		}
+	}
+	return in, out
+}
+
+// P95 returns the 95th-percentile rate of a series — the billing number of
+// Section 2.1.
+func P95(series []float64) (float64, error) {
+	return stats.P95(series)
+}

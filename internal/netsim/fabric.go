@@ -1,0 +1,173 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"remotepeering/internal/packet"
+)
+
+// Fabric models a layer-2 switching domain: an IXP peering LAN. Frames are
+// delivered between attachments with a delay composed of each side's access
+// delay (the physical tail from the member's equipment to the switch — for
+// a directly peering member this is microseconds; for a remotely peering
+// member it is the remote-peering provider's pseudowire, i.e. a geographic
+// delay), the inter-location delay when the fabric spans multiple sites,
+// the switching latency, and stochastic noise.
+//
+// The fabric performs no TTL manipulation: it is pure layer 2, which is
+// precisely why the paper's layer-3 methods cannot see remote-peering
+// providers and why ping TTLs survive intact across it.
+type Fabric struct {
+	Name          string
+	SwitchLatency time.Duration
+	Noise         *NoiseModel
+
+	engine      *Engine
+	attachments []*Attachment
+	byMAC       map[packet.MAC]*Attachment
+	// interLoc[a][b] is the one-way delay between fabric locations a and b.
+	interLoc map[int]map[int]time.Duration
+}
+
+// Attachment binds an interface to a fabric.
+type Attachment struct {
+	Iface *Iface
+	// Access is the one-way delay between the member equipment and the
+	// fabric switch at Location. For a remote peer this is the pseudowire
+	// delay contributed by the remote-peering provider.
+	Access time.Duration
+	// Location indexes the fabric site the attachment lands on (0 for
+	// single-location fabrics).
+	Location int
+	// ExtraNoise, when non-nil, adds attachment-specific queueing on top
+	// of the fabric noise; used to model persistently congested ports
+	// (the RTT-consistent filter's reason to exist). It is charged on
+	// frames delivered *to* the attachment — the congestion lives in the
+	// switch's egress queue toward the member port — so a ping pays it
+	// once per round trip, not twice.
+	ExtraNoise *NoiseModel
+	// Proxy lists prefixes this attachment answers resolution for even
+	// though no local interface owns them — the simulator's equivalent of
+	// proxy ARP. This reproduces the paper's "targeted IP addresses ...
+	// actually not in the IXP subnet" hazard: probes to such addresses get
+	// delivered here and then routed onward at layer 3, decrementing TTL.
+	Proxy []netip.Prefix
+}
+
+// NewFabric creates a fabric bound to an engine.
+func NewFabric(e *Engine, name string) *Fabric {
+	return &Fabric{
+		Name:     name,
+		engine:   e,
+		byMAC:    make(map[packet.MAC]*Attachment),
+		interLoc: make(map[int]map[int]time.Duration),
+	}
+}
+
+// SetInterLocation records the one-way delay between two fabric locations
+// (symmetric).
+func (f *Fabric) SetInterLocation(a, b int, d time.Duration) {
+	if f.interLoc[a] == nil {
+		f.interLoc[a] = make(map[int]time.Duration)
+	}
+	if f.interLoc[b] == nil {
+		f.interLoc[b] = make(map[int]time.Duration)
+	}
+	f.interLoc[a][b] = d
+	f.interLoc[b][a] = d
+}
+
+// interLocation returns the one-way delay between locations a and b.
+func (f *Fabric) interLocation(a, b int) time.Duration {
+	if a == b {
+		return 0
+	}
+	if m, ok := f.interLoc[a]; ok {
+		if d, ok := m[b]; ok {
+			return d
+		}
+	}
+	return 0
+}
+
+// Attach connects iface to the fabric and returns the attachment for
+// further configuration. An interface can be attached to one fabric only.
+func (f *Fabric) Attach(iface *Iface, access time.Duration) *Attachment {
+	if iface.fabric != nil || iface.link != nil {
+		panic(fmt.Sprintf("netsim: interface %s already attached", iface.Name))
+	}
+	a := &Attachment{Iface: iface, Access: access}
+	f.attachments = append(f.attachments, a)
+	f.byMAC[iface.MAC] = a
+	iface.fabric = f
+	iface.attachment = a
+	return a
+}
+
+// Attachments returns all attachments (read-only use).
+func (f *Fabric) Attachments() []*Attachment { return f.attachments }
+
+// ResolveMAC performs the fabric's address resolution: it returns the MAC
+// of the attachment owning ip, falling back to proxy claims. The boolean
+// reports success; an unresolvable address means the probe is silently
+// lost, like an unanswered ARP.
+func (f *Fabric) ResolveMAC(ip netip.Addr) (packet.MAC, bool) {
+	for _, a := range f.attachments {
+		if a.Iface.Owns(ip) {
+			return a.Iface.MAC, true
+		}
+	}
+	for _, a := range f.attachments {
+		for _, p := range a.Proxy {
+			if p.Contains(ip) {
+				return a.Iface.MAC, true
+			}
+		}
+	}
+	return packet.MAC{}, false
+}
+
+// send delivers frame from the attachment of src. Unicast frames go to the
+// owner of the destination MAC; unknown destinations are dropped (the
+// simulator does not flood, since nothing in the study depends on
+// flooding).
+func (f *Fabric) send(src *Iface, frame []byte) {
+	eth, _, err := packet.UnmarshalEthernet(frame)
+	if err != nil {
+		return
+	}
+	srcAtt := src.attachment
+	if srcAtt == nil {
+		return
+	}
+	if eth.Dst.IsBroadcast() {
+		for _, dst := range f.attachments {
+			if dst.Iface == src {
+				continue
+			}
+			f.deliver(srcAtt, dst, frame)
+		}
+		return
+	}
+	dst, ok := f.byMAC[eth.Dst]
+	if !ok {
+		return
+	}
+	f.deliver(srcAtt, dst, frame)
+}
+
+// deliver schedules the arrival of frame at dst.
+func (f *Fabric) deliver(src, dst *Attachment, frame []byte) {
+	now := f.engine.Now()
+	delay := src.Access + dst.Access + f.SwitchLatency +
+		f.interLocation(src.Location, dst.Location) +
+		f.Noise.Sample(now) +
+		dst.ExtraNoise.Sample(now)
+	// Copy the frame so in-place TTL rewrites downstream cannot alias.
+	buf := append([]byte(nil), frame...)
+	f.engine.Schedule(now+delay, func() {
+		dst.Iface.receive(buf)
+	})
+}

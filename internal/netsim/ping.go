@@ -1,0 +1,105 @@
+package netsim
+
+import (
+	"net/netip"
+	"time"
+
+	"remotepeering/internal/packet"
+)
+
+// PingResult is the outcome of a single echo request: either a reply with
+// its RTT and the TTL observed at the prober — the two observables the
+// paper's methodology is built on — or a timeout.
+type PingResult struct {
+	Target   netip.Addr
+	From     netip.Addr // source address of the reply (usually == Target)
+	Seq      uint16
+	RTT      time.Duration
+	TTL      uint8 // TTL as received by the prober
+	TimedOut bool
+	SentAt   time.Duration // simulation time the request left the prober
+}
+
+type pingState struct {
+	target netip.Addr
+	sentAt time.Duration
+	seq    uint16
+	cb     func(PingResult)
+	done   bool
+}
+
+// Ping sends an ICMP echo request from the node to dst and invokes cb
+// exactly once: with the reply, or with TimedOut set after timeout.
+// The request is routed through the node's normal IP stack, so a probe
+// launched by an LG server into its IXP LAN stays on the fabric — the
+// paper's "adherence to straight routes" precondition.
+func (n *Node) Ping(dst netip.Addr, timeout time.Duration, cb func(PingResult)) {
+	n.nextIdent++
+	ident := n.nextIdent
+	st := &pingState{
+		target: dst,
+		sentAt: n.engine.Now(),
+		seq:    1,
+		cb:     cb,
+	}
+	n.pending[ident] = st
+
+	req := packet.ICMPEcho{Type: packet.ICMPEchoRequest, IDent: ident, Seq: st.seq}
+	srcAddr := n.sourceAddrFor(dst)
+	ip := packet.IPv4{
+		TTL:      n.os.InitTTL,
+		Protocol: packet.ProtoICMP,
+		Src:      srcAddr,
+		Dst:      dst,
+	}
+	ipPkt, err := ip.Marshal(req.Marshal())
+	if err == nil && srcAddr.IsValid() {
+		n.sendIP(ipPkt)
+	}
+
+	n.engine.After(timeout, func() {
+		if st.done {
+			return
+		}
+		st.done = true
+		delete(n.pending, ident)
+		st.cb(PingResult{
+			Target:   st.target,
+			Seq:      st.seq,
+			TimedOut: true,
+			SentAt:   st.sentAt,
+		})
+	})
+}
+
+// sourceAddrFor picks the source address for traffic to dst: the address of
+// the output interface chosen by routing.
+func (n *Node) sourceAddrFor(dst netip.Addr) netip.Addr {
+	out, _, ok := n.lookupRoute(dst)
+	if !ok || out == nil {
+		return netip.Addr{}
+	}
+	return out.Addr()
+}
+
+// handleEchoReply completes a pending ping or traceroute probe. Replies
+// for unknown idents (late duplicates after timeout) are dropped.
+func (n *Node) handleEchoReply(hdr packet.IPv4, msg packet.ICMPEcho) {
+	if n.resolveTraceEcho(hdr, msg) {
+		return
+	}
+	st, ok := n.pending[msg.IDent]
+	if !ok || st.done {
+		return
+	}
+	st.done = true
+	delete(n.pending, msg.IDent)
+	st.cb(PingResult{
+		Target: st.target,
+		From:   hdr.Src,
+		Seq:    msg.Seq,
+		RTT:    n.engine.Now() - st.sentAt,
+		TTL:    hdr.TTL,
+		SentAt: st.sentAt,
+	})
+}

@@ -1,0 +1,536 @@
+// Package offload implements Section 4's analysis: how much of the
+// RedIRIS-analogue's transit-provider traffic could shift to remote peering
+// as the set of reached IXPs grows from 1 to the full 65-exchange Euro-IX
+// reach set, under the paper's four peer groups. It reproduces the
+// exclusion rules of Section 4.2 (no transit providers, no co-members of
+// the NREN's home IXPs, no GÉANT members), the cone-based offload
+// eligibility ("the peering networks and their customer cones"), the
+// single-IXP and second-IXP analyses (Figures 7 and 8), the greedy
+// expansion (Figure 9), and the RedIRIS-independent reachable-interfaces
+// variant (Figure 10).
+package offload
+
+import (
+	"fmt"
+	"sort"
+
+	"remotepeering/internal/netflow"
+	"remotepeering/internal/topo"
+	"remotepeering/internal/worldgen"
+)
+
+// PeerGroup selects which potential peers are assumed willing to peer,
+// per Section 4.2.
+type PeerGroup int
+
+// The paper's four peer groups.
+const (
+	// GroupOpen is peer group 1: all open policies (the lower bound;
+	// such networks commonly peer automatically via IXP route servers).
+	GroupOpen PeerGroup = iota + 1
+	// GroupOpenTop10Selective is peer group 2: open plus the 10 selective
+	// networks with the largest individual offload potential.
+	GroupOpenTop10Selective
+	// GroupOpenSelective is peer group 3: all open and selective.
+	GroupOpenSelective
+	// GroupAll is peer group 4: open, selective, and restrictive — the
+	// paper's upper bound.
+	GroupAll
+)
+
+// String implements fmt.Stringer.
+func (g PeerGroup) String() string {
+	switch g {
+	case GroupOpen:
+		return "all open policies"
+	case GroupOpenTop10Selective:
+		return "all open and top 10 selective policies"
+	case GroupOpenSelective:
+		return "all open and selective policies"
+	case GroupAll:
+		return "all policies"
+	default:
+		return fmt.Sprintf("PeerGroup(%d)", int(g))
+	}
+}
+
+// Groups lists the four peer groups from most restrictive to broadest.
+var Groups = []PeerGroup{GroupOpen, GroupOpenTop10Selective, GroupOpenSelective, GroupAll}
+
+// Study is the prepared offload analysis.
+type Study struct {
+	World   *worldgen.World
+	Dataset *netflow.Dataset
+
+	// potential holds the potential remote peers after the Section 4.2
+	// exclusions (the paper arrives at 2,192 networks).
+	potential map[topo.ASN]bool
+	// trafficIn/trafficOut index the transit-riding traffic by network.
+	trafficIn  map[topo.ASN]float64
+	trafficOut map[topo.ASN]float64
+	// ixpMembers lists, per IXP, the distinct member ASNs that survive
+	// the exclusions.
+	ixpMembers [][]topo.ASN
+	// coneCache memoises customer cones.
+	coneCache map[topo.ASN][]topo.ASN
+	// top10Selective is peer group 2's selective complement.
+	top10Selective map[topo.ASN]bool
+	// interfaces weights networks for the Figure 10 metric.
+	interfaces map[topo.ASN]float64
+}
+
+// NewStudy prepares the analysis.
+func NewStudy(w *worldgen.World, ds *netflow.Dataset) (*Study, error) {
+	if w == nil || ds == nil {
+		return nil, fmt.Errorf("offload: nil world or dataset")
+	}
+	s := &Study{
+		World:      w,
+		Dataset:    ds,
+		potential:  make(map[topo.ASN]bool),
+		trafficIn:  make(map[topo.ASN]float64),
+		trafficOut: make(map[topo.ASN]float64),
+		coneCache:  make(map[topo.ASN][]topo.ASN),
+		interfaces: make(map[topo.ASN]float64),
+	}
+
+	for _, e := range ds.TransitEntries() {
+		s.trafficIn[e.ASN] = e.AvgInBps
+		s.trafficOut[e.ASN] = e.AvgOutBps
+	}
+
+	// Section 4.2 exclusions.
+	excluded := map[topo.ASN]bool{
+		w.RedIRIS:  true,
+		w.Transit1: true, // transit providers do not peer with customers
+		w.Transit2: true,
+		w.Geant:    true,
+	}
+	for _, n := range w.NRENs {
+		excluded[n] = true // GÉANT members already interconnect cheaply
+	}
+	for _, acr := range []string{"CATNIX", "ESpanix"} {
+		x, _, err := w.IXPByAcronym(acr)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range x.MemberASNs() {
+			excluded[m] = true // co-members of the home IXPs
+		}
+	}
+
+	s.ixpMembers = make([][]topo.ASN, len(w.IXPs))
+	for i, x := range w.IXPs {
+		for _, asn := range x.MemberASNs() {
+			if excluded[asn] {
+				continue
+			}
+			s.ixpMembers[i] = append(s.ixpMembers[i], asn)
+			s.potential[asn] = true
+		}
+	}
+
+	for _, asn := range w.Graph.ASNs() {
+		s.interfaces[asn] = float64(w.Graph.Network(asn).IPInterfaces)
+	}
+
+	s.computeTop10Selective()
+	return s, nil
+}
+
+// PotentialPeerCount returns the number of potential peers after
+// exclusions (the paper: 2,192).
+func (s *Study) PotentialPeerCount() int { return len(s.potential) }
+
+// cone returns the customer cone of asn (memoised).
+func (s *Study) cone(asn topo.ASN) []topo.ASN {
+	if c, ok := s.coneCache[asn]; ok {
+		return c
+	}
+	c := s.World.Graph.CustomerCone(asn)
+	s.coneCache[asn] = c
+	return c
+}
+
+// inGroup reports whether a potential peer belongs to the peer group.
+func (s *Study) inGroup(asn topo.ASN, g PeerGroup) bool {
+	if !s.potential[asn] {
+		return false
+	}
+	pol := s.World.Graph.Network(asn).Policy
+	switch g {
+	case GroupOpen:
+		return pol == topo.PolicyOpen
+	case GroupOpenTop10Selective:
+		return pol == topo.PolicyOpen || s.top10Selective[asn]
+	case GroupOpenSelective:
+		return pol == topo.PolicyOpen || pol == topo.PolicySelective
+	case GroupAll:
+		return true
+	default:
+		return false
+	}
+}
+
+// computeTop10Selective ranks selective potential peers by their individual
+// offload potential (their cone's transit traffic) and keeps the top 10.
+func (s *Study) computeTop10Selective() {
+	type cand struct {
+		asn topo.ASN
+		pot float64
+	}
+	var cands []cand
+	for asn := range s.potential {
+		if s.World.Graph.Network(asn).Policy != topo.PolicySelective {
+			continue
+		}
+		var pot float64
+		for _, c := range s.cone(asn) {
+			pot += s.trafficIn[c] + s.trafficOut[c]
+		}
+		cands = append(cands, cand{asn, pot})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].pot != cands[j].pot {
+			return cands[i].pot > cands[j].pot
+		}
+		return cands[i].asn < cands[j].asn
+	})
+	s.top10Selective = make(map[topo.ASN]bool, 10)
+	for i := 0; i < 10 && i < len(cands); i++ {
+		s.top10Selective[cands[i].asn] = true
+	}
+}
+
+// Covered returns the set of networks whose transit traffic the NREN can
+// offload by peering (per group g) at the given IXPs: the group members at
+// those IXPs plus their customer cones, intersected with the
+// transit-traffic universe.
+func (s *Study) Covered(ixps []int, g PeerGroup) map[topo.ASN]bool {
+	out := make(map[topo.ASN]bool)
+	for _, i := range ixps {
+		if i < 0 || i >= len(s.ixpMembers) {
+			continue
+		}
+		for _, m := range s.ixpMembers[i] {
+			if !s.inGroup(m, g) {
+				continue
+			}
+			for _, c := range s.cone(m) {
+				if _, hasTraffic := s.trafficIn[c]; hasTraffic {
+					out[c] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Potential sums the offloadable traffic when peering at the given IXPs.
+func (s *Study) Potential(ixps []int, g PeerGroup) (inBps, outBps float64) {
+	for asn := range s.Covered(ixps, g) {
+		inBps += s.trafficIn[asn]
+		outBps += s.trafficOut[asn]
+	}
+	return inBps, outBps
+}
+
+// IXPPotential is one IXP's standalone offload potential.
+type IXPPotential struct {
+	IXPIndex int
+	Acronym  string
+	InBps    float64
+	OutBps   float64
+}
+
+// Total returns the combined potential.
+func (p IXPPotential) Total() float64 { return p.InBps + p.OutBps }
+
+// SingleIXP computes each IXP's standalone potential under group g, sorted
+// descending by total — Figure 7's bars come from the top entries under
+// each group.
+func (s *Study) SingleIXP(g PeerGroup) []IXPPotential {
+	out := make([]IXPPotential, 0, len(s.World.IXPs))
+	for i, x := range s.World.IXPs {
+		in, outb := s.Potential([]int{i}, g)
+		out = append(out, IXPPotential{IXPIndex: i, Acronym: x.Acronym, InBps: in, OutBps: outb})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Total() != out[b].Total() {
+			return out[a].Total() > out[b].Total()
+		}
+		return out[a].Acronym < out[b].Acronym
+	})
+	return out
+}
+
+// Residual returns the offload potential remaining at IXP `at` after the
+// NREN has fully realised its potential at IXP `after` (Figure 8).
+func (s *Study) Residual(after, at int, g PeerGroup) float64 {
+	aIn, aOut := s.Potential([]int{after}, g)
+	bothIn, bothOut := s.Potential([]int{after, at}, g)
+	return (bothIn + bothOut) - (aIn + aOut)
+}
+
+// GreedyStep records one step of the greedy IXP expansion.
+type GreedyStep struct {
+	IXPIndex int
+	Acronym  string
+	// OffloadedInBps/OutBps are cumulative after this step.
+	OffloadedInBps  float64
+	OffloadedOutBps float64
+	// RemainingInBps/OutBps are the transit-provider traffic left.
+	RemainingInBps  float64
+	RemainingOutBps float64
+}
+
+// Remaining returns the combined remaining transit traffic.
+func (st GreedyStep) Remaining() float64 { return st.RemainingInBps + st.RemainingOutBps }
+
+// Greedy expands the reached-IXP set one exchange at a time, always adding
+// the IXP with the largest remaining offload potential (Section 4.3), up
+// to maxIXPs (≤ 0 means all). This regenerates Figure 9's decay curves.
+func (s *Study) Greedy(g PeerGroup, maxIXPs int) []GreedyStep {
+	totalIn, totalOut := s.Dataset.TransitTotals()
+	if maxIXPs <= 0 || maxIXPs > len(s.World.IXPs) {
+		maxIXPs = len(s.World.IXPs)
+	}
+
+	covered := make(map[topo.ASN]bool)
+	chosen := make(map[int]bool)
+	var steps []GreedyStep
+	var cumIn, cumOut float64
+
+	// Per-IXP candidate network sets, computed once.
+	perIXP := make([][]topo.ASN, len(s.World.IXPs))
+	for i := range s.World.IXPs {
+		set := s.Covered([]int{i}, g)
+		lst := make([]topo.ASN, 0, len(set))
+		for a := range set {
+			lst = append(lst, a)
+		}
+		sort.Slice(lst, func(x, y int) bool { return lst[x] < lst[y] })
+		perIXP[i] = lst
+	}
+
+	for step := 0; step < maxIXPs; step++ {
+		best, bestGain := -1, -1.0
+		var bestIn, bestOut float64
+		for i := range perIXP {
+			if chosen[i] {
+				continue
+			}
+			var gIn, gOut float64
+			for _, a := range perIXP[i] {
+				if !covered[a] {
+					gIn += s.trafficIn[a]
+					gOut += s.trafficOut[a]
+				}
+			}
+			if gain := gIn + gOut; gain > bestGain {
+				best, bestGain = i, gain
+				bestIn, bestOut = gIn, gOut
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen[best] = true
+		for _, a := range perIXP[best] {
+			covered[a] = true
+		}
+		cumIn += bestIn
+		cumOut += bestOut
+		steps = append(steps, GreedyStep{
+			IXPIndex:        best,
+			Acronym:         s.World.IXPs[best].Acronym,
+			OffloadedInBps:  cumIn,
+			OffloadedOutBps: cumOut,
+			RemainingInBps:  totalIn - cumIn,
+			RemainingOutBps: totalOut - cumOut,
+		})
+	}
+	return steps
+}
+
+// InterfaceStep is one step of the Figure 10 greedy expansion.
+type InterfaceStep struct {
+	IXPIndex int
+	Acronym  string
+	// Remaining is the number of IP interfaces still reachable only
+	// through transit providers.
+	Remaining float64
+}
+
+// GreedyInterfaces runs the Figure 10 variant: the metric is the number of
+// IP interfaces reachable only through transit providers (starting near
+// 2.6 billion), and each step adds the IXP that reduces it the most. The
+// result does not depend on the NREN's traffic particulars — the paper's
+// argument that diminishing marginal utility holds in general.
+func (s *Study) GreedyInterfaces(g PeerGroup, maxIXPs int) []InterfaceStep {
+	if maxIXPs <= 0 || maxIXPs > len(s.World.IXPs) {
+		maxIXPs = len(s.World.IXPs)
+	}
+	var total float64
+	for _, v := range s.interfaces {
+		total += v
+	}
+
+	perIXP := make([][]topo.ASN, len(s.World.IXPs))
+	for i := range s.World.IXPs {
+		seen := map[topo.ASN]bool{}
+		for _, m := range s.ixpMembers[i] {
+			if !s.inGroup(m, g) {
+				continue
+			}
+			for _, c := range s.cone(m) {
+				seen[c] = true
+			}
+		}
+		lst := make([]topo.ASN, 0, len(seen))
+		for a := range seen {
+			lst = append(lst, a)
+		}
+		sort.Slice(lst, func(x, y int) bool { return lst[x] < lst[y] })
+		perIXP[i] = lst
+	}
+
+	covered := make(map[topo.ASN]bool)
+	chosen := make(map[int]bool)
+	remaining := total
+	var steps []InterfaceStep
+	for step := 0; step < maxIXPs; step++ {
+		best, bestGain := -1, -1.0
+		for i := range perIXP {
+			if chosen[i] {
+				continue
+			}
+			var gain float64
+			for _, a := range perIXP[i] {
+				if !covered[a] {
+					gain += s.interfaces[a]
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen[best] = true
+		for _, a := range perIXP[best] {
+			covered[a] = true
+		}
+		remaining -= bestGain
+		steps = append(steps, InterfaceStep{
+			IXPIndex:  best,
+			Acronym:   s.World.IXPs[best].Acronym,
+			Remaining: remaining,
+		})
+	}
+	return steps
+}
+
+// TotalInterfaces returns the Figure 10 starting point: all IP interfaces
+// reachable through the transit hierarchy.
+func (s *Study) TotalInterfaces() float64 {
+	var total float64
+	for _, v := range s.interfaces {
+		total += v
+	}
+	return total
+}
+
+// Contributor summarises one network's role in the maximal offload
+// potential (Figure 6).
+type Contributor struct {
+	ASN  topo.ASN
+	Name string
+	// OriginInBps is the network's own inbound origin traffic;
+	// DestOutBps its own outbound destination traffic.
+	OriginInBps float64
+	DestOutBps  float64
+	// TransientInBps/OutBps is traffic crossing the network as an
+	// intermediary.
+	TransientInBps  float64
+	TransientOutBps float64
+}
+
+// BillingRelief estimates the transit-bill impact of an offload scenario
+// under the 95th-percentile rule of Section 2.1: bills follow traffic
+// peaks, so the relief is computed on the p95 of the 5-minute series, not
+// on averages. The paper's Figure 5b observation — offload peaks coincide
+// with transit peaks — is what makes the p95 relief track the average
+// offload share.
+type BillingRelief struct {
+	// P95BeforeBps and P95AfterBps are the billing percentiles of the
+	// inbound transit series before and after removing the covered
+	// networks' traffic.
+	P95BeforeBps float64
+	P95AfterBps  float64
+}
+
+// ReliefFraction returns the relative p95 reduction.
+func (b BillingRelief) ReliefFraction() float64 {
+	if b.P95BeforeBps == 0 {
+		return 0
+	}
+	return (b.P95BeforeBps - b.P95AfterBps) / b.P95BeforeBps
+}
+
+// EstimateBillingRelief computes the inbound p95 before/after offloading
+// the networks covered when peering (per group g) at the given IXPs.
+func (s *Study) EstimateBillingRelief(ixps []int, g PeerGroup) (BillingRelief, error) {
+	covered := s.Covered(ixps, g)
+	allIn, _ := s.Dataset.SeriesTotal(nil)
+	offIn, _ := s.Dataset.SeriesTotal(covered)
+	residual := make([]float64, len(allIn))
+	for i := range allIn {
+		residual[i] = allIn[i] - offIn[i]
+	}
+	before, err := netflow.P95(allIn)
+	if err != nil {
+		return BillingRelief{}, err
+	}
+	after, err := netflow.P95(residual)
+	if err != nil {
+		return BillingRelief{}, err
+	}
+	return BillingRelief{P95BeforeBps: before, P95AfterBps: after}, nil
+}
+
+// TopContributors ranks the networks covered by the maximal scenario (all
+// policies, all IXPs) by their combined contribution and returns the top
+// n — Figure 6 plots n = 30.
+func (s *Study) TopContributors(n int) []Contributor {
+	all := make([]int, len(s.World.IXPs))
+	for i := range all {
+		all[i] = i
+	}
+	covered := s.Covered(all, GroupAll)
+	var out []Contributor
+	for asn := range covered {
+		_, tin, tout := s.Dataset.Transient(asn)
+		out = append(out, Contributor{
+			ASN:             asn,
+			Name:            s.World.Graph.Network(asn).Name,
+			OriginInBps:     s.trafficIn[asn],
+			DestOutBps:      s.trafficOut[asn],
+			TransientInBps:  tin,
+			TransientOutBps: tout,
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ta := out[a].OriginInBps + out[a].DestOutBps + out[a].TransientInBps + out[a].TransientOutBps
+		tb := out[b].OriginInBps + out[b].DestOutBps + out[b].TransientInBps + out[b].TransientOutBps
+		if ta != tb {
+			return ta > tb
+		}
+		return out[a].ASN < out[b].ASN
+	})
+	if n > len(out) {
+		n = len(out)
+	}
+	return out[:n]
+}

@@ -1,0 +1,420 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"median of odd", []float64{3, 1, 2}, 50, 2},
+		{"median of even interpolates", []float64{1, 2, 3, 4}, 50, 2.5},
+		{"p0 is min", []float64{5, 1, 9}, 0, 1},
+		{"p100 is max", []float64{5, 1, 9}, 100, 9},
+		{"single element", []float64{7}, 95, 7},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Percentile(tc.xs, tc.p)
+			if err != nil {
+				t.Fatalf("Percentile: %v", err)
+			}
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Percentile(%v, %v) = %v, want %v", tc.xs, tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("want error for empty input")
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("want error for p < 0")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("want error for p > 100")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestP95Billing(t *testing.T) {
+	// 100 intervals: one rank-based value each; 95th percentile cuts off
+	// the top 5% of samples, the core of the transit billing rule.
+	rates := make([]float64, 100)
+	for i := range rates {
+		rates[i] = float64(i + 1)
+	}
+	got, err := P95(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 95 || got > 96.1 {
+		t.Errorf("P95 = %v, want ≈ 95-96", got)
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	// Property: for any sample set, percentile is monotone in p.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v, err := Percentile(xs, p)
+			if err != nil {
+				return false
+			}
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m, _ := Min(xs); m != 2 {
+		t.Errorf("Min = %v", m)
+	}
+	if m, _ := Max(xs); m != 9 {
+		t.Errorf("Max = %v", m)
+	}
+	if m, _ := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if v, _ := Variance(xs); v != 4 {
+		t.Errorf("Variance = %v, want 4", v)
+	}
+	for _, f := range []func([]float64) (float64, error){Min, Max, Mean, Variance} {
+		if _, err := f(nil); err == nil {
+			t.Error("want error on empty input")
+		}
+	}
+}
+
+func TestSum(t *testing.T) {
+	if s := Sum(nil); s != 0 {
+		t.Errorf("Sum(nil) = %v", s)
+	}
+	if s := Sum([]float64{1.5, 2.5}); s != 4 {
+		t.Errorf("Sum = %v", s)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c, err := NewCDF([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, tc := range tests {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if c.Len() != 4 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if q := c.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %v", q)
+	}
+	if q := c.Quantile(1); q != 3 {
+		t.Errorf("Quantile(1) = %v", q)
+	}
+	if _, err := NewCDF(nil); err == nil {
+		t.Error("want error for empty CDF")
+	}
+}
+
+func TestCDFPointsCollapseDuplicates(t *testing.T) {
+	c, _ := NewCDF([]float64{1, 1, 2})
+	xs, fs := c.Points()
+	if len(xs) != 2 || len(fs) != 2 {
+		t.Fatalf("Points: %v %v", xs, fs)
+	}
+	if xs[0] != 1 || math.Abs(fs[0]-2.0/3.0) > 1e-12 {
+		t.Errorf("first point (%v,%v)", xs[0], fs[0])
+	}
+	if xs[1] != 2 || fs[1] != 1 {
+		t.Errorf("last point (%v,%v)", xs[1], fs[1])
+	}
+}
+
+func TestCDFQuantileInverseProperty(t *testing.T) {
+	// Property: At(Quantile(q)) ≥ q for q in (0,1].
+	src := NewSource(11)
+	xs := make([]float64, 257)
+	for i := range xs {
+		xs[i] = src.Float64() * 100
+	}
+	c, _ := NewCDF(xs)
+	slack := 1.0 / float64(c.Len()) // linear interpolation can undershoot by one rank
+	for q := 0.05; q <= 1.0; q += 0.05 {
+		if got := c.At(c.Quantile(q)); got+slack < q {
+			t.Errorf("At(Quantile(%v)) = %v < q-1/n", q, got)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	// The paper's Figure 3 bins: [0,10), [10,20), [20,50), [50,∞) ms.
+	h, err := NewHistogram([]float64{0, 10, 20, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.5, 1.8, 9.99, 10, 19.9, 20, 49, 50, 120} {
+		h.Add(x)
+	}
+	want := []int{3, 2, 2, 2}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bin %d = %d, want %d (counts %v)", i, c, want[i], h.Counts)
+		}
+	}
+	if h.Total() != 9 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	fr := h.Fractions()
+	if math.Abs(fr[0]-3.0/9.0) > 1e-12 {
+		t.Errorf("fraction[0] = %v", fr[0])
+	}
+}
+
+func TestHistogramUnderflowIgnored(t *testing.T) {
+	h, _ := NewHistogram([]float64{10, 20})
+	h.Add(5)
+	if h.Total() != 0 {
+		t.Errorf("underflow counted: total=%d", h.Total())
+	}
+}
+
+func TestHistogramBadEdges(t *testing.T) {
+	if _, err := NewHistogram([]float64{1}); err == nil {
+		t.Error("want error for single edge")
+	}
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Error("want error for decreasing edges")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Error("want error for equal edges")
+	}
+}
+
+func TestHistogramFractionsEmptyTotal(t *testing.T) {
+	h, _ := NewHistogram([]float64{0, 1})
+	for _, f := range h.Fractions() {
+		if f != 0 {
+			t.Errorf("nonzero fraction on empty histogram")
+		}
+	}
+}
+
+func TestFitExpDecayRecoversParameters(t *testing.T) {
+	// y = 7.5·e^{-0.42x}: fit should recover a and b nearly exactly.
+	var xs, ys []float64
+	for x := 0.0; x <= 20; x++ {
+		xs = append(xs, x)
+		ys = append(ys, 7.5*math.Exp(-0.42*x))
+	}
+	fit, err := FitExpDecay(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.A-7.5) > 1e-9 {
+		t.Errorf("A = %v, want 7.5", fit.A)
+	}
+	if math.Abs(fit.B-0.42) > 1e-9 {
+		t.Errorf("B = %v, want 0.42", fit.B)
+	}
+	if fit.R2 < 0.999999 {
+		t.Errorf("R2 = %v, want ≈ 1", fit.R2)
+	}
+	if v := fit.Eval(2); math.Abs(v-7.5*math.Exp(-0.84)) > 1e-9 {
+		t.Errorf("Eval(2) = %v", v)
+	}
+}
+
+func TestFitExpDecayNoisy(t *testing.T) {
+	src := NewSource(5)
+	var xs, ys []float64
+	for x := 0.0; x <= 30; x++ {
+		xs = append(xs, x)
+		ys = append(ys, 3*math.Exp(-0.2*x)*math.Exp(0.05*src.NormFloat64()))
+	}
+	fit, err := FitExpDecay(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.B-0.2) > 0.02 {
+		t.Errorf("B = %v, want ≈ 0.2", fit.B)
+	}
+	if fit.R2 < 0.95 {
+		t.Errorf("R2 = %v too low for mild noise", fit.R2)
+	}
+}
+
+func TestFitExpDecayErrors(t *testing.T) {
+	if _, err := FitExpDecay([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("want mismatched-length error")
+	}
+	if _, err := FitExpDecay([]float64{1, 2}, []float64{-1, 0}); err == nil {
+		t.Error("want error when no positive points")
+	}
+	if _, err := FitExpDecay([]float64{3, 3}, []float64{1, 2}); err == nil {
+		t.Error("want error for degenerate x")
+	}
+}
+
+func TestFitExpDecaySkipsNonPositive(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{math.E, 0, 1, -4} // only x=0 (e) and x=2 (1) usable: slope -(1/2)·1... compute below
+	fit, err := FitExpDecay(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ln y: (0, 1), (2, 0) → slope -0.5 → B = 0.5, A = e.
+	if math.Abs(fit.B-0.5) > 1e-12 || math.Abs(fit.A-math.E) > 1e-9 {
+		t.Errorf("fit = %+v", fit)
+	}
+}
+
+func TestSourceDeterminism(t *testing.T) {
+	a := NewSource(42)
+	b := NewSource(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+}
+
+func TestSourceSplitIndependence(t *testing.T) {
+	// A child stream must not depend on how much the parent consumed
+	// after the split labels are fixed.
+	p1 := NewSource(7)
+	c1 := p1.Split("netflow")
+	v1 := c1.Float64()
+
+	p2 := NewSource(7)
+	_ = p2.Float64() // consume from the parent first
+	c2 := p2.Split("netflow")
+	v2 := c2.Float64()
+
+	if v1 != v2 {
+		t.Error("Split must depend only on seed and label")
+	}
+
+	// Distinct labels give distinct streams.
+	d := NewSource(7).Split("other")
+	if d.Float64() == v1 {
+		t.Error("distinct labels should give distinct streams (almost surely)")
+	}
+}
+
+func TestSourceSplitNestedDeterminism(t *testing.T) {
+	a := NewSource(3).Split("x").Split("y").Float64()
+	b := NewSource(3).Split("x").Split("y").Float64()
+	if a != b {
+		t.Error("nested splits must be deterministic")
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	src := NewSource(9)
+	n := 20000
+	over := 0
+	for i := 0; i < n; i++ {
+		v := src.Pareto(1, 1.2)
+		if v < 1 {
+			t.Fatalf("Pareto below scale: %v", v)
+		}
+		if v > 10 {
+			over++
+		}
+	}
+	// P(X > 10) = 10^-1.2 ≈ 0.063.
+	frac := float64(over) / float64(n)
+	if frac < 0.04 || frac > 0.09 {
+		t.Errorf("Pareto tail fraction = %v, want ≈ 0.063", frac)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	src := NewSource(13)
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.LogNormal(math.Log(5), 0.5)
+	}
+	sort.Float64s(xs)
+	med := xs[n/2]
+	if med < 4.5 || med > 5.5 {
+		t.Errorf("lognormal median = %v, want ≈ 5", med)
+	}
+}
+
+func TestSourceUniformHelpers(t *testing.T) {
+	src := NewSource(1)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := src.Intn(4)
+		if v < 0 || v >= 4 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("Intn did not cover range: %v", seen)
+	}
+	if v := src.Int63n(10); v < 0 || v >= 10 {
+		t.Errorf("Int63n out of range: %d", v)
+	}
+	perm := src.Perm(5)
+	if len(perm) != 5 {
+		t.Errorf("Perm length %d", len(perm))
+	}
+	xs := []int{1, 2, 3, 4, 5}
+	src.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	if sum != 15 {
+		t.Errorf("Shuffle lost elements: %v", xs)
+	}
+}

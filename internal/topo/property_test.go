@@ -1,0 +1,136 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"remotepeering/internal/stats"
+)
+
+// randomGraph builds a deterministic pseudo-random DAG-ish transit graph
+// from a seed: n networks, each buying transit from up to two
+// lower-numbered networks (so the customer relation is acyclic).
+func randomGraph(seed int64, n int) *Graph {
+	if n < 2 {
+		n = 2
+	}
+	if n > 300 {
+		n = 300
+	}
+	src := stats.NewSource(seed)
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		_ = g.AddNetwork(&Network{ASN: ASN(i + 1)})
+	}
+	for i := 1; i < n; i++ {
+		providers := 1 + src.Intn(2)
+		for k := 0; k < providers; k++ {
+			// Providers have smaller ASNs: the hierarchy points "up".
+			p := ASN(1 + src.Intn(i))
+			_ = g.AddTransit(ASN(i+1), p)
+		}
+	}
+	return g
+}
+
+func TestConeContainsSelfProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		g := randomGraph(seed, int(n)%200+2)
+		for _, asn := range g.ASNs() {
+			cone := g.CustomerCone(asn)
+			found := false
+			for _, c := range cone {
+				if c == asn {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConeMonotoneUnderNewEdgeProperty(t *testing.T) {
+	// Adding a transit edge can only grow cones, never shrink them.
+	f := func(seed int64, n uint8, a, b uint16) bool {
+		size := int(n)%150 + 10
+		g := randomGraph(seed, size)
+		before := map[ASN]int{}
+		for _, asn := range g.ASNs() {
+			before[asn] = g.ConeSize(asn)
+		}
+		// New edge: higher ASN becomes customer of lower (keeps acyclicity).
+		lo := ASN(int(a)%size + 1)
+		hi := ASN(int(b)%size + 1)
+		if lo == hi {
+			return true
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if err := g.AddTransit(hi, lo); err != nil {
+			return false
+		}
+		for _, asn := range g.ASNs() {
+			if g.ConeSize(asn) < before[asn] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConeNestingProperty(t *testing.T) {
+	// A provider's cone contains each of its customers' cones.
+	f := func(seed int64, n uint8) bool {
+		g := randomGraph(seed, int(n)%150+10)
+		for _, p := range g.ASNs() {
+			pc := map[ASN]bool{}
+			for _, a := range g.CustomerCone(p) {
+				pc[a] = true
+			}
+			for _, c := range g.Customers(p) {
+				for _, inner := range g.CustomerCone(c) {
+					if !pc[inner] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProviderCustomerSymmetryProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		g := randomGraph(seed, int(n)%200+2)
+		for _, asn := range g.ASNs() {
+			for _, p := range g.Providers(asn) {
+				found := false
+				for _, c := range g.Customers(p) {
+					if c == asn {
+						found = true
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,232 @@
+package worldgen
+
+import (
+	"fmt"
+	"time"
+
+	"remotepeering/internal/stats"
+	"remotepeering/internal/topo"
+)
+
+// Hazard budget across all studied IXPs, chosen to mirror the paper's
+// per-filter interface discards (Section 3.1: "the filters discard 20, 82,
+// 20, 100, 28, and 5 interfaces respectively"):
+//
+//	sample-size  20 = 10 blackhole + 10 flaky
+//	TTL-switch   82 = 82 OS changes mid-campaign
+//	TTL-match    20 = 12 odd-TTL OSes + 8 misdirected registry entries
+//	RTT-consistent ≈100 = 140 congested ports, of which the filter is
+//	                expected to catch ≈72% (the rest keep a low or sub-
+//	                threshold minimum RTT and classify as local — the
+//	                hazard cannot create false remotes)
+//	LG-consistent  28 = far-site ports at the multi-location dual-LG IXPs
+//	ASN-change    5 = registry churn
+//
+// Congested ports are placed only at single-LG IXPs so that a congested
+// survivor can never leak into the LG-consistent count.
+const (
+	budgetBlackhole = 10
+	budgetFlaky     = 10
+	budgetTTLSwitch = 82
+	budgetOddTTL    = 12
+	budgetMisdirect = 8
+	budgetCongested = 140
+	budgetASNChurn  = 5
+)
+
+// farSiteBudget distributes the 28 LG-consistent discards over the
+// multi-location IXPs that host both LG families.
+var farSiteBudget = map[string]int{"MSK-IX": 10, "PTT": 10, "DIX-IE": 8}
+
+// initTTLForASN deterministically picks 64 or 255 as a network's router
+// OS initial TTL; roughly half the population uses each, matching the
+// paper's "two typical values".
+func initTTLForASN(asn topo.ASN) uint8 {
+	if asn%2 == 0 {
+		return 64
+	}
+	return 255
+}
+
+// buildInterfaces selects the registry-listed probe targets at the studied
+// IXPs and injects the measurement hazards.
+func (w *World) buildInterfaces(src *stats.Source) error {
+	if len(w.specs) == 0 {
+		return fmt.Errorf("worldgen: buildIXPs must run before buildInterfaces")
+	}
+	for i, spec := range w.specs {
+		if !spec.Studied {
+			continue
+		}
+		x := w.IXPs[i]
+		// Listed subset: every remote membership (they are the detection
+		// targets) plus direct members to fill the registry count.
+		var remoteIdx, directIdx []int
+		for mi, m := range x.Members {
+			if m.Remote {
+				remoteIdx = append(remoteIdx, mi)
+			} else {
+				directIdx = append(directIdx, mi)
+			}
+		}
+		src.Shuffle(len(directIdx), func(a, b int) {
+			directIdx[a], directIdx[b] = directIdx[b], directIdx[a]
+		})
+		listed := append([]int(nil), remoteIdx...)
+		need := spec.RegistryIfaces - len(listed)
+		if need < 0 {
+			need = 0
+		}
+		if need > len(directIdx) {
+			need = len(directIdx)
+		}
+		listed = append(listed, directIdx[:need]...)
+
+		for _, mi := range listed {
+			m := x.Members[mi]
+			rec := IfaceRecord{
+				IXPIndex:       i,
+				IP:             m.IP,
+				ASN:            m.ASN,
+				Remote:         m.Remote,
+				AccessCity:     m.AccessCity,
+				InitTTL:        initTTLForASN(m.ASN),
+				RegistryHasASN: src.Float64() < w.Cfg.RegistryASNCoverage,
+			}
+			// The validation networks are always identifiable, like
+			// their real counterparts.
+			if m.ASN >= ASNE4A && m.ASN <= ASNTrunk {
+				rec.RegistryHasASN = true
+			}
+			w.Ifaces = append(w.Ifaces, rec)
+		}
+	}
+
+	// Assign hazards over the direct (non-remote) listed interfaces so the
+	// calibrated remote-band counts survive the filters intact.
+	var directRecs []int
+	perIXPDirect := make(map[int][]int)
+	for ri := range w.Ifaces {
+		if !w.Ifaces[ri].Remote {
+			directRecs = append(directRecs, ri)
+			perIXPDirect[w.Ifaces[ri].IXPIndex] = append(perIXPDirect[w.Ifaces[ri].IXPIndex], ri)
+		}
+	}
+	src.Shuffle(len(directRecs), func(a, b int) {
+		directRecs[a], directRecs[b] = directRecs[b], directRecs[a]
+	})
+
+	// Far-site hazards first (IXP-specific).
+	used := make(map[int]bool)
+	for acr, n := range farSiteBudget {
+		_, xi, err := w.IXPByAcronym(acr)
+		if err != nil {
+			return err
+		}
+		pool := perIXPDirect[xi]
+		placed := 0
+		for _, ri := range pool {
+			if placed >= n {
+				break
+			}
+			if used[ri] {
+				continue
+			}
+			w.Ifaces[ri].Hazard = HazardFarSite
+			w.Ifaces[ri].Location = 1
+			used[ri] = true
+			placed++
+		}
+		if placed < n {
+			return fmt.Errorf("worldgen: not enough direct interfaces at %s for far-site hazards", acr)
+		}
+	}
+
+	// Remaining hazards from the shuffled global pool.
+	type bucket struct {
+		kind HazardKind
+		n    int
+	}
+	buckets := []bucket{
+		{HazardBlackhole, budgetBlackhole},
+		{HazardFlaky, budgetFlaky},
+		{HazardTTLSwitch, budgetTTLSwitch},
+		{HazardOddTTL, budgetOddTTL},
+		{HazardMisdirect, budgetMisdirect},
+		{HazardCongested, budgetCongested},
+		{HazardASNChurn, budgetASNChurn},
+	}
+	cursor := 0
+	nextFree := func(singleLG bool) (int, error) {
+		for cursor < len(directRecs) {
+			ri := directRecs[cursor]
+			cursor++
+			if used[ri] {
+				continue
+			}
+			if singleLG && w.IXPs[w.Ifaces[ri].IXPIndex].HasRIPELG {
+				continue
+			}
+			return ri, nil
+		}
+		return 0, fmt.Errorf("worldgen: ran out of interfaces for hazards")
+	}
+	for _, b := range buckets {
+		// Restart the scan for the congested bucket, which skips dual-LG
+		// IXPs and may need interfaces the earlier scan passed over.
+		if b.kind == HazardCongested {
+			cursor = 0
+		}
+		for k := 0; k < b.n; k++ {
+			ri, err := nextFree(b.kind == HazardCongested)
+			if err != nil {
+				return err
+			}
+			rec := &w.Ifaces[ri]
+			rec.Hazard = b.kind
+			used[ri] = true
+			switch b.kind {
+			case HazardTTLSwitch:
+				rec.SwitchFrac = 0.15 + 0.7*src.Float64()
+			case HazardOddTTL:
+				if src.Float64() < 0.75 {
+					rec.OddTTL = 128
+				} else {
+					rec.OddTTL = 32
+				}
+			case HazardASNChurn:
+				rec.ChurnASN = ASNLeafBase + topo.ASN(src.Intn(w.Cfg.LeafNetworks))
+				rec.RegistryHasASN = true
+			}
+		}
+	}
+	return nil
+}
+
+// InterSiteDelay returns the one-way delay between the primary and
+// secondary sites of the i-th IXP's fabric (zero for single-site fabrics).
+func (w *World) InterSiteDelay(i int) time.Duration {
+	if i < 0 || i >= len(w.specs) {
+		return 0
+	}
+	return time.Duration(w.specs[i].InterSiteMs * float64(time.Millisecond))
+}
+
+// RegistryIfaceTarget returns the spec's registry interface count for the
+// i-th IXP (0 for non-studied IXPs).
+func (w *World) RegistryIfaceTarget(i int) int {
+	if i < 0 || i >= len(w.specs) {
+		return 0
+	}
+	return w.specs[i].RegistryIfaces
+}
+
+// RemoteBandTargets returns the calibrated ground-truth remote interface
+// counts (intercity, intercountry, intercontinental) for the i-th IXP.
+func (w *World) RemoteBandTargets(i int) [3]int {
+	if i < 0 || i >= len(w.specs) {
+		return [3]int{}
+	}
+	s := w.specs[i]
+	return [3]int{s.RemoteIntercity, s.RemoteIntercountry, s.RemoteIntercontinental}
+}

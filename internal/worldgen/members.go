@@ -1,0 +1,445 @@
+package worldgen
+
+import (
+	"math"
+	"net/netip"
+	"sort"
+
+	"remotepeering/internal/geo"
+	"remotepeering/internal/stats"
+	"remotepeering/internal/topo"
+)
+
+// Distance bands (great-circle km) corresponding to the paper's RTT ranges
+// under the propagation model: RTT(km) ≈ km/66.7 ms, so 10 ms ≈ 667 km,
+// 20 ms ≈ 1333 km, 50 ms ≈ 3333 km. Remote peers are drawn from cities in
+// these bands; pseudowire overhead nudges borderline cases over the
+// threshold, as real remote-peering providers' aggregation does.
+const (
+	bandIntercityMinKm = 550
+	bandIntercityMaxKm = 1000
+	bandCountryMinKm   = 1000
+	bandCountryMaxKm   = 2900
+	bandContinentMinKm = 3200
+)
+
+// ipAt returns the n-th usable address of the prefix (n starts at 0 and
+// maps to .10 upward to leave room for LG servers and infrastructure).
+func ipAt(p netip.Prefix, n int) netip.Addr {
+	a := p.Addr().As4()
+	base := uint32(a[0])<<24 | uint32(a[1])<<16 | uint32(a[2])<<8 | uint32(a[3])
+	v := base + 10 + uint32(n)
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+// subnetFor returns the peering-LAN prefix of the i-th IXP.
+func subnetFor(i int) netip.Prefix {
+	if i < 22 {
+		return netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i + 1), 0, 0}), 21)
+	}
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(100 + i - 22), 0, 0}), 21)
+}
+
+// memberCap is the maximum number of IXPs a single network joins (the
+// paper observes IXP counts up to 18 across the studied IXPs, out of a
+// 65-exchange universe).
+const memberCap = 50
+
+// buildIXPs constructs all 65 exchanges and their memberships.
+func (w *World) buildIXPs(src *stats.Source) error {
+	specs := append(append([]ixpSpec(nil), table1...), extraIXPs...)
+	w.specs = specs
+	w.IXPs = make([]*topo.IXP, len(specs))
+
+	// City → leaf pool, in ASN order for determinism.
+	cityLeaves := make(map[string][]topo.ASN)
+	for i := 0; i < w.Cfg.LeafNetworks; i++ {
+		asn := ASNLeafBase + topo.ASN(i)
+		c := w.Graph.Network(asn).City
+		cityLeaves[c] = append(cityLeaves[c], asn)
+	}
+	memberships := make(map[topo.ASN]int) // network → number of IXPs joined
+
+	// Distance-ordered city lists per IXP city, precomputed.
+	allCities := geo.CityNames()
+	sort.Strings(allCities)
+	nearOrder := func(from string) []string {
+		f := geo.MustCity(from)
+		type dc struct {
+			name string
+			km   float64
+		}
+		ds := make([]dc, 0, len(allCities))
+		for _, c := range allCities {
+			ds = append(ds, dc{c, geo.HaversineKm(f.Coord, geo.MustCity(c).Coord)})
+		}
+		sort.Slice(ds, func(i, j int) bool {
+			if ds[i].km != ds[j].km {
+				return ds[i].km < ds[j].km
+			}
+			return ds[i].name < ds[j].name
+		})
+		out := make([]string, len(ds))
+		for i, d := range ds {
+			out[i] = d.name
+		}
+		return out
+	}
+
+	for i, spec := range specs {
+		x := &topo.IXP{
+			Acronym:         spec.Acronym,
+			FullName:        spec.FullName,
+			Cities:          append([]string{spec.City}, spec.ExtraLocations...),
+			Country:         spec.Country,
+			PeakTrafficTbps: spec.PeakTbps,
+			Subnet:          subnetFor(i),
+			HasPCHLG:        spec.Studied,
+			HasRIPELG:       spec.HasRIPELG,
+		}
+		w.IXPs[i] = x
+
+		taken := make(map[topo.ASN]bool)
+		nextIP := 0
+		addMember := func(asn topo.ASN, remote bool, accessCity, provider string) {
+			m := topo.Membership{
+				ASN: asn, Remote: remote, Provider: provider,
+				AccessCity: accessCity, IP: ipAt(x.Subnet, nextIP),
+			}
+			nextIP++
+			x.Members = append(x.Members, m)
+			if !taken[asn] {
+				taken[asn] = true
+				memberships[asn]++
+			}
+		}
+
+		// 1. Global players: content, CDNs, big transits, tier-1s.
+		big := float64(spec.Members)
+		for k := 0; k < numContent; k++ {
+			asn := ASNContent + topo.ASN(k)
+			p := minF(0.9, big/250) * (1 - 0.015*float64(k))
+			if src.Float64() < p && memberships[asn] < memberCap {
+				addMember(asn, false, spec.City, "")
+			}
+		}
+		for k := 0; k < numCDN; k++ {
+			asn := ASNCDN + topo.ASN(k)
+			p := minF(0.9, big/230) * (1 - 0.015*float64(k))
+			if src.Float64() < p && memberships[asn] < memberCap {
+				addMember(asn, false, spec.City, "")
+			}
+		}
+		ixpContinent := geo.MustCity(spec.City).Continent
+		for k := 0; k < numGlobalTransit; k++ {
+			asn := ASNTransit + topo.ASN(k)
+			// The biggest carriers hold ports almost everywhere big, but
+			// carriers concentrate on their home continent — which keeps
+			// the cone coverage of the Terremark-analogue distinct from
+			// the European trio's (Figure 8).
+			p := minF(0.9, big/650) * math.Sqrt(1-float64(k)/float64(numGlobalTransit))
+			if geo.MustCity(w.Graph.Network(asn).City).Continent != ixpContinent {
+				p *= 0.25
+			}
+			if src.Float64() < p && memberships[asn] < memberCap {
+				addMember(asn, false, spec.City, "")
+			}
+		}
+		if spec.Acronym == "ESpanix" {
+			// All tier-1s are ESpanix members (the paper's reason to
+			// exclude them from RedIRIS's potential remote peers).
+			for _, t := range w.Tier1s {
+				addMember(t, false, spec.City, "")
+			}
+		} else {
+			for _, t := range w.Tier1s {
+				if src.Float64() < minF(0.5, big/1200) && memberships[t] < memberCap {
+					addMember(t, false, spec.City, "")
+				}
+			}
+		}
+		// NRENs join home-city exchanges.
+		for _, n := range w.NRENs {
+			if w.Graph.Network(n).City == spec.City && src.Float64() < 0.7 {
+				addMember(n, false, spec.City, "")
+			}
+		}
+		// RedIRIS is a member of CATNIX and ESpanix.
+		if spec.Acronym == "CATNIX" || spec.Acronym == "ESpanix" {
+			if !taken[w.RedIRIS] {
+				addMember(w.RedIRIS, false, "Madrid", "")
+			}
+		}
+
+		// 2. The validation networks (Section 3.2/3.3 analogues).
+		w.addSpecialMembers(spec, addMember, taken)
+
+		// 3. Ground-truth remote members from the spec's distance bands
+		// (studied IXPs only; membership at the other 43 does not feed
+		// the detector).
+		remaining := [3]int{spec.RemoteIntercity, spec.RemoteIntercountry, spec.RemoteIntercontinental}
+		// Specials already consumed some of the band budget.
+		for _, m := range x.Members {
+			if m.Remote {
+				b := bandOf(spec.City, m.AccessCity)
+				if b >= 0 && remaining[b] > 0 {
+					remaining[b]--
+				}
+			}
+		}
+		order := nearOrder(spec.City)
+		for band := 0; band < 3; band++ {
+			for n := 0; n < remaining[band]; n++ {
+				city, ok := pickBandCity(src, order, spec.City, band)
+				if !ok {
+					continue
+				}
+				// Prefer an existing leaf homed there; otherwise any
+				// free leaf, treated as an operator whose PoP in that
+				// city buys the remote-peering service.
+				var asn topo.ASN
+				pool := cityLeaves[city]
+				found := false
+				for tries := 0; tries < 8 && len(pool) > 0; tries++ {
+					cand := pool[src.Intn(len(pool))]
+					if !taken[cand] && memberships[cand] < memberCap {
+						asn, found = cand, true
+						break
+					}
+				}
+				for tries := 0; !found && tries < 32; tries++ {
+					cand := ASNLeafBase + topo.ASN(src.Intn(w.Cfg.LeafNetworks))
+					if !taken[cand] && memberships[cand] < memberCap {
+						asn, found = cand, true
+					}
+				}
+				if !found {
+					continue
+				}
+				addMember(asn, true, city, RemoteProviders[src.Intn(len(RemoteProviders))])
+			}
+		}
+
+		// 4a. Big-trio overlap: the paper observes that AMS-IX, LINX and
+		// DE-CIX share many members (which flattens Figure 8's residual
+		// offload). DE-CIX and LINX therefore recruit a slice of their
+		// quota from the previously built trio exchanges.
+		if spec.Acronym == "DE-CIX" || spec.Acronym == "LINX" {
+			for j := 0; j < i; j++ {
+				prev := w.IXPs[j]
+				if prev.Acronym != "AMS-IX" && prev.Acronym != "DE-CIX" {
+					continue
+				}
+				for _, pm := range prev.Members {
+					if len(x.Members) >= spec.Members*17/20 {
+						break
+					}
+					if pm.ASN < ASNLeafBase || taken[pm.ASN] || memberships[pm.ASN] >= memberCap {
+						continue
+					}
+					if src.Float64() < 0.85 {
+						addMember(pm.ASN, false, spec.City, "")
+					}
+				}
+			}
+		}
+
+		// 4. Fill the remaining quota with nearby leaves.
+		for _, city := range order {
+			if len(x.Members) >= spec.Members {
+				break
+			}
+			for _, asn := range cityLeaves[city] {
+				if len(x.Members) >= spec.Members {
+					break
+				}
+				if taken[asn] || memberships[asn] >= 3 {
+					continue
+				}
+				// Locality decays with city rank in the distance order.
+				if city != spec.City && src.Float64() > 0.25 {
+					continue
+				}
+				addMember(asn, false, spec.City, "")
+			}
+		}
+
+		// 5. Extra ports: studied IXPs whose registry lists more
+		// interfaces than members get second ports for random direct
+		// members (remote memberships keep a single port so the
+		// calibrated Figure 3 band counts stay exact).
+		if spec.Studied && spec.RegistryIfaces > len(x.Members) {
+			var direct []topo.Membership
+			for _, m := range x.Members {
+				if !m.Remote {
+					direct = append(direct, m)
+				}
+			}
+			extra := spec.RegistryIfaces - len(x.Members)
+			for k := 0; k < extra && len(direct) > 0; k++ {
+				m := direct[src.Intn(len(direct))]
+				m.IP = ipAt(x.Subnet, nextIP)
+				nextIP++
+				x.Members = append(x.Members, m)
+			}
+		}
+
+		// Multi-location fabrics.
+		if len(spec.ExtraLocations) > 0 {
+			// Locations are assigned later, with the far-site hazards.
+			_ = spec.InterSiteMs
+		}
+	}
+
+	// RedIRIS peers at its home IXPs with the open-policy co-members via
+	// the route servers; their traffic consequently does not ride
+	// transit.
+	for _, acr := range []string{"CATNIX", "ESpanix"} {
+		x, _, err := w.IXPByAcronym(acr)
+		if err != nil {
+			return err
+		}
+		for _, asn := range x.MemberASNs() {
+			if asn == w.RedIRIS {
+				continue
+			}
+			if w.Graph.Network(asn).Policy == topo.PolicyOpen {
+				if err := w.Graph.AddPeering(w.RedIRIS, asn); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// addSpecialMembers places the validation networks at the IXPs the paper
+// reports for them.
+func (w *World) addSpecialMembers(spec ixpSpec, addMember func(topo.ASN, bool, string, string), taken map[topo.ASN]bool) {
+	add := func(asn topo.ASN, remote bool, home, provider string) {
+		if !taken[asn] {
+			addMember(asn, remote, home, provider)
+		}
+	}
+	switch spec.Acronym {
+	// E4A (Milan): direct at the Italian IXPs, remote at six exchanges
+	// including two across the Atlantic (TorIX, TIE) — Section 3.2/3.3.
+	case "MIX", "TOP-IX", "VIX":
+		add(ASNE4A, false, "Milan", "")
+	case "DE-CIX", "France-IX", "LoNAP", "AMS-IX":
+		add(ASNE4A, true, "Milan", "IX Reach")
+	case "TorIX", "TIE":
+		add(ASNE4A, true, "Milan", "IX Reach")
+
+		// Invitel (Budapest): remote at AMS-IX and DE-CIX via Atrato
+		// (Section 3.3). AMS-IX and DE-CIX also get E4A above; order of the
+		// switch cases matters, so Invitel is added here too.
+	}
+	switch spec.Acronym {
+	case "AMS-IX", "DE-CIX":
+		add(ASNInvitel, true, "Budapest", "Atrato IP Networks")
+	case "BIX":
+		add(ASNInvitel, false, "Budapest", "")
+	}
+	// Türk Telekom analogue: a transit provider peering remotely in
+	// Western Europe (Section 3.2 lists transit among remote peers'
+	// businesses).
+	switch spec.Acronym {
+	case "LINX", "France-IX":
+		add(ASNTurkTel, true, "Istanbul", "Atrato IP Networks")
+	}
+	// Trunk Networks analogue: a hosting company, remote at AMS-IX.
+	if spec.Acronym == "AMS-IX" {
+		add(ASNTrunk, true, "London", "IX Reach")
+	}
+	if spec.Acronym == "LINX" || spec.Acronym == "LoNAP" {
+		add(ASNTrunk, false, "London", "")
+	}
+}
+
+// bandOf returns the distance band (0 intercity, 1 intercountry,
+// 2 intercontinental) between two cities, or -1 for local.
+func bandOf(ixpCity, accessCity string) int {
+	a, err1 := geo.LookupCity(ixpCity)
+	b, err2 := geo.LookupCity(accessCity)
+	if err1 != nil || err2 != nil {
+		return -1
+	}
+	km := geo.HaversineKm(a.Coord, b.Coord)
+	switch {
+	case km < bandIntercityMinKm:
+		return -1
+	case km < bandIntercityMaxKm:
+		return 0
+	case km < bandCountryMaxKm:
+		return 1
+	case km < bandContinentMinKm:
+		return -1 // dead zone between bands: RTT could straddle 50 ms
+	default:
+		return 2
+	}
+}
+
+// pickBandCity chooses a city in the requested distance band from the
+// precomputed near-order list.
+func pickBandCity(src *stats.Source, order []string, from string, band int) (string, bool) {
+	var cands []string
+	for _, c := range order {
+		if c == from {
+			continue
+		}
+		if bandOf(from, c) == band {
+			cands = append(cands, c)
+		}
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	return cands[src.Intn(len(cands))], true
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// assignAddressSpace gives every network an IP-interface estimate whose
+// global sum is ~2.6 billion — the paper's Figure 10 starting point for
+// "IP interfaces reachable through the transit hierarchy".
+func (w *World) assignAddressSpace(src *stats.Source) error {
+	const targetTotal = 2.6e9
+	var raw []float64
+	asns := w.Graph.ASNs()
+	for _, asn := range asns {
+		n := w.Graph.Network(asn)
+		var v float64
+		switch n.Kind {
+		case topo.KindTier1:
+			v = 2.5e7 * (1 + src.Float64())
+		case topo.KindTransit:
+			// Transit carriers aggregate the bulk of the world's
+			// eyeball address space, concentrated in the largest
+			// carriers — which is what lets the first reached IXP
+			// slash the Figure 10 metric from 2.6 toward ≈1 billion.
+			v = 6e7 / math.Pow(float64(1+n.SizeRank), 0.6) * (0.8 + 0.4*src.Float64())
+		case topo.KindContent, topo.KindCDN:
+			v = 2e5 * (1 + 4*src.Float64())
+		case topo.KindNREN:
+			v = 8e5 * (1 + src.Float64())
+		default:
+			v = 5e3 * src.Pareto(1, 1.1)
+			if v > 5e6 {
+				v = 5e6
+			}
+		}
+		raw = append(raw, v)
+	}
+	total := stats.Sum(raw)
+	scale := targetTotal / total
+	for i, asn := range asns {
+		w.Graph.Network(asn).IPInterfaces = int64(raw[i] * scale)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package worldgen
+
+// ixpSpec describes one IXP of the synthetic world. The 22 studied IXPs
+// carry the metadata printed in Table 1 of the paper (acronym, full name,
+// location, peak traffic, number of members) plus calibration knobs that
+// shape what the detector should find there: how many member interfaces the
+// public registries expose (the paper's "number of analyzed interfaces"
+// emerges from this after the six filters), and how many of those
+// interfaces belong to remote peers in each distance band of Figure 3.
+type ixpSpec struct {
+	Acronym  string
+	FullName string
+	City     string
+	Country  string
+	PeakTbps float64 // 0 means N/A in Table 1
+	Members  int
+	// RegistryIfaces is the number of member interfaces the public
+	// registries (PeeringDB/PCH/IXP website) list for the IXP — i.e. the
+	// probe-target count. Calibrated to Table 1's analyzed-interface
+	// column plus the pipeline's expected discards.
+	RegistryIfaces int
+	// RemoteIntercity, RemoteIntercountry, RemoteIntercontinental are the
+	// ground-truth remote interface counts per Figure 3 distance band.
+	RemoteIntercity        int
+	RemoteIntercountry     int
+	RemoteIntercontinental int
+	// ExtraLocations lists additional fabric sites (multi-location IXPs);
+	// the primary site is City. InterSiteMs is the one-way delay between
+	// the primary and each extra site.
+	ExtraLocations []string
+	InterSiteMs    float64
+	// HasRIPELG marks IXPs hosting a RIPE NCC LG in addition to the PCH
+	// one (all studied IXPs host a PCH LG in the reproduction).
+	HasRIPELG bool
+	// Studied marks the 22 IXPs of the Section 3 measurement study.
+	Studied bool
+}
+
+// table1 reproduces the 22 studied IXPs. Member and interface counts are
+// the published Table 1 values; registry interface counts are the analyzed
+// counts inflated by the pipeline's overall discard rate (255 discards over
+// 4,451 analyzed ≈ 5.7%); remote-band counts are calibrated against
+// Figure 3 (remote peering detected at every IXP except DIX-IE and CABASE,
+// intercontinental remote peering at a majority of the IXPs, and about a
+// fifth of AMS-IX members peering remotely).
+var table1 = []ixpSpec{
+	{Acronym: "AMS-IX", FullName: "Amsterdam Internet Exchange", City: "Amsterdam", Country: "Netherlands",
+		PeakTbps: 5.48, Members: 638, RegistryIfaces: 703,
+		RemoteIntercity: 42, RemoteIntercountry: 44, RemoteIntercontinental: 22,
+		ExtraLocations: []string{"Amsterdam"}, InterSiteMs: 0.3, HasRIPELG: true, Studied: true},
+	{Acronym: "DE-CIX", FullName: "German Commercial Internet Exchange", City: "Frankfurt", Country: "Germany",
+		PeakTbps: 3.21, Members: 463, RegistryIfaces: 566,
+		RemoteIntercity: 32, RemoteIntercountry: 31, RemoteIntercontinental: 19,
+		HasRIPELG: true, Studied: true},
+	{Acronym: "LINX", FullName: "London Internet Exchange", City: "London", Country: "UK",
+		PeakTbps: 2.60, Members: 497, RegistryIfaces: 551,
+		RemoteIntercity: 26, RemoteIntercountry: 25, RemoteIntercontinental: 15,
+		HasRIPELG: true, Studied: true},
+	{Acronym: "HKIX", FullName: "Hong Kong Internet Exchange", City: "Hong Kong", Country: "China",
+		PeakTbps: 0.48, Members: 213, RegistryIfaces: 294,
+		RemoteIntercity: 6, RemoteIntercountry: 7, RemoteIntercontinental: 10, Studied: true},
+	{Acronym: "NYIIX", FullName: "New York International Internet Exchange", City: "New York", Country: "USA",
+		PeakTbps: 0.46, Members: 132, RegistryIfaces: 253,
+		RemoteIntercity: 8, RemoteIntercountry: 8, RemoteIntercontinental: 8,
+		ExtraLocations: []string{"New York"}, InterSiteMs: 0.4, Studied: true},
+	{Acronym: "MSK-IX", FullName: "Moscow Internet eXchange", City: "Moscow", Country: "Russia",
+		PeakTbps: 1.32, Members: 367, RegistryIfaces: 231,
+		RemoteIntercity: 8, RemoteIntercountry: 7,
+		ExtraLocations: []string{"Moscow"}, InterSiteMs: 3.5, HasRIPELG: true, Studied: true},
+	{Acronym: "PLIX", FullName: "Polish Internet Exchange", City: "Warsaw", Country: "Poland",
+		PeakTbps: 0.63, Members: 235, RegistryIfaces: 219,
+		RemoteIntercity: 7, RemoteIntercountry: 10, Studied: true},
+	{Acronym: "France-IX", FullName: "France-IX", City: "Paris", Country: "France",
+		PeakTbps: 0.23, Members: 230, RegistryIfaces: 213,
+		RemoteIntercity: 11, RemoteIntercountry: 12, RemoteIntercontinental: 8, Studied: true},
+	{Acronym: "PTT", FullName: "PTTMetro Sao Paolo", City: "Sao Paolo", Country: "Brazil",
+		PeakTbps: 0.30, Members: 482, RegistryIfaces: 190,
+		RemoteIntercity: 20, RemoteIntercountry: 16,
+		ExtraLocations: []string{"Sao Paolo"}, InterSiteMs: 3.0, HasRIPELG: true, Studied: true},
+	{Acronym: "SIX", FullName: "Seattle Internet Exchange", City: "Seattle", Country: "USA",
+		PeakTbps: 0.53, Members: 177, RegistryIfaces: 185,
+		RemoteIntercity: 4, RemoteIntercountry: 5, RemoteIntercontinental: 4, Studied: true},
+	{Acronym: "LoNAP", FullName: "London Network Access Point", City: "London", Country: "UK",
+		PeakTbps: 0.10, Members: 142, RegistryIfaces: 175,
+		RemoteIntercity: 6, RemoteIntercountry: 6, RemoteIntercontinental: 5, Studied: true},
+	{Acronym: "JPIX", FullName: "Japan Internet Exchange", City: "Tokyo", Country: "Japan",
+		PeakTbps: 0.43, Members: 131, RegistryIfaces: 172,
+		RemoteIntercity: 3, RemoteIntercountry: 3, RemoteIntercontinental: 4, Studied: true},
+	{Acronym: "TorIX", FullName: "Toronto Internet Exchange", City: "Toronto", Country: "Canada",
+		PeakTbps: 0.28, Members: 177, RegistryIfaces: 170,
+		RemoteIntercity: 4, RemoteIntercountry: 4, RemoteIntercontinental: 5, Studied: true},
+	{Acronym: "VIX", FullName: "Vienna Internet Exchange", City: "Vienna", Country: "Austria",
+		PeakTbps: 0.19, Members: 121, RegistryIfaces: 141,
+		RemoteIntercity: 5, RemoteIntercountry: 8, HasRIPELG: true, Studied: true},
+	{Acronym: "MIX", FullName: "Milan Internet Exchange", City: "Milan", Country: "Italy",
+		PeakTbps: 0.16, Members: 133, RegistryIfaces: 138,
+		RemoteIntercity: 4, RemoteIntercountry: 6, Studied: true},
+	{Acronym: "TOP-IX", FullName: "Torino Piemonte Internet Exchange", City: "Turin", Country: "Italy",
+		PeakTbps: 0.05, Members: 80, RegistryIfaces: 96,
+		RemoteIntercity: 11, RemoteIntercountry: 12, Studied: true},
+	{Acronym: "Netnod", FullName: "Netnod Internet Exchange", City: "Stockholm", Country: "Sweden",
+		PeakTbps: 1.34, Members: 89, RegistryIfaces: 75,
+		RemoteIntercity: 2, RemoteIntercountry: 3, HasRIPELG: true, Studied: true},
+	{Acronym: "KINX", FullName: "Korea Internet Neutral Exchange", City: "Seoul", Country: "South Korea",
+		PeakTbps: 0.15, Members: 46, RegistryIfaces: 75,
+		RemoteIntercity: 1, RemoteIntercountry: 1, RemoteIntercontinental: 2, Studied: true},
+	{Acronym: "CABASE", FullName: "Argentine Chamber of Internet", City: "Buenos Aires", Country: "Argentina",
+		PeakTbps: 0.02, Members: 101, RegistryIfaces: 72, Studied: true},
+	{Acronym: "INEX", FullName: "Internet Neutral Exchange", City: "Dublin", Country: "Ireland",
+		PeakTbps: 0.13, Members: 63, RegistryIfaces: 70,
+		RemoteIntercity: 2, RemoteIntercountry: 3, Studied: true},
+	{Acronym: "DIX-IE", FullName: "Distributed Internet Exchange in Edo", City: "Tokyo", Country: "Japan",
+		PeakTbps: 0, Members: 36, RegistryIfaces: 59,
+		ExtraLocations: []string{"Tokyo"}, InterSiteMs: 3.2, HasRIPELG: true, Studied: true},
+	{Acronym: "TIE", FullName: "Telx Internet Exchange", City: "New York", Country: "USA",
+		PeakTbps: 0.02, Members: 149, RegistryIfaces: 57,
+		RemoteIntercity: 2, RemoteIntercountry: 2, RemoteIntercontinental: 4, Studied: true},
+}
+
+// extraIXPs are the additional exchanges that bring the Section 4 reach set
+// to the 65 Euro-IX members of February 2013. The named entries are the
+// ones the paper's Figures 7 and 8 single out (Terremark with its South and
+// Central American membership, SFINX, NL-ix, CoreSite) plus RedIRIS's two
+// home IXPs (CATNIX, ESpanix) and the partner IXPs of TOP-IX (VSIX in
+// Padua, LyonIX in Lyon). The remainder fill out Europe, roughly following
+// the Euro-IX membership geography of the time.
+var extraIXPs = []ixpSpec{
+	{Acronym: "Terremark", FullName: "Terremark NAP of the Americas", City: "Miami", Country: "USA", Members: 267},
+	{Acronym: "SFINX", FullName: "Service for French Internet Exchange", City: "Paris", Country: "France", Members: 110},
+	{Acronym: "NL-ix", FullName: "Netherlands Internet Exchange", City: "Amsterdam", Country: "Netherlands", Members: 230},
+	{Acronym: "CoreSite", FullName: "CoreSite Any2 Exchange", City: "Los Angeles", Country: "USA", Members: 180},
+	{Acronym: "CATNIX", FullName: "Catalunya Neutral Internet Exchange", City: "Barcelona", Country: "Spain", Members: 30},
+	{Acronym: "ESpanix", FullName: "Espana Internet Exchange", City: "Madrid", Country: "Spain", Members: 60},
+	{Acronym: "VSIX", FullName: "Veneto System Internet Exchange", City: "Padua", Country: "Italy", Members: 40},
+	{Acronym: "LyonIX", FullName: "Lyon Internet Exchange", City: "Lyon", Country: "France", Members: 55},
+	{Acronym: "ECIX", FullName: "European Commercial Internet Exchange", City: "Hamburg", Country: "Germany", Members: 90},
+	{Acronym: "BCIX", FullName: "Berlin Commercial Internet Exchange", City: "Hamburg", Country: "Germany", Members: 60},
+	{Acronym: "DE-CIX-MUC", FullName: "DE-CIX Munich", City: "Munich", Country: "Germany", Members: 45},
+	{Acronym: "SwissIX", FullName: "Swiss Internet Exchange", City: "Zurich", Country: "Switzerland", Members: 120},
+	{Acronym: "CIXP", FullName: "CERN Internet Exchange Point", City: "Geneva", Country: "Switzerland", Members: 30},
+	{Acronym: "BNIX", FullName: "Belgian National Internet Exchange", City: "Brussels", Country: "Belgium", Members: 50},
+	{Acronym: "LU-CIX", FullName: "Luxembourg Internet Exchange", City: "Luxembourg", Country: "Luxembourg", Members: 35},
+	{Acronym: "NIX-CZ", FullName: "Neutral Internet Exchange Czech", City: "Prague", Country: "Czech Republic", Members: 95},
+	{Acronym: "SIX-SK", FullName: "Slovak Internet Exchange", City: "Bratislava", Country: "Slovakia", Members: 45},
+	{Acronym: "BIX", FullName: "Budapest Internet Exchange", City: "Budapest", Country: "Hungary", Members: 60},
+	{Acronym: "InterLAN", FullName: "InterLAN Internet Exchange", City: "Bucharest", Country: "Romania", Members: 55},
+	{Acronym: "UA-IX", FullName: "Ukrainian Internet Exchange", City: "Kiev", Country: "Ukraine", Members: 90},
+	{Acronym: "GigaPIX", FullName: "Gigabit Portuguese Internet Exchange", City: "Lisbon", Country: "Portugal", Members: 30},
+	{Acronym: "NaMeX", FullName: "Nautilus Mediterranean Exchange", City: "Rome", Country: "Italy", Members: 45},
+	{Acronym: "NIX-NO", FullName: "Norwegian Internet Exchange", City: "Oslo", Country: "Norway", Members: 40},
+	{Acronym: "FICIX", FullName: "Finnish Communication Internet Exchange", City: "Helsinki", Country: "Finland", Members: 30},
+	{Acronym: "GR-IX", FullName: "Greek Internet Exchange", City: "Athens", Country: "Greece", Members: 35},
+	{Acronym: "BG-IX", FullName: "Bulgarian Internet Exchange", City: "Sofia", Country: "Bulgaria", Members: 30},
+	{Acronym: "CIX-HR", FullName: "Croatian Internet Exchange", City: "Zagreb", Country: "Croatia", Members: 25},
+	{Acronym: "SOX", FullName: "Serbia Open Exchange", City: "Belgrade", Country: "Serbia", Members: 30},
+	{Acronym: "SMILE-LV", FullName: "Latvian Internet Exchange", City: "Riga", Country: "Latvia", Members: 25},
+	{Acronym: "LITIX", FullName: "Lithuanian Internet Exchange", City: "Vilnius", Country: "Lithuania", Members: 20},
+	{Acronym: "TLLIX", FullName: "Tallinn Internet Exchange", City: "Tallinn", Country: "Estonia", Members: 20},
+	{Acronym: "DIX-DK", FullName: "Danish Internet Exchange", City: "Copenhagen", Country: "Denmark", Members: 45},
+	{Acronym: "IXManchester", FullName: "IX Manchester", City: "Manchester", Country: "UK", Members: 50},
+	{Acronym: "IXScotland", FullName: "IX Scotland", City: "Edinburgh", Country: "UK", Members: 20},
+	{Acronym: "MarIX", FullName: "Marseille Internet Exchange", City: "Marseille", Country: "France", Members: 30},
+	{Acronym: "SIX-SI", FullName: "Slovenian Internet Exchange", City: "Ljubljana", Country: "Slovenia", Members: 25},
+	{Acronym: "TIX-CH", FullName: "Telehouse Internet Exchange Zurich", City: "Zurich", Country: "Switzerland", Members: 40},
+	{Acronym: "Any2-Ash", FullName: "Any2 Ashburn Exchange", City: "Ashburn", Country: "USA", Members: 150},
+	{Acronym: "EquinixSJ", FullName: "Equinix San Jose Exchange", City: "San Jose", Country: "USA", Members: 130},
+	{Acronym: "EquinixCH", FullName: "Equinix Chicago Exchange", City: "Chicago", Country: "USA", Members: 140},
+	{Acronym: "EquinixDA", FullName: "Equinix Dallas Exchange", City: "Dallas", Country: "USA", Members: 90},
+	{Acronym: "QIX", FullName: "Quebec Internet Exchange", City: "Montreal", Country: "Canada", Members: 35},
+	{Acronym: "MEX-IX", FullName: "Mexico Internet Exchange", City: "Mexico City", Country: "Mexico", Members: 30},
+}

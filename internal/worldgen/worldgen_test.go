@@ -1,0 +1,532 @@
+package worldgen
+
+import (
+	"testing"
+
+	"remotepeering/internal/geo"
+	"remotepeering/internal/topo"
+)
+
+// testWorld generates a reduced-scale world once for the whole package.
+var testWorldCache *World
+
+func testWorld(t *testing.T) *World {
+	t.Helper()
+	if testWorldCache == nil {
+		w, err := Generate(Config{Seed: 42, LeafNetworks: 6000})
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		testWorldCache = w
+	}
+	return testWorldCache
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Seed: 7, LeafNetworks: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Seed: 7, LeafNetworks: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.Len() != b.Graph.Len() || len(a.Ifaces) != len(b.Ifaces) {
+		t.Fatal("same seed must give identical world sizes")
+	}
+	for i := range a.Ifaces {
+		if a.Ifaces[i] != b.Ifaces[i] {
+			t.Fatalf("iface %d differs between runs", i)
+		}
+	}
+	for i := range a.IXPs {
+		if len(a.IXPs[i].Members) != len(b.IXPs[i].Members) {
+			t.Fatalf("IXP %s member counts differ", a.IXPs[i].Acronym)
+		}
+	}
+	c, err := Generate(Config{Seed: 8, LeafNetworks: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Ifaces) == len(a.Ifaces) {
+		// Sizes can coincide; compare content loosely.
+		same := true
+		for i := range c.Ifaces {
+			if c.Ifaces[i] != a.Ifaces[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical interface tables")
+		}
+	}
+}
+
+func TestSixtyFiveIXPs(t *testing.T) {
+	w := testWorld(t)
+	if len(w.IXPs) != 65 {
+		t.Fatalf("got %d IXPs, want the paper's 65 Euro-IX reach set", len(w.IXPs))
+	}
+	if w.NumStudied() != 22 {
+		t.Fatalf("got %d studied IXPs, want 22", w.NumStudied())
+	}
+	// Table 1 order of the first entries.
+	for i, acr := range []string{"AMS-IX", "DE-CIX", "LINX", "HKIX", "NYIIX"} {
+		if w.IXPs[i].Acronym != acr {
+			t.Errorf("IXPs[%d] = %s, want %s", i, w.IXPs[i].Acronym, acr)
+		}
+	}
+	// Distinct subnets.
+	seen := map[string]bool{}
+	for _, x := range w.IXPs {
+		s := x.Subnet.String()
+		if seen[s] {
+			t.Errorf("duplicate subnet %s", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestTable1Metadata(t *testing.T) {
+	w := testWorld(t)
+	x, _, err := w.IXPByAcronym("AMS-IX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.City() != "Amsterdam" || x.Country != "Netherlands" || x.PeakTrafficTbps != 5.48 {
+		t.Errorf("AMS-IX metadata: %+v", x)
+	}
+	if _, _, err := w.IXPByAcronym("NOPE"); err == nil {
+		t.Error("want error for unknown acronym")
+	}
+	// DIX-IE's N/A peak traffic is stored as zero.
+	d, _, err := w.IXPByAcronym("DIX-IE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.PeakTrafficTbps != 0 {
+		t.Errorf("DIX-IE peak = %v", d.PeakTrafficTbps)
+	}
+}
+
+func TestMemberCountsMatchTable1(t *testing.T) {
+	w := testWorld(t)
+	for i, spec := range table1 {
+		got := len(w.IXPs[i].Members)
+		// Registry extra ports can push the membership-slot count past
+		// the member quota; allow the documented relationship.
+		want := spec.Members
+		if spec.RegistryIfaces > want {
+			want = spec.RegistryIfaces
+		}
+		if got < spec.Members*8/10 || got > want+spec.Members/10 {
+			t.Errorf("%s: %d membership slots, spec members=%d registry=%d",
+				spec.Acronym, got, spec.Members, spec.RegistryIfaces)
+		}
+	}
+}
+
+func TestRegistryInterfaceCounts(t *testing.T) {
+	w := testWorld(t)
+	perIXP := map[int]int{}
+	for _, r := range w.Ifaces {
+		perIXP[r.IXPIndex]++
+	}
+	total := 0
+	for i, spec := range table1 {
+		got := perIXP[i]
+		total += got
+		if got != spec.RegistryIfaces {
+			t.Errorf("%s: %d listed interfaces, want %d", spec.Acronym, got, spec.RegistryIfaces)
+		}
+	}
+	// The paper's pipeline starts from ~4.7k probe targets (4,451
+	// analyzed + 255 discards).
+	if total < 4600 || total > 4800 {
+		t.Errorf("total listed interfaces = %d, want ≈ 4,705", total)
+	}
+}
+
+func TestHazardBudgetsExact(t *testing.T) {
+	w := testWorld(t)
+	counts := map[HazardKind]int{}
+	for _, r := range w.Ifaces {
+		counts[r.Hazard]++
+		if r.Remote && r.Hazard != HazardNone {
+			t.Errorf("remote interface %v carries hazard %v", r.IP, r.Hazard)
+		}
+	}
+	want := map[HazardKind]int{
+		HazardBlackhole: budgetBlackhole,
+		HazardFlaky:     budgetFlaky,
+		HazardTTLSwitch: budgetTTLSwitch,
+		HazardOddTTL:    budgetOddTTL,
+		HazardMisdirect: budgetMisdirect,
+		HazardCongested: budgetCongested,
+		HazardFarSite:   28,
+		HazardASNChurn:  budgetASNChurn,
+	}
+	for k, n := range want {
+		if counts[k] != n {
+			t.Errorf("hazard %v count = %d, want %d", k, counts[k], n)
+		}
+	}
+}
+
+func TestHazardParameters(t *testing.T) {
+	w := testWorld(t)
+	for _, r := range w.Ifaces {
+		switch r.Hazard {
+		case HazardTTLSwitch:
+			if r.SwitchFrac < 0.1 || r.SwitchFrac > 0.9 {
+				t.Errorf("switch frac %v out of campaign interior", r.SwitchFrac)
+			}
+		case HazardOddTTL:
+			if r.OddTTL != 128 && r.OddTTL != 32 {
+				t.Errorf("odd TTL %d, want 128 or 32", r.OddTTL)
+			}
+		case HazardASNChurn:
+			if r.ChurnASN == 0 || r.ChurnASN == r.ASN {
+				t.Errorf("churn ASN %d unusable", r.ChurnASN)
+			}
+			if !r.RegistryHasASN {
+				t.Error("churn interfaces must be registry-identified")
+			}
+		case HazardFarSite:
+			if r.Location != 1 {
+				t.Errorf("far-site interface at location %d", r.Location)
+			}
+		}
+		if r.InitTTL != 64 && r.InitTTL != 255 {
+			t.Errorf("InitTTL %d, want 64 or 255", r.InitTTL)
+		}
+	}
+}
+
+func TestFarSiteOnlyAtMultiSiteDualLGIXPs(t *testing.T) {
+	w := testWorld(t)
+	for _, r := range w.Ifaces {
+		if r.Hazard != HazardFarSite {
+			continue
+		}
+		x := w.IXPs[r.IXPIndex]
+		if n, ok := farSiteBudget[x.Acronym]; !ok || n == 0 {
+			t.Errorf("far-site hazard at unexpected IXP %s", x.Acronym)
+		}
+		if !x.HasRIPELG || !x.HasPCHLG {
+			t.Errorf("far-site hazard at single-LG IXP %s", x.Acronym)
+		}
+		if w.InterSiteDelay(r.IXPIndex) <= 0 {
+			t.Errorf("far-site IXP %s has no inter-site delay", x.Acronym)
+		}
+	}
+}
+
+func TestRemoteGroundTruthBands(t *testing.T) {
+	w := testWorld(t)
+	for i, spec := range table1 {
+		want := spec.RemoteIntercity + spec.RemoteIntercountry + spec.RemoteIntercontinental
+		got := 0
+		for _, r := range w.Ifaces {
+			if r.IXPIndex == i && r.Remote {
+				got++
+			}
+		}
+		// Specials add a few; failed band picks can subtract a few.
+		lo, hi := want-4, want+5
+		if got < lo || got > hi {
+			t.Errorf("%s: %d remote interfaces, want %d..%d", spec.Acronym, got, lo, hi)
+		}
+		if want == 0 && got != 0 {
+			t.Errorf("%s: spec says no remote peers, got %d", spec.Acronym, got)
+		}
+	}
+}
+
+func TestNoRemotePeeringAtCABASEAndDIXIE(t *testing.T) {
+	// The paper detected no remote interfaces at exactly these two.
+	w := testWorld(t)
+	for _, acr := range []string{"CABASE", "DIX-IE"} {
+		x, xi, err := w.IXPByAcronym(acr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x.RemoteMemberCount() != 0 {
+			t.Errorf("%s has %d remote members, want 0", acr, x.RemoteMemberCount())
+		}
+		for _, r := range w.Ifaces {
+			if r.IXPIndex == xi && r.Remote {
+				t.Errorf("%s has remote interface %v", acr, r.IP)
+			}
+		}
+	}
+}
+
+func TestRemoteAccessCitiesAreDistant(t *testing.T) {
+	w := testWorld(t)
+	for _, r := range w.Ifaces {
+		if !r.Remote {
+			continue
+		}
+		ixpCity := w.IXPs[r.IXPIndex].City()
+		km := geo.HaversineKm(geo.MustCity(ixpCity).Coord, geo.MustCity(r.AccessCity).Coord)
+		if km < 300 {
+			t.Errorf("remote member at %s accesses from %s, only %.0f km away",
+				w.IXPs[r.IXPIndex].Acronym, r.AccessCity, km)
+		}
+	}
+}
+
+func TestE4AAnalogueFootprint(t *testing.T) {
+	// Section 3.2/3.3: E4A has 9 interfaces at studied IXPs, 6 of them
+	// remote, including transatlantic ones at TorIX and TIE.
+	w := testWorld(t)
+	remote := map[string]bool{}
+	direct := map[string]bool{}
+	for _, x := range w.StudiedIXPs() {
+		for _, m := range x.Members {
+			if m.ASN != ASNE4A {
+				continue
+			}
+			if m.Remote {
+				remote[x.Acronym] = true
+			} else {
+				direct[x.Acronym] = true
+			}
+		}
+	}
+	for _, acr := range []string{"DE-CIX", "France-IX", "LoNAP", "TorIX", "TIE", "AMS-IX"} {
+		if !remote[acr] {
+			t.Errorf("E4A should peer remotely at %s", acr)
+		}
+	}
+	if !direct["MIX"] {
+		t.Error("E4A should peer directly at its home MIX")
+	}
+	if len(remote) != 6 {
+		t.Errorf("E4A remote at %d IXPs, want 6", len(remote))
+	}
+}
+
+func TestInvitelAnalogueFootprint(t *testing.T) {
+	w := testWorld(t)
+	for _, acr := range []string{"AMS-IX", "DE-CIX"} {
+		x, _, err := w.IXPByAcronym(acr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, m := range x.Members {
+			if m.ASN == ASNInvitel && m.Remote && m.Provider == "Atrato IP Networks" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Invitel should peer remotely at %s via Atrato", acr)
+		}
+	}
+}
+
+func TestRedIRISSetup(t *testing.T) {
+	w := testWorld(t)
+	g := w.Graph
+	if g.Network(w.RedIRIS).Kind != topo.KindNREN {
+		t.Error("RedIRIS must be an NREN")
+	}
+	provs := g.Providers(w.RedIRIS)
+	hasT1, hasT2, hasGeant := false, false, false
+	for _, p := range provs {
+		switch p {
+		case w.Transit1:
+			hasT1 = true
+		case w.Transit2:
+			hasT2 = true
+		case w.Geant:
+			hasGeant = true
+		}
+	}
+	if !hasT1 || !hasT2 {
+		t.Error("RedIRIS must buy transit from two tier-1s")
+	}
+	if !hasGeant {
+		t.Error("RedIRIS must connect to GÉANT")
+	}
+	if !g.IsProviderFree(w.Transit1) || !g.IsProviderFree(w.Transit2) {
+		t.Error("the transit providers must be tier-1 (provider-free)")
+	}
+	// Membership at CATNIX and ESpanix.
+	for _, acr := range []string{"CATNIX", "ESpanix"} {
+		x, _, err := w.IXPByAcronym(acr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !x.HasMember(w.RedIRIS) {
+			t.Errorf("RedIRIS must be a member of %s", acr)
+		}
+	}
+}
+
+func TestAllTier1sAtESpanix(t *testing.T) {
+	w := testWorld(t)
+	x, _, err := w.IXPByAcronym("ESpanix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, t1 := range w.Tier1s {
+		if !x.HasMember(t1) {
+			t.Errorf("tier-1 %d missing from ESpanix", t1)
+		}
+	}
+}
+
+func TestTier1Clique(t *testing.T) {
+	w := testWorld(t)
+	for i, a := range w.Tier1s {
+		for _, b := range w.Tier1s[i+1:] {
+			found := false
+			for _, p := range w.Graph.Peers(a) {
+				if p == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("tier-1s %d and %d do not peer", a, b)
+			}
+		}
+	}
+}
+
+func TestEveryNetworkHasPathToTransitHierarchy(t *testing.T) {
+	w := testWorld(t)
+	g := w.Graph
+	for _, asn := range g.ASNs() {
+		n := g.Network(asn)
+		if n.Kind == topo.KindTier1 || asn == w.Geant {
+			// Tier-1s are provider-free by definition; the GÉANT
+			// analogue is a research backbone without upstreams.
+			continue
+		}
+		if len(g.Providers(asn)) == 0 {
+			t.Errorf("network %d (%s) has no providers", asn, n.Name)
+		}
+	}
+}
+
+func TestAddressSpaceTotal(t *testing.T) {
+	w := testWorld(t)
+	var total int64
+	for _, asn := range w.Graph.ASNs() {
+		v := w.Graph.Network(asn).IPInterfaces
+		if v < 0 {
+			t.Fatalf("negative address space for %d", asn)
+		}
+		total += v
+	}
+	if total < 2.4e9 || total > 2.8e9 {
+		t.Errorf("total IP interfaces = %d, want ≈ 2.6 billion (Figure 10)", total)
+	}
+}
+
+func TestBigTrioOverlap(t *testing.T) {
+	// Figure 8's mechanism: the three big European IXPs share many
+	// members.
+	w := testWorld(t)
+	members := func(acr string) map[topo.ASN]bool {
+		x, _, err := w.IXPByAcronym(acr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := map[topo.ASN]bool{}
+		for _, m := range x.Members {
+			set[m.ASN] = true
+		}
+		return set
+	}
+	ams, dec, linx := members("AMS-IX"), members("DE-CIX"), members("LINX")
+	shared := 0
+	for a := range ams {
+		if dec[a] && linx[a] {
+			shared++
+		}
+	}
+	if shared < 100 {
+		t.Errorf("only %d members shared among the big trio; Figure 8 needs heavy overlap", shared)
+	}
+	// Terremark shares far fewer with the trio (the paper: ~50 of 267).
+	ter := members("Terremark")
+	terShared := 0
+	for a := range ter {
+		if ams[a] || dec[a] || linx[a] {
+			terShared++
+		}
+	}
+	if terShared >= len(ter)/2 {
+		t.Errorf("Terremark shares %d of %d members with the trio; want a minority", terShared, len(ter))
+	}
+}
+
+func TestPolicyMix(t *testing.T) {
+	w := testWorld(t)
+	counts := map[topo.PeeringPolicy]int{}
+	for _, asn := range w.Graph.ASNs() {
+		counts[w.Graph.Network(asn).Policy]++
+	}
+	total := w.Graph.Len()
+	if frac := float64(counts[topo.PolicyOpen]) / float64(total); frac < 0.5 || frac > 0.9 {
+		t.Errorf("open-policy fraction = %.2f, want a clear majority (PeeringDB-like)", frac)
+	}
+	if counts[topo.PolicySelective] == 0 || counts[topo.PolicyRestrictive] == 0 {
+		t.Error("need all three policies present for the peer groups")
+	}
+	// The Microsoft/Yahoo analogues must not be open peers, or peer
+	// group 1 would swallow the top contributors.
+	for _, asn := range []topo.ASN{ASNContent, ASNContent + 1} {
+		if w.Graph.Network(asn).Policy == topo.PolicyOpen {
+			t.Errorf("top content network %d must not have an open policy", asn)
+		}
+	}
+}
+
+func TestIfaceIPsUniqueAndInSubnet(t *testing.T) {
+	w := testWorld(t)
+	seen := map[string]bool{}
+	for _, r := range w.Ifaces {
+		key := r.IP.String()
+		if seen[key] {
+			t.Errorf("duplicate interface IP %s", key)
+		}
+		seen[key] = true
+		if !w.IXPs[r.IXPIndex].Subnet.Contains(r.IP) {
+			t.Errorf("interface %s outside its IXP subnet %s", r.IP, w.IXPs[r.IXPIndex].Subnet)
+		}
+	}
+}
+
+func TestHazardKindString(t *testing.T) {
+	for k := HazardNone; k <= HazardASNChurn; k++ {
+		if k.String() == "" {
+			t.Errorf("hazard %d renders empty", int(k))
+		}
+	}
+	if HazardKind(99).String() == "" {
+		t.Error("unknown hazard renders empty")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.LeafNetworks == 0 || c.RegistryASNCoverage == 0 || c.CampaignDays != 120 {
+		t.Errorf("defaults not applied: %+v", c)
+	}
+}
+
+func TestHomeCity(t *testing.T) {
+	w := testWorld(t)
+	if w.HomeCity(w.RedIRIS) != "Madrid" {
+		t.Errorf("RedIRIS home = %q", w.HomeCity(w.RedIRIS))
+	}
+	if w.HomeCity(topo.ASN(999999)) != "" {
+		t.Error("unknown ASN should have empty home city")
+	}
+}

@@ -1,0 +1,103 @@
+package remotepeering
+
+import (
+	"testing"
+)
+
+// TestPaperScaleRegression pins the headline reproduction numbers recorded
+// in EXPERIMENTS.md at the default seeds. It runs the full paper-scale
+// pipeline (~6 s), so it is skipped under -short.
+func TestPaperScaleRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale regression skipped in -short mode")
+	}
+	w, err := GenerateWorld(WorldConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Section 3.
+	spread, err := RunSpreadStudy(w, SpreadOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzed := len(spread.Report.Analyzed())
+	if analyzed < 4400 || analyzed > 4500 {
+		t.Errorf("analyzed interfaces = %d, want ≈ 4,451 (paper)", analyzed)
+	}
+	withRemote, total := spread.Report.IXPsWithRemotePeering()
+	if withRemote != 20 || total != 22 {
+		t.Errorf("IXPs with remote peering = %d/%d, want 20/22", withRemote, total)
+	}
+	if got := spread.Report.IXPsWithIntercontinental(); got != 12 {
+		t.Errorf("intercontinental IXPs = %d, want 12", got)
+	}
+	for f, want := range map[Filter][2]int{
+		FilterSampleSize:    {18, 24},
+		FilterTTLSwitch:     {82, 82},
+		FilterTTLMatch:      {20, 20},
+		FilterRTTConsistent: {80, 115},
+		FilterLGConsistent:  {28, 28},
+		FilterASNChange:     {5, 5},
+	} {
+		got := spread.Report.Discards[f]
+		if got < want[0] || got > want[1] {
+			t.Errorf("%v discards = %d, want %d..%d", f, got, want[0], want[1])
+		}
+	}
+	if p := spread.Validation.Precision(); p < 0.99 {
+		t.Errorf("precision = %v; the conservative methodology must not flag direct peers", p)
+	}
+	if r := spread.Validation.Recall(); r < 0.98 {
+		t.Errorf("recall = %v", r)
+	}
+	nets := spread.Report.Networks()
+	if len(nets) < 1800 || len(nets) > 2400 {
+		t.Errorf("identified networks = %d, want ≈ 1,904-2,100", len(nets))
+	}
+
+	// Section 4.
+	ds, err := CollectTraffic(w, TrafficConfig{Seed: 2, Intervals: 288})
+	if err != nil {
+		t.Fatal(err)
+	}
+	study, err := NewOffloadStudy(w, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, out := ds.TransitTotals()
+	all := make([]int, len(w.IXPs))
+	for i := range all {
+		all[i] = i
+	}
+	g4In, g4Out := study.Potential(all, GroupAll)
+	frac4 := (g4In + g4Out) / (in + out)
+	if frac4 < 0.25 || frac4 > 0.42 {
+		t.Errorf("group-4 offload fraction = %.3f, want ≈ 0.30 (paper: 0.27 in / 0.33 out)", frac4)
+	}
+	g1In, g1Out := study.Potential(all, GroupOpen)
+	frac1 := (g1In + g1Out) / (in + out)
+	if frac1 < 0.05 || frac1 > 0.2 {
+		t.Errorf("group-1 offload fraction = %.3f, want ≈ 0.08-0.15", frac1)
+	}
+
+	steps := study.Greedy(GroupAll, 0)
+	ach := steps[len(steps)-1].OffloadedInBps + steps[len(steps)-1].OffloadedOutBps
+	at5 := steps[4].OffloadedInBps + steps[4].OffloadedOutBps
+	if at5/ach < 0.6 {
+		t.Errorf("first 5 IXPs realise %.0f%% of the potential, want most of it", 100*at5/ach)
+	}
+
+	// Section 5.
+	fit, err := FitDecayFromGreedy(steps[:30], in+out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.B <= 0 || fit.R2 < 0.9 {
+		t.Errorf("decay fit b=%.3f R2=%.3f; the exponential model should fit", fit.B, fit.R2)
+	}
+	params := DefaultEconParams(fit.B)
+	if !params.RemoteViable() {
+		t.Error("at the fitted b, remote peering should be viable under the reference prices")
+	}
+}

@@ -1,0 +1,372 @@
+// Package remotepeering is a Go reproduction of "Remote Peering: More
+// Peering without Internet Flattening" (Castro, Cardona, Gorinsky,
+// Francois — CoNEXT 2014): the ping-based detector of remote peering at
+// IXPs, the transit-traffic offload analysis, and the economic viability
+// model, together with the synthetic substrate (packet-level layer-2/3
+// simulator, AS-level economy, looking-glass measurement apparatus,
+// NetFlow-style traffic generator) that replaces the paper's live-Internet
+// and proprietary-data dependencies.
+//
+// The package is a facade over the internal implementation and is what the
+// example programs and command-line tools consume. A typical session:
+//
+//	w, _ := remotepeering.GenerateWorld(remotepeering.WorldConfig{Seed: 1})
+//	spread, _ := remotepeering.RunSpreadStudy(w, remotepeering.SpreadOptions{Seed: 2})
+//	fmt.Println(spread.Report.Table1())
+//
+//	ds, _ := remotepeering.CollectTraffic(w, remotepeering.TrafficConfig{Seed: 3})
+//	study, _ := remotepeering.NewOffloadStudy(w, ds)
+//	steps := study.Greedy(remotepeering.GroupAll, 0)
+//
+//	fit, _ := remotepeering.FitDecay(remainingFractions)
+//	params := remotepeering.DefaultEconParams(fit.B)
+//	fmt.Println(params.RemoteViable())
+package remotepeering
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"remotepeering/internal/core"
+	"remotepeering/internal/econ"
+	"remotepeering/internal/ixpsim"
+	"remotepeering/internal/lg"
+	"remotepeering/internal/netflow"
+	"remotepeering/internal/netsim"
+	"remotepeering/internal/offload"
+	"remotepeering/internal/registry"
+	"remotepeering/internal/stats"
+	"remotepeering/internal/worldgen"
+)
+
+// Re-exported types. The aliases keep the public API surface in one place
+// while the implementation lives in focused internal packages.
+type (
+	// World is the generated synthetic universe: the AS-level economy,
+	// the 65 IXPs with memberships and ground-truth remote flags, and the
+	// probe-target interfaces of the 22 studied IXPs.
+	World = worldgen.World
+	// WorldConfig parameterises world generation.
+	WorldConfig = worldgen.Config
+
+	// DetectorConfig holds the Section 3.1 methodology parameters
+	// (remoteness threshold, filter windows, accepted TTLs).
+	DetectorConfig = core.Config
+	// DetectorReport is the detector output with per-figure analyses.
+	DetectorReport = core.Report
+	// Filter identifies one of the six data-hygiene filters.
+	Filter = core.Filter
+	// Validation scores detector verdicts against simulator ground truth.
+	Validation = core.Validation
+
+	// CampaignConfig controls the looking-glass probing regime.
+	CampaignConfig = lg.Config
+	// Observation is a single ping outcome seen from an LG server.
+	Observation = lg.Observation
+
+	// TrafficConfig parameterises the NetFlow-style collection.
+	TrafficConfig = netflow.Config
+	// TrafficDataset is the collected month of border traffic.
+	TrafficDataset = netflow.Dataset
+
+	// OffloadStudy is the prepared Section 4 analysis.
+	OffloadStudy = offload.Study
+	// PeerGroup selects one of the paper's four peer groups.
+	PeerGroup = offload.PeerGroup
+	// GreedyStep is one step of the Figure 9 expansion.
+	GreedyStep = offload.GreedyStep
+
+	// EconParams holds the Section 5 model parameters.
+	EconParams = econ.Params
+)
+
+// Detector filters, in the paper's application order.
+const (
+	FilterNone          = core.FilterNone
+	FilterSampleSize    = core.FilterSampleSize
+	FilterTTLSwitch     = core.FilterTTLSwitch
+	FilterTTLMatch      = core.FilterTTLMatch
+	FilterRTTConsistent = core.FilterRTTConsistent
+	FilterLGConsistent  = core.FilterLGConsistent
+	FilterASNChange     = core.FilterASNChange
+)
+
+// Peer groups 1-4 (Section 4.2).
+const (
+	GroupOpen               = offload.GroupOpen
+	GroupOpenTop10Selective = offload.GroupOpenTop10Selective
+	GroupOpenSelective      = offload.GroupOpenSelective
+	GroupAll                = offload.GroupAll
+)
+
+// PeerGroups lists the four peer groups from narrowest to broadest.
+var PeerGroups = offload.Groups
+
+// GenerateWorld builds the deterministic synthetic world.
+func GenerateWorld(cfg WorldConfig) (*World, error) {
+	return worldgen.Generate(cfg)
+}
+
+// SpreadOptions controls RunSpreadStudy.
+type SpreadOptions struct {
+	// Seed drives the measurement-side randomness (noise, scheduling);
+	// it is independent of the world's seed.
+	Seed int64
+	// IXPs selects studied-IXP indices to measure; nil means all 22.
+	IXPs []int
+	// Campaign overrides the probing regime (zero value = the paper's).
+	Campaign CampaignConfig
+	// Detector overrides the methodology parameters (zero value = the
+	// paper's: 10 ms threshold, 8 replies per LG, 4-reply consistency,
+	// 5 ms / 10% windows, TTLs {64, 255}).
+	Detector DetectorConfig
+}
+
+// SpreadResult bundles the outcome of a Section 3 measurement campaign.
+type SpreadResult struct {
+	// Report is the detector output: Table 1 rows, Figure 2 CDF,
+	// Figure 3 classification, Figure 4 network aggregation.
+	Report *DetectorReport
+	// Observations is the number of ping outcomes collected.
+	Observations int
+	// Validation scores the detector against the simulator's ground
+	// truth — the reproduction's analogue of the paper's TorIX/E4A/
+	// Invitel validation, but exhaustive.
+	Validation Validation
+	// Raw holds the collected ping outcomes, so callers can re-run the
+	// detector under alternative configurations (threshold sweeps,
+	// filter ablations) without repeating the campaign.
+	Raw []Observation
+	// Truth reports the ground-truth remoteness of a probed interface.
+	Truth func(ixpIndex int, ip netip.Addr) bool
+	// Campaign is the effective campaign configuration.
+	Campaign CampaignConfig
+}
+
+// Reanalyze re-runs the detector over the campaign's raw observations with
+// a different configuration — the ablation entry point.
+func (r *SpreadResult) Reanalyze(w *World, cfg DetectorConfig) (*DetectorReport, error) {
+	return core.Analyze(r.Raw, RegistryFromWorld(w), r.Campaign.Duration, cfg)
+}
+
+// AnalyzeObservations runs the detector directly over a set of raw
+// observations — useful for vantage-point ablations (e.g. PCH-only).
+func AnalyzeObservations(obs []Observation, reg *Registry, campaign time.Duration, cfg DetectorConfig) (*DetectorReport, error) {
+	return core.Analyze(obs, reg, campaign, cfg)
+}
+
+// RunSpreadStudy reproduces Section 3: it builds the simulated IXPs,
+// schedules and runs the four-month looking-glass campaign, derives the
+// public registry view, and runs the detector.
+func RunSpreadStudy(w *World, opts SpreadOptions) (*SpreadResult, error) {
+	if w == nil {
+		return nil, fmt.Errorf("remotepeering: nil world")
+	}
+	ixps := opts.IXPs
+	if len(ixps) == 0 {
+		ixps = make([]int, w.NumStudied())
+		for i := range ixps {
+			ixps[i] = i
+		}
+	}
+	campaignCfg := opts.Campaign
+	if campaignCfg.Duration == 0 {
+		campaignCfg.Duration = time.Duration(w.CampaignDuration()) * 24 * time.Hour
+	}
+
+	var e netsim.Engine
+	src := stats.NewSource(opts.Seed)
+	camp := lg.NewCampaign(campaignCfg)
+	sims := make(map[int]*ixpsim.SimIXP, len(ixps))
+	for _, idx := range ixps {
+		sim, err := ixpsim.Build(&e, w, idx, campaignCfg.Duration, src.Split(fmt.Sprintf("ixp-%d", idx)))
+		if err != nil {
+			return nil, fmt.Errorf("remotepeering: build IXP %d: %w", idx, err)
+		}
+		sims[idx] = sim
+		if err := camp.Schedule(&e, sim, src.Split(fmt.Sprintf("campaign-%d", idx))); err != nil {
+			return nil, fmt.Errorf("remotepeering: schedule IXP %d: %w", idx, err)
+		}
+	}
+	if err := e.Run(); err != nil {
+		return nil, fmt.Errorf("remotepeering: campaign: %w", err)
+	}
+
+	obs := camp.Observations()
+	reg := RegistryFromWorld(w)
+	report, err := core.Analyze(obs, reg, campaignCfg.Duration, opts.Detector)
+	if err != nil {
+		return nil, fmt.Errorf("remotepeering: detector: %w", err)
+	}
+	truth := func(ixpIndex int, ip netip.Addr) bool {
+		sim, ok := sims[ixpIndex]
+		return ok && sim.IsRemote(ip)
+	}
+	return &SpreadResult{
+		Report:       report,
+		Observations: len(obs),
+		Validation:   report.Validate(truth),
+		Raw:          obs,
+		Truth:        truth,
+		Campaign:     campaignCfg,
+	}, nil
+}
+
+// Registry is the public-data view (the PeeringDB/PCH/IXP-website
+// analogue) that the detector identifies interface owners through.
+type Registry = registry.Registry
+
+// RegistryFromWorld derives the published registry view — including its
+// calibrated imperfections — from the world's ground truth.
+func RegistryFromWorld(w *World) *Registry {
+	return registry.FromWorld(w)
+}
+
+// CollectTraffic reproduces the Section 4.1 dataset: a month of 5-minute
+// border-traffic records with AS paths.
+func CollectTraffic(w *World, cfg TrafficConfig) (*TrafficDataset, error) {
+	return netflow.Collect(w, cfg)
+}
+
+// NewOffloadStudy prepares the Section 4 offload analysis over a world and
+// its traffic dataset.
+func NewOffloadStudy(w *World, ds *TrafficDataset) (*OffloadStudy, error) {
+	return offload.NewStudy(w, ds)
+}
+
+// DecayFit is the result of fitting remaining-transit curves to e^{-b·k}.
+type DecayFit = stats.ExpFit
+
+// FitDecay fits the empirical remaining-transit-fraction curve (indexed by
+// number of reached IXPs, starting at 1) to the model t = e^{-b·k},
+// returning the paper's parameter b — the bridge from Section 4's
+// measurements to Section 5's model.
+func FitDecay(remainingFractions []float64) (DecayFit, error) {
+	return econ.FitB(remainingFractions)
+}
+
+// DefaultEconParams returns the reference Section 5 parameterisation for a
+// given decay rate b (prices satisfying inequalities 7 and 8).
+func DefaultEconParams(b float64) EconParams {
+	return econ.DefaultParams(b)
+}
+
+// FitDecayFromGreedy fits the model's decay parameter b from a greedy
+// Figure 9 curve. Because a fixed share of the transit traffic is not
+// offloadable at any IXP (no member's cone covers it), the fit isolates
+// the decaying component: (remaining − floor)/(total − floor), with the
+// floor just under the curve's asymptote. totalBps is the full
+// transit-provider traffic (in + out).
+func FitDecayFromGreedy(steps []GreedyStep, totalBps float64) (DecayFit, error) {
+	if len(steps) < 2 {
+		return DecayFit{}, fmt.Errorf("remotepeering: need at least two greedy steps")
+	}
+	if totalBps <= 0 {
+		return DecayFit{}, fmt.Errorf("remotepeering: non-positive total traffic")
+	}
+	floor := steps[len(steps)-1].Remaining() * 0.98
+	var remaining []float64
+	for _, s := range steps {
+		if v := (s.Remaining() - floor) / (totalBps - floor); v > 0 {
+			remaining = append(remaining, v)
+		}
+	}
+	return econ.FitB(remaining)
+}
+
+// P95 returns the 95th-percentile rate of a traffic series — the
+// transit-billing number of Section 2.1.
+func P95(series []float64) (float64, error) {
+	return netflow.P95(series)
+}
+
+// WriteObservationsCSV archives a campaign's raw observations in the CSV
+// interchange format; ReadObservationsCSV restores them for re-analysis
+// (the paper published its measurement data similarly).
+func WriteObservationsCSV(w io.Writer, obs []Observation) error {
+	return lg.WriteCSV(w, obs)
+}
+
+// ReadObservationsCSV parses observations written by WriteObservationsCSV.
+func ReadObservationsCSV(r io.Reader) ([]Observation, error) {
+	return lg.ReadCSV(r)
+}
+
+// ProbeComparison contrasts what layer-3 path discovery and delay
+// measurement each reveal about one member interface — the paper's core
+// argument (remote peering is invisible on layer 3) in data form.
+type ProbeComparison struct {
+	IP netip.Addr
+	// HopCount is the traceroute hop count from the LG server (1 =
+	// on-link; lost probes can inflate it with timed-out rows, exactly
+	// as real traceroute prints "*" lines).
+	HopCount int
+	// SawRouter reports whether any intermediate layer-3 device answered
+	// along the path. For a genuine layer-2 pseudowire this is always
+	// false — the paper's invisibility argument — while a misdirected
+	// registry entry (the TTL-match hazard) exposes its proxy router
+	// here.
+	SawRouter bool
+	// MinRTT is the minimum ping RTT over a short probe burst.
+	MinRTT time.Duration
+	// TrueRemote is the simulator's ground truth.
+	TrueRemote bool
+}
+
+// CompareLayer3Visibility builds one studied IXP, then runs both
+// traceroute and a burst of pings from its PCH looking glass to every
+// registry-listed member interface. In the result, remote and direct
+// members are indistinguishable by hop count but separate cleanly by
+// minimum RTT — why the paper's methodology is delay-based.
+func CompareLayer3Visibility(w *World, ixpIndex int, seed int64) ([]ProbeComparison, error) {
+	if w == nil {
+		return nil, fmt.Errorf("remotepeering: nil world")
+	}
+	var e netsim.Engine
+	src := stats.NewSource(seed)
+	sim, err := ixpsim.Build(&e, w, ixpIndex, 24*time.Hour, src.Split("sim"))
+	if err != nil {
+		return nil, err
+	}
+	if len(sim.LGs) == 0 {
+		return nil, fmt.Errorf("remotepeering: IXP %d has no LG server", ixpIndex)
+	}
+	lgNode := sim.LGs[0].Node
+
+	results := make([]ProbeComparison, len(sim.Targets))
+	for i, target := range sim.Targets {
+		i, target := i, target
+		results[i] = ProbeComparison{IP: target, HopCount: -1, TrueRemote: sim.IsRemote(target)}
+		at := time.Duration(i) * time.Minute
+		e.Schedule(at, func() {
+			lgNode.Traceroute(target, 8, 5*time.Second, func(r netsim.TracerouteResult) {
+				results[i].HopCount = r.HopCount()
+				for _, h := range r.Hops {
+					if !h.TimedOut && !h.Reached {
+						results[i].SawRouter = true
+					}
+				}
+			})
+		})
+		// A burst of three pings; keep the minimum.
+		for p := 0; p < 3; p++ {
+			p := p
+			e.Schedule(at+30*time.Second+time.Duration(p)*time.Second, func() {
+				lgNode.Ping(target, 5*time.Second, func(r netsim.PingResult) {
+					if r.TimedOut {
+						return
+					}
+					if results[i].MinRTT == 0 || r.RTT < results[i].MinRTT {
+						results[i].MinRTT = r.RTT
+					}
+				})
+			})
+		}
+	}
+	if err := e.Run(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,210 @@
+package remotepeering
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+// smallWorld builds a reduced world once for the facade tests.
+var worldCache *World
+
+func smallWorld(t *testing.T) *World {
+	t.Helper()
+	if worldCache == nil {
+		w, err := GenerateWorld(WorldConfig{Seed: 3, LeafNetworks: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		worldCache = w
+	}
+	return worldCache
+}
+
+func TestRunSpreadStudySubset(t *testing.T) {
+	w := smallWorld(t)
+	res, err := RunSpreadStudy(w, SpreadOptions{
+		Seed: 9,
+		IXPs: []int{13, 19}, // VIX (dual LG), INEX (small)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Observations == 0 {
+		t.Fatal("no observations")
+	}
+	if len(res.Report.Analyzed()) == 0 {
+		t.Fatal("no analyzed interfaces")
+	}
+	if res.Validation.FalsePositives != 0 {
+		t.Errorf("false positives: %+v", res.Validation)
+	}
+	if res.Validation.Recall() < 0.9 {
+		t.Errorf("recall = %v", res.Validation.Recall())
+	}
+	rows := res.Report.Table1()
+	if len(rows) != 2 {
+		t.Errorf("Table1 rows = %d", len(rows))
+	}
+}
+
+func TestRunSpreadStudyNilWorld(t *testing.T) {
+	if _, err := RunSpreadStudy(nil, SpreadOptions{}); err == nil {
+		t.Error("want error for nil world")
+	}
+}
+
+func TestRunSpreadStudyCustomCampaign(t *testing.T) {
+	w := smallWorld(t)
+	res, err := RunSpreadStudy(w, SpreadOptions{
+		Seed:     4,
+		IXPs:     []int{19},
+		Campaign: CampaignConfig{Duration: 30 * 24 * time.Hour, PCHRounds: 3, RIPERounds: 2},
+		Detector: DetectorConfig{MinRepliesPerLG: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Report.Analyzed()) == 0 {
+		t.Error("shortened campaign with relaxed sample floor should still analyze interfaces")
+	}
+}
+
+func TestOffloadPipelineThroughFacade(t *testing.T) {
+	w := smallWorld(t)
+	ds, err := CollectTraffic(w, TrafficConfig{Seed: 5, Intervals: 288})
+	if err != nil {
+		t.Fatal(err)
+	}
+	study, err := NewOffloadStudy(w, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := study.Greedy(GroupAll, 10)
+	if len(steps) != 10 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+
+	// Fit the decay and feed it into the econ model end-to-end.
+	in, out := ds.TransitTotals()
+	total := in + out
+	var remaining []float64
+	for _, s := range steps {
+		remaining = append(remaining, s.Remaining()/total)
+	}
+	fit, err := FitDecay(remaining)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.B <= 0 {
+		t.Errorf("fitted b = %v, want positive decay", fit.B)
+	}
+	params := DefaultEconParams(fit.B)
+	if err := params.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// With a tiny fitted b (most traffic not offloadable), viability can
+	// go either way; just exercise the calls.
+	_ = params.RemoteViable()
+	_ = params.OptimalDirectN()
+}
+
+func TestPeerGroupsExported(t *testing.T) {
+	if len(PeerGroups) != 4 {
+		t.Fatalf("PeerGroups = %v", PeerGroups)
+	}
+	if PeerGroups[0] != GroupOpen || PeerGroups[3] != GroupAll {
+		t.Error("group ordering wrong")
+	}
+}
+
+func TestRegistryFromWorld(t *testing.T) {
+	w := smallWorld(t)
+	reg := RegistryFromWorld(w)
+	if reg.Len() != len(w.Ifaces) {
+		t.Errorf("registry %d entries, world %d interfaces", reg.Len(), len(w.Ifaces))
+	}
+}
+
+func TestDeterministicFacadeRuns(t *testing.T) {
+	w := smallWorld(t)
+	run := func() float64 {
+		res, err := RunSpreadStudy(w, SpreadOptions{Seed: 11, IXPs: []int{19}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cdf, err := res.Report.Figure2CDF()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cdf.Quantile(0.5)
+	}
+	a, b := run(), run()
+	if math.Abs(a-b) > 0 {
+		t.Errorf("same seed gave different medians: %v vs %v", a, b)
+	}
+}
+
+func TestObservationsCSVRoundTripFacade(t *testing.T) {
+	w := smallWorld(t)
+	res, err := RunSpreadStudy(w, SpreadOptions{Seed: 21, IXPs: []int{19}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteObservationsCSV(&buf, res.Raw); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadObservationsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(res.Raw) {
+		t.Fatalf("%d of %d observations", len(back), len(res.Raw))
+	}
+	// Re-analysis of the restored observations gives identical verdicts.
+	rep, err := AnalyzeObservations(back, RegistryFromWorld(w), res.Campaign.Duration, DetectorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Analyzed()) != len(res.Report.Analyzed()) {
+		t.Error("re-analysis after round trip differs")
+	}
+}
+
+func TestCompareLayer3Visibility(t *testing.T) {
+	w := smallWorld(t)
+	_, idx, err := w.IXPByAcronym("TOP-IX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := CompareLayer3Visibility(w, idx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no probe comparisons")
+	}
+	remoteSeen := false
+	for _, r := range results {
+		if r.TrueRemote {
+			remoteSeen = true
+			// The pseudowire must be invisible to layer-3 discovery: no
+			// intermediate router ever answers for a remote member
+			// (lost probes may still pad the hop count with timeouts).
+			if r.SawRouter {
+				t.Errorf("%s: a router answered on the path to a remote member; the pseudowire must be layer-2 invisible", r.IP)
+			}
+			if r.MinRTT > 0 && r.MinRTT < 5*time.Millisecond {
+				t.Errorf("%s: remote member with %v min RTT", r.IP, r.MinRTT)
+			}
+		}
+	}
+	if !remoteSeen {
+		t.Error("TOP-IX should host remote members")
+	}
+	if _, err := CompareLayer3Visibility(nil, 0, 1); err == nil {
+		t.Error("want error for nil world")
+	}
+}
