@@ -12,6 +12,7 @@ package remotepeering
 // paper-vs-measured comparison.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -408,6 +409,59 @@ func BenchmarkAblationSampleSize(b *testing.B) {
 	}
 	b.ReportMetric(float64(analyzedAt8), "analyzed-at-floor-8")
 	b.ReportMetric(float64(analyzedAt24), "analyzed-at-floor-24")
+}
+
+// benchWorkerCounts are the explicit pool sizes the parallel campaign
+// benchmarks contrast. Explicit sub-benchmarks are used instead of leaning
+// on `-cpu`/GOMAXPROCS because the testing framework reuses the discovery
+// run's timing for the first -cpu entry, which would misattribute the
+// serial baseline; the workers=N variants measure exactly what they claim
+// regardless of the -cpu list. The determinism suite guarantees every
+// variant produces byte-identical results.
+var benchWorkerCounts = []int{1, 2, 4}
+
+// BenchmarkSpreadStudy measures the full Section 3 campaign — the
+// four-month looking-glass study across all 22 studied IXPs at paper
+// scale — per worker count.
+func BenchmarkSpreadStudy(b *testing.B) {
+	w, _, _, _ := fixtures(b)
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var obs int
+			for i := 0; i < b.N; i++ {
+				res, err := RunSpreadStudy(w, SpreadOptions{Seed: 2, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				obs = res.Observations
+			}
+			b.ReportMetric(float64(obs), "observations")
+		})
+	}
+}
+
+// BenchmarkCollectTraffic measures the Section 4.1 traffic pipeline at
+// paper scale per worker count: dataset collection (RIB, paths, transient
+// accounting) plus synthesis of the full month's 5-minute series — the
+// dominant cost.
+func BenchmarkCollectTraffic(b *testing.B) {
+	w, _, _, _ := fixtures(b)
+	for _, workers := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var p95 float64
+			for i := 0; i < b.N; i++ {
+				ds, err := CollectTraffic(w, TrafficConfig{Seed: 3, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				in, _ := ds.SeriesTotal(nil)
+				if p95, err = P95(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(p95/1e9, "p95-in-Gbps")
+		})
+	}
 }
 
 // BenchmarkWorldGeneration measures paper-scale world construction.

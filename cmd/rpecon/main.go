@@ -27,17 +27,18 @@ func main() {
 	pU := flag.Float64("u", 0.15, "direct peering per-unit cost u")
 	pH := flag.Float64("h", 0.02, "remote peering per-IXP cost h")
 	pV := flag.Float64("v", 0.45, "remote peering per-unit cost v")
+	workers := flag.Int("workers", 0, "worker count (0 = one per CPU; output is identical for any value)")
 	flag.Parse()
 
-	w, err := remotepeering.GenerateWorld(remotepeering.WorldConfig{Seed: *seed, LeafNetworks: *leaves})
+	w, err := remotepeering.GenerateWorld(remotepeering.WorldConfig{Seed: *seed, LeafNetworks: *leaves, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}
-	ds, err := remotepeering.CollectTraffic(w, remotepeering.TrafficConfig{Seed: *trafficSeed, Intervals: 288})
+	ds, err := remotepeering.CollectTraffic(w, remotepeering.TrafficConfig{Seed: *trafficSeed, Intervals: 288, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}
-	study, err := remotepeering.NewOffloadStudy(w, ds)
+	study, err := remotepeering.NewOffloadStudyOptions(w, ds, remotepeering.OffloadOptions{Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -22,6 +22,7 @@ func main() {
 	trafficSeed := flag.Int64("traffic-seed", 2, "traffic generation seed")
 	leaves := flag.Int("leaves", 0, "leaf network count (0 = paper scale)")
 	intervals := flag.Int("intervals", 0, "5-minute intervals (0 = full month)")
+	workers := flag.Int("workers", 0, "worker count (0 = one per CPU; output is identical for any value)")
 	only := flag.String("only", "", "comma-separated subset: fig5a,fig5b,fig6,fig7,fig8,fig9,fig10")
 	flag.Parse()
 
@@ -34,15 +35,15 @@ func main() {
 	show := func(k string) bool { return len(want) == 0 || want[k] }
 
 	start := time.Now()
-	w, err := remotepeering.GenerateWorld(remotepeering.WorldConfig{Seed: *seed, LeafNetworks: *leaves})
+	w, err := remotepeering.GenerateWorld(remotepeering.WorldConfig{Seed: *seed, LeafNetworks: *leaves, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}
-	ds, err := remotepeering.CollectTraffic(w, remotepeering.TrafficConfig{Seed: *trafficSeed, Intervals: *intervals})
+	ds, err := remotepeering.CollectTraffic(w, remotepeering.TrafficConfig{Seed: *trafficSeed, Intervals: *intervals, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}
-	study, err := remotepeering.NewOffloadStudy(w, ds)
+	study, err := remotepeering.NewOffloadStudyOptions(w, ds, remotepeering.OffloadOptions{Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

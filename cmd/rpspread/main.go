@@ -24,6 +24,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "world generation seed")
 	measureSeed := flag.Int64("measure-seed", 2, "measurement-side seed")
 	leaves := flag.Int("leaves", 0, "leaf network count (0 = paper scale)")
+	workers := flag.Int("workers", 0, "worker count (0 = one per CPU; output is identical for any value)")
 	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig3,fig4a,fig4b,validate")
 	flag.Parse()
 
@@ -36,11 +37,11 @@ func main() {
 	show := func(k string) bool { return len(want) == 0 || want[k] }
 
 	start := time.Now()
-	w, err := remotepeering.GenerateWorld(remotepeering.WorldConfig{Seed: *seed, LeafNetworks: *leaves})
+	w, err := remotepeering.GenerateWorld(remotepeering.WorldConfig{Seed: *seed, LeafNetworks: *leaves, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}
-	res, err := remotepeering.RunSpreadStudy(w, remotepeering.SpreadOptions{Seed: *measureSeed})
+	res, err := remotepeering.RunSpreadStudy(w, remotepeering.SpreadOptions{Seed: *measureSeed, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

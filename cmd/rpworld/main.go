@@ -18,10 +18,11 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "world generation seed")
 	leaves := flag.Int("leaves", 0, "leaf network count (0 = paper scale)")
+	workers := flag.Int("workers", 0, "worker count (0 = one per CPU; output is identical for any value)")
 	ixp := flag.String("ixp", "", "show membership detail for one IXP acronym")
 	flag.Parse()
 
-	w, err := remotepeering.GenerateWorld(remotepeering.WorldConfig{Seed: *seed, LeafNetworks: *leaves})
+	w, err := remotepeering.GenerateWorld(remotepeering.WorldConfig{Seed: *seed, LeafNetworks: *leaves, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

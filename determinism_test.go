@@ -1,0 +1,195 @@
+package remotepeering
+
+// The determinism regression suite enforces the parallel execution layer's
+// core invariant: every pipeline stage produces byte-identical results for
+// every worker count, given the same seed. This is what makes campaigns
+// replayable for debugging regardless of the hardware they ran on, and it
+// is the contract future sharding/batching work must keep.
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// workerCounts are the fan-outs the invariant is checked at: serial, the
+// smallest genuine pool, and more workers than this container has cores.
+var workerCounts = []int{1, 2, 8}
+
+// detWorld builds one reduced-scale world shared by the determinism tests.
+var detWorldCache *World
+
+func detWorld(t *testing.T) *World {
+	t.Helper()
+	if detWorldCache == nil {
+		w, err := GenerateWorld(WorldConfig{Seed: 17, LeafNetworks: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		detWorldCache = w
+	}
+	return detWorldCache
+}
+
+func TestGenerateWorldIdenticalAcrossWorkers(t *testing.T) {
+	base, err := GenerateWorld(WorldConfig{Seed: 23, LeafNetworks: 1500, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range workerCounts[1:] {
+		w, err := GenerateWorld(WorldConfig{Seed: 23, LeafNetworks: 1500, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(w.Ifaces, base.Ifaces) {
+			t.Errorf("workers=%d: interface table differs from workers=1", workers)
+		}
+		for i := range base.IXPs {
+			if !reflect.DeepEqual(w.IXPs[i].Members, base.IXPs[i].Members) {
+				t.Errorf("workers=%d: IXP %s membership differs", workers, base.IXPs[i].Acronym)
+			}
+		}
+	}
+}
+
+func TestRunSpreadStudyIdenticalAcrossWorkers(t *testing.T) {
+	w := detWorld(t)
+	opts := func(workers int) SpreadOptions {
+		return SpreadOptions{
+			Seed:    31,
+			IXPs:    []int{0, 7, 13, 19}, // AMS-IX (big), MSK-IX (multi-site), VIX (dual LG), INEX (small)
+			Workers: workers,
+			Campaign: CampaignConfig{
+				Duration:   30 * 24 * time.Hour,
+				PCHRounds:  4,
+				RIPERounds: 3,
+			},
+		}
+	}
+	base, err := RunSpreadStudy(w, opts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Observations == 0 {
+		t.Fatal("no observations in base run")
+	}
+	for _, workers := range workerCounts[1:] {
+		res, err := RunSpreadStudy(w, opts(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Raw, base.Raw) {
+			t.Errorf("workers=%d: raw observation stream differs from workers=1", workers)
+		}
+		if !reflect.DeepEqual(res.Report, base.Report) {
+			t.Errorf("workers=%d: detector report differs from workers=1", workers)
+		}
+		if res.Validation != base.Validation {
+			t.Errorf("workers=%d: validation %+v != %+v", workers, res.Validation, base.Validation)
+		}
+	}
+}
+
+func TestCollectTrafficIdenticalAcrossWorkers(t *testing.T) {
+	w := detWorld(t)
+	collect := func(workers int) *TrafficDataset {
+		ds, err := CollectTraffic(w, TrafficConfig{Seed: 37, Intervals: 288, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+	base := collect(1)
+	baseIn, baseOut := base.SeriesTotal(nil)
+	for _, workers := range workerCounts[1:] {
+		ds := collect(workers)
+		if !reflect.DeepEqual(ds.Entries, base.Entries) {
+			t.Errorf("workers=%d: dataset entries differ from workers=1", workers)
+		}
+		in, out := ds.SeriesTotal(nil)
+		// Bit-identical series, not merely close: the interval-sharded
+		// synthesis must not change floating-point addition order.
+		if !reflect.DeepEqual(in, baseIn) || !reflect.DeepEqual(out, baseOut) {
+			t.Errorf("workers=%d: synthesized series differ from workers=1", workers)
+		}
+		gi, go_ := ds.TransitTotals()
+		bi, bo := base.TransitTotals()
+		if gi != bi || go_ != bo {
+			t.Errorf("workers=%d: transit totals (%v,%v) != (%v,%v)", workers, gi, go_, bi, bo)
+		}
+		// Transient (Figure 6) accounting is the one stage rebuilt as a
+		// block-merged floating-point reduction, so check it explicitly
+		// for every ASN in the universe — not just the entry fields.
+		for _, asn := range w.Graph.ASNs() {
+			gt, gin, gout := ds.Transient(asn)
+			bt, bin, bout := base.Transient(asn)
+			if gt != bt || gin != bin || gout != bout {
+				t.Errorf("workers=%d: transient accounting for AS%d differs: (%v,%v,%v) != (%v,%v,%v)",
+					workers, asn, gt, gin, gout, bt, bin, bout)
+				break
+			}
+		}
+	}
+}
+
+func TestGreedyIdenticalAcrossWorkers(t *testing.T) {
+	w := detWorld(t)
+	ds, err := CollectTraffic(w, TrafficConfig{Seed: 41, Intervals: 288})
+	if err != nil {
+		t.Fatal(err)
+	}
+	study := func(workers int) *OffloadStudy {
+		s, err := NewOffloadStudyOptions(w, ds, OffloadOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	base := study(1)
+	baseSteps := base.Greedy(GroupAll, 0)
+	baseIfaces := base.GreedyInterfaces(GroupOpenSelective, 20)
+	baseSingle := base.SingleIXP(GroupAll)
+	for _, workers := range workerCounts[1:] {
+		s := study(workers)
+		if steps := s.Greedy(GroupAll, 0); !reflect.DeepEqual(steps, baseSteps) {
+			t.Errorf("workers=%d: greedy steps differ from workers=1", workers)
+		}
+		if ifs := s.GreedyInterfaces(GroupOpenSelective, 20); !reflect.DeepEqual(ifs, baseIfaces) {
+			t.Errorf("workers=%d: interface greedy differs from workers=1", workers)
+		}
+		if single := s.SingleIXP(GroupAll); !reflect.DeepEqual(single, baseSingle) {
+			t.Errorf("workers=%d: single-IXP potentials differ from workers=1", workers)
+		}
+	}
+}
+
+// TestRepeatedRunsIdentical guards the weaker but equally load-bearing
+// property that two runs at the *same* worker count are identical — i.e.
+// no scheduling- or map-iteration-order dependence leaks into results.
+func TestRepeatedRunsIdentical(t *testing.T) {
+	w := detWorld(t)
+	run := func() ([]GreedyStep, float64) {
+		ds, err := CollectTraffic(w, TrafficConfig{Seed: 43, Intervals: 144, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewOffloadStudyOptions(w, ds, OffloadOptions{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all := make([]int, len(w.IXPs))
+		for i := range all {
+			all[i] = i
+		}
+		in, out := s.Potential(all, GroupAll)
+		return s.Greedy(GroupAll, 10), in + out
+	}
+	steps1, pot1 := run()
+	steps2, pot2 := run()
+	if !reflect.DeepEqual(steps1, steps2) {
+		t.Error("two identical runs produced different greedy steps")
+	}
+	if pot1 != pot2 {
+		t.Errorf("two identical runs produced different potentials: %v vs %v", pot1, pot2)
+	}
+}

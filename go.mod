@@ -1,0 +1,3 @@
+module remotepeering
+
+go 1.24

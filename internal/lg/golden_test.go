@@ -1,0 +1,84 @@
+package lg
+
+import (
+	"bytes"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// goldenObservations is a fixed set of observations covering the format's
+// edge cases: both LG families, a timed-out probe (zero RTT and TTL), the
+// odd initial TTLs, and sub-millisecond versus intercontinental RTTs.
+func goldenObservations() []Observation {
+	return []Observation{
+		{IXPIndex: 0, Acronym: "AMS-IX", Family: "PCH", Target: netip.MustParseAddr("10.1.0.10"),
+			SentAt: 90 * time.Second, RTT: 412 * time.Microsecond, TTL: 64},
+		{IXPIndex: 0, Acronym: "AMS-IX", Family: "RIPE", Target: netip.MustParseAddr("10.1.0.10"),
+			SentAt: 3 * time.Minute, RTT: 508 * time.Microsecond, TTL: 64},
+		{IXPIndex: 0, Acronym: "AMS-IX", Family: "PCH", Target: netip.MustParseAddr("10.1.0.11"),
+			SentAt: 26*time.Hour + 30*time.Second, RTT: 0, TTL: 0, TimedOut: true},
+		{IXPIndex: 3, Acronym: "HKIX", Family: "PCH", Target: netip.MustParseAddr("10.4.0.25"),
+			SentAt: 72 * time.Hour, RTT: 187*time.Millisecond + 250*time.Microsecond, TTL: 255},
+		{IXPIndex: 3, Acronym: "HKIX", Family: "PCH", Target: netip.MustParseAddr("10.4.0.26"),
+			SentAt: 72*time.Hour + time.Minute, RTT: 9*time.Millisecond + 999*time.Microsecond, TTL: 128},
+		{IXPIndex: 21, Acronym: "CABASE", Family: "PCH", Target: netip.MustParseAddr("10.22.0.10"),
+			SentAt: 119 * 24 * time.Hour, RTT: 1499 * time.Microsecond, TTL: 32},
+	}
+}
+
+const goldenFile = "observations.golden.csv"
+
+// TestWriteCSVMatchesGolden pins the interchange format byte-for-byte: any
+// accidental drift (column order, quoting, number formatting) breaks the
+// comparison against the checked-in golden file.
+func TestWriteCSVMatchesGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, goldenObservations()); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", goldenFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("WriteCSV output drifted from testdata/%s:\ngot:\n%s\nwant:\n%s",
+			goldenFile, buf.Bytes(), want)
+	}
+}
+
+// TestReadCSVFromGolden proves archived campaigns written by any past
+// version of the format stay readable and lossless.
+func TestReadCSVFromGolden(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", goldenFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := goldenObservations(); !reflect.DeepEqual(got, want) {
+		t.Errorf("ReadCSV(golden) = %+v, want %+v", got, want)
+	}
+}
+
+// TestGoldenRoundTrip closes the loop: write → read → deep-equal.
+func TestGoldenRoundTrip(t *testing.T) {
+	obs := goldenObservations()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, obs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, obs) {
+		t.Errorf("round trip lost information:\ngot  %+v\nwant %+v", back, obs)
+	}
+}

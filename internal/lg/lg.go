@@ -142,8 +142,24 @@ func (c *Campaign) scheduleQuery(e *netsim.Engine, sim *ixpsim.SimIXP, server *i
 // Observations returns everything collected so far, sorted by IXP, target,
 // family, and send time so downstream processing is deterministic.
 func (c *Campaign) Observations() []Observation {
-	sort.SliceStable(c.obs, func(i, j int) bool {
-		a, b := c.obs[i], c.obs[j]
+	Sort(c.obs)
+	return c.obs
+}
+
+// Raw returns the collected observations in engine execution order,
+// unsorted — for callers that merge several campaigns' streams and sort
+// the concatenation once instead of paying a sort per campaign.
+func (c *Campaign) Raw() []Observation { return c.obs }
+
+// Sort orders observations by IXP, target, family, and send time — the
+// canonical order downstream analysis expects. The sort is stable, and all
+// four-way key ties originate from a single IXP's engine, whose execution
+// order is deterministic; this is what lets a parallel campaign merge
+// per-IXP observation streams into a byte-identical result for any worker
+// count.
+func Sort(obs []Observation) {
+	sort.SliceStable(obs, func(i, j int) bool {
+		a, b := obs[i], obs[j]
 		if a.IXPIndex != b.IXPIndex {
 			return a.IXPIndex < b.IXPIndex
 		}
@@ -155,7 +171,6 @@ func (c *Campaign) Observations() []Observation {
 		}
 		return a.SentAt < b.SentAt
 	})
-	return c.obs
 }
 
 // Config returns the effective configuration.

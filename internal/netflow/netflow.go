@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"remotepeering/internal/bgp"
+	"remotepeering/internal/parallel"
 	"remotepeering/internal/stats"
 	"remotepeering/internal/topo"
 	"remotepeering/internal/worldgen"
@@ -40,6 +41,9 @@ type Config struct {
 	// (inbound dominates, as in the paper).
 	TotalInboundBps  float64
 	TotalOutboundBps float64
+	// Workers bounds the parallelism of collection and series synthesis
+	// (0 = one per CPU). The dataset is byte-identical for every value.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -145,7 +149,11 @@ func Collect(w *worldgen.World, cfg Config) (*Dataset, error) {
 		totalRaw += rawRate(i + 1)
 	}
 
-	for i, c := range cands {
+	// Per-candidate entry construction — dominated by AS-path extraction
+	// from the RIB — is pure per index (the RIB and graph are read-only by
+	// now), so it fans out with an order-stable merge.
+	ds.Entries = parallel.Map(cfg.Workers, len(cands), func(i int) Entry {
+		c := cands[i]
 		n := w.Graph.Network(c.asn)
 		share := rawRate(i+1) / totalRaw
 		inFrac := inboundFraction(n.Kind)
@@ -160,8 +168,10 @@ func Collect(w *worldgen.World, cfg Config) (*Dataset, error) {
 			gateway := path[len(path)-2]
 			entry.Transit = gateway == w.Transit1 || gateway == w.Transit2
 		}
-		ds.byASN[c.asn] = len(ds.Entries)
-		ds.Entries = append(ds.Entries, entry)
+		return entry
+	})
+	for i, e := range ds.Entries {
+		ds.byASN[e.ASN] = i
 	}
 
 	// Normalise so transit totals hit the configured levels exactly.
@@ -183,22 +193,41 @@ func Collect(w *worldgen.World, cfg Config) (*Dataset, error) {
 	}
 
 	// Transient accounting for Figure 6: every AS strictly inside a path
-	// carries that flow as an intermediary.
-	for _, e := range ds.Entries {
-		for _, mid := range e.Path[1:max(1, len(e.Path)-1)] {
-			ds.transient[mid] += e.AvgInBps + e.AvgOutBps
-			ds.transientIn[mid] += e.AvgInBps
-			ds.transOut[mid] += e.AvgOutBps
+	// carries that flow as an intermediary. The accumulation merges
+	// per-block partial maps in fixed block order, so the floating-point
+	// sums are bit-identical for every worker count.
+	type transientMaps struct {
+		total, in, out map[topo.ASN]float64
+	}
+	blocks := parallel.Blocks(len(ds.Entries), 512)
+	parts := parallel.Map(cfg.Workers, len(blocks), func(bi int) transientMaps {
+		r := blocks[bi]
+		p := transientMaps{
+			total: make(map[topo.ASN]float64),
+			in:    make(map[topo.ASN]float64),
+			out:   make(map[topo.ASN]float64),
+		}
+		for _, e := range ds.Entries[r.Lo:r.Hi] {
+			for _, mid := range e.Path[1:max(1, len(e.Path)-1)] {
+				p.total[mid] += e.AvgInBps + e.AvgOutBps
+				p.in[mid] += e.AvgInBps
+				p.out[mid] += e.AvgOutBps
+			}
+		}
+		return p
+	})
+	for _, p := range parts {
+		for a, v := range p.total {
+			ds.transient[a] += v
+		}
+		for a, v := range p.in {
+			ds.transientIn[a] += v
+		}
+		for a, v := range p.out {
+			ds.transOut[a] += v
 		}
 	}
 	return ds, nil
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // contributionWeight ranks networks for contribution assignment: content
@@ -344,10 +373,15 @@ func (d *Dataset) Rate(asn topo.ASN, interval int) (inBps, outBps float64) {
 	if !ok {
 		return 0, 0
 	}
-	e := d.Entries[i]
+	return d.entryRate(&d.Entries[i], interval)
+}
+
+// entryRate is Rate without the index lookup, for callers already holding
+// the entry.
+func (d *Dataset) entryRate(e *Entry, interval int) (inBps, outBps float64) {
 	// Multiplicative lognormal jitter, direction-specific.
-	jIn := math.Exp(0.3 * normFromUniform(d.hash01(asn, interval, 1)))
-	jOut := math.Exp(0.3 * normFromUniform(d.hash01(asn, interval, 2)))
+	jIn := math.Exp(0.3 * normFromUniform(d.hash01(e.ASN, interval, 1)))
+	jOut := math.Exp(0.3 * normFromUniform(d.hash01(e.ASN, interval, 2)))
 	inBps = e.AvgInBps * diurnalFactor(interval, d.Cfg.IntervalLength, 0.55) * jIn
 	outBps = e.AvgOutBps * diurnalFactor(interval, d.Cfg.IntervalLength, 0.25) * jOut
 	return inBps, outBps
@@ -396,24 +430,37 @@ func normFromUniform(u float64) float64 {
 // SeriesTotal sums the per-interval rate over a set of networks, returning
 // inbound and outbound time series (Figure 5b's curves). A nil set means
 // all transit entries.
+//
+// This is the heaviest synthesis in the pipeline (entries × intervals rate
+// evaluations for a month of 5-minute samples), so it shards the interval
+// axis across workers. Every interval's sum is computed entirely within
+// one shard, iterating entries in the same order a serial run would, so
+// the series is bit-identical for every worker count.
 func (d *Dataset) SeriesTotal(set map[topo.ASN]bool) (in, out []float64) {
 	in = make([]float64, d.Cfg.Intervals)
 	out = make([]float64, d.Cfg.Intervals)
-	for _, e := range d.Entries {
+	active := make([]*Entry, 0, len(d.Entries))
+	for i := range d.Entries {
+		e := &d.Entries[i]
 		if !e.Transit {
 			continue
 		}
 		if set != nil && !set[e.ASN] {
 			continue
 		}
+		active = append(active, e)
+	}
+	parallel.ForEachRange(d.Cfg.Workers, d.Cfg.Intervals, func(lo, hi int) {
 		// The diurnal profile and jitter are per-network; summing
 		// network-by-network keeps the series deterministic.
-		for t := 0; t < d.Cfg.Intervals; t++ {
-			i, o := d.Rate(e.ASN, t)
-			in[t] += i
-			out[t] += o
+		for _, e := range active {
+			for t := lo; t < hi; t++ {
+				i, o := d.entryRate(e, t)
+				in[t] += i
+				out[t] += o
+			}
 		}
-	}
+	})
 	return in, out
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"remotepeering/internal/packet"
@@ -95,16 +96,19 @@ type Iface struct {
 	link       *Link
 }
 
-var macCounter uint64
+// macCounter is atomic because independent engines (one per simulated IXP
+// in a parallel campaign) build nodes concurrently. MAC values only need
+// global uniqueness — fabrics key attachments by MAC but never order by it
+// — so assignment order is free to vary across runs and worker counts.
+var macCounter atomic.Uint64
 
 // AddIface creates an interface with the given addresses (each address
 // carries its on-link prefix).
 func (n *Node) AddIface(name string, addrs ...netip.Prefix) *Iface {
-	macCounter++
 	iface := &Iface{
 		Node:  n,
 		Name:  fmt.Sprintf("%s/%s", n.Name, name),
-		MAC:   packet.MACFromUint64(macCounter),
+		MAC:   packet.MACFromUint64(macCounter.Add(1)),
 		addrs: addrs,
 	}
 	n.ifaces = append(n.ifaces, iface)

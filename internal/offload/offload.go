@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"remotepeering/internal/netflow"
+	"remotepeering/internal/parallel"
 	"remotepeering/internal/topo"
 	"remotepeering/internal/worldgen"
 )
@@ -57,11 +58,20 @@ func (g PeerGroup) String() string {
 // Groups lists the four peer groups from most restrictive to broadest.
 var Groups = []PeerGroup{GroupOpen, GroupOpenTop10Selective, GroupOpenSelective, GroupAll}
 
+// Options tunes the analysis machinery without touching its semantics.
+type Options struct {
+	// Workers bounds the parallelism of cone precomputation, coverage
+	// evaluation, and the greedy expansions (0 = one per CPU). Every
+	// result is byte-identical for every value.
+	Workers int
+}
+
 // Study is the prepared offload analysis.
 type Study struct {
 	World   *worldgen.World
 	Dataset *netflow.Dataset
 
+	workers int
 	// potential holds the potential remote peers after the Section 4.2
 	// exclusions (the paper arrives at 2,192 networks).
 	potential map[topo.ASN]bool
@@ -71,22 +81,33 @@ type Study struct {
 	// ixpMembers lists, per IXP, the distinct member ASNs that survive
 	// the exclusions.
 	ixpMembers [][]topo.ASN
-	// coneCache memoises customer cones.
+	// coneCache holds the customer cones of every potential peer. It is
+	// fully populated during construction and read-only afterwards, so
+	// the parallel coverage paths can share it without locking.
 	coneCache map[topo.ASN][]topo.ASN
 	// top10Selective is peer group 2's selective complement.
 	top10Selective map[topo.ASN]bool
-	// interfaces weights networks for the Figure 10 metric.
+	// interfaces weights networks for the Figure 10 metric; allASNs keeps
+	// the graph's ASNs in ascending order so sums over the whole universe
+	// have a fixed addition order.
 	interfaces map[topo.ASN]float64
+	allASNs    []topo.ASN
 }
 
-// NewStudy prepares the analysis.
+// NewStudy prepares the analysis with default options.
 func NewStudy(w *worldgen.World, ds *netflow.Dataset) (*Study, error) {
+	return NewStudyOptions(w, ds, Options{})
+}
+
+// NewStudyOptions prepares the analysis.
+func NewStudyOptions(w *worldgen.World, ds *netflow.Dataset, opts Options) (*Study, error) {
 	if w == nil || ds == nil {
 		return nil, fmt.Errorf("offload: nil world or dataset")
 	}
 	s := &Study{
 		World:      w,
 		Dataset:    ds,
+		workers:    opts.Workers,
 		potential:  make(map[topo.ASN]bool),
 		trafficIn:  make(map[topo.ASN]float64),
 		trafficOut: make(map[topo.ASN]float64),
@@ -130,26 +151,49 @@ func NewStudy(w *worldgen.World, ds *netflow.Dataset) (*Study, error) {
 		}
 	}
 
-	for _, asn := range w.Graph.ASNs() {
+	s.allASNs = w.Graph.ASNs()
+	for _, asn := range s.allASNs {
 		s.interfaces[asn] = float64(w.Graph.Network(asn).IPInterfaces)
 	}
 
-	s.computeTop10Selective()
+	// Precompute every potential peer's customer cone in parallel (the
+	// graph is read-only; each BFS is independent). After this point the
+	// cache is never written again, which is what lets Covered, Greedy,
+	// and SingleIXP fan out over it.
+	peers := s.sortedPotential()
+	cones := parallel.Map(s.workers, len(peers), func(i int) []topo.ASN {
+		return w.Graph.CustomerCone(peers[i])
+	})
+	for i, asn := range peers {
+		s.coneCache[asn] = cones[i]
+	}
+
+	s.computeTop10Selective(peers)
 	return s, nil
+}
+
+// sortedPotential returns the potential peers in ascending ASN order.
+func (s *Study) sortedPotential() []topo.ASN {
+	out := make([]topo.ASN, 0, len(s.potential))
+	for asn := range s.potential {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // PotentialPeerCount returns the number of potential peers after
 // exclusions (the paper: 2,192).
 func (s *Study) PotentialPeerCount() int { return len(s.potential) }
 
-// cone returns the customer cone of asn (memoised).
+// cone returns the customer cone of asn. Every potential peer is cached at
+// construction time; the fallback recomputes without storing, so the cache
+// stays read-only (and goroutine-safe) after NewStudy returns.
 func (s *Study) cone(asn topo.ASN) []topo.ASN {
 	if c, ok := s.coneCache[asn]; ok {
 		return c
 	}
-	c := s.World.Graph.CustomerCone(asn)
-	s.coneCache[asn] = c
-	return c
+	return s.World.Graph.CustomerCone(asn)
 }
 
 // inGroup reports whether a potential peer belongs to the peer group.
@@ -174,22 +218,26 @@ func (s *Study) inGroup(asn topo.ASN, g PeerGroup) bool {
 
 // computeTop10Selective ranks selective potential peers by their individual
 // offload potential (their cone's transit traffic) and keeps the top 10.
-func (s *Study) computeTop10Selective() {
+// peers is the sorted potential-peer list the caller already materialised.
+func (s *Study) computeTop10Selective(peers []topo.ASN) {
+	var selective []topo.ASN
+	for _, asn := range peers {
+		if s.World.Graph.Network(asn).Policy == topo.PolicySelective {
+			selective = append(selective, asn)
+		}
+	}
 	type cand struct {
 		asn topo.ASN
 		pot float64
 	}
-	var cands []cand
-	for asn := range s.potential {
-		if s.World.Graph.Network(asn).Policy != topo.PolicySelective {
-			continue
-		}
+	cands := parallel.Map(s.workers, len(selective), func(i int) cand {
+		asn := selective[i]
 		var pot float64
 		for _, c := range s.cone(asn) {
 			pot += s.trafficIn[c] + s.trafficOut[c]
 		}
-		cands = append(cands, cand{asn, pot})
-	}
+		return cand{asn, pot}
+	})
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].pot != cands[j].pot {
 			return cands[i].pot > cands[j].pot
@@ -202,33 +250,61 @@ func (s *Study) computeTop10Selective() {
 	}
 }
 
+// coveredOne returns the sorted coverage list of a single IXP: the group
+// members there plus their customer cones, intersected with the
+// transit-traffic universe.
+func (s *Study) coveredOne(i int, g PeerGroup) []topo.ASN {
+	if i < 0 || i >= len(s.ixpMembers) {
+		return nil
+	}
+	set := make(map[topo.ASN]bool)
+	for _, m := range s.ixpMembers[i] {
+		if !s.inGroup(m, g) {
+			continue
+		}
+		for _, c := range s.cone(m) {
+			if _, hasTraffic := s.trafficIn[c]; hasTraffic {
+				set[c] = true
+			}
+		}
+	}
+	out := make([]topo.ASN, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(x, y int) bool { return out[x] < out[y] })
+	return out
+}
+
 // Covered returns the set of networks whose transit traffic the NREN can
 // offload by peering (per group g) at the given IXPs: the group members at
 // those IXPs plus their customer cones, intersected with the
-// transit-traffic universe.
+// transit-traffic universe. Per-IXP coverage is evaluated in parallel and
+// merged in IXP order.
 func (s *Study) Covered(ixps []int, g PeerGroup) map[topo.ASN]bool {
+	lists := parallel.Map(s.workers, len(ixps), func(k int) []topo.ASN {
+		return s.coveredOne(ixps[k], g)
+	})
 	out := make(map[topo.ASN]bool)
-	for _, i := range ixps {
-		if i < 0 || i >= len(s.ixpMembers) {
-			continue
-		}
-		for _, m := range s.ixpMembers[i] {
-			if !s.inGroup(m, g) {
-				continue
-			}
-			for _, c := range s.cone(m) {
-				if _, hasTraffic := s.trafficIn[c]; hasTraffic {
-					out[c] = true
-				}
-			}
+	for _, lst := range lists {
+		for _, a := range lst {
+			out[a] = true
 		}
 	}
 	return out
 }
 
 // Potential sums the offloadable traffic when peering at the given IXPs.
+// The sum runs over the covered set in ascending ASN order, so the
+// floating-point result is identical across runs and worker counts.
 func (s *Study) Potential(ixps []int, g PeerGroup) (inBps, outBps float64) {
-	for asn := range s.Covered(ixps, g) {
+	covered := s.Covered(ixps, g)
+	asns := make([]topo.ASN, 0, len(covered))
+	for a := range covered {
+		asns = append(asns, a)
+	}
+	sort.Slice(asns, func(x, y int) bool { return asns[x] < asns[y] })
+	for _, asn := range asns {
 		inBps += s.trafficIn[asn]
 		outBps += s.trafficOut[asn]
 	}
@@ -246,15 +322,24 @@ type IXPPotential struct {
 // Total returns the combined potential.
 func (p IXPPotential) Total() float64 { return p.InBps + p.OutBps }
 
+// potentialOne is Potential for a single IXP, kept serial so callers can
+// fan out across IXPs without nesting worker pools.
+func (s *Study) potentialOne(i int, g PeerGroup) (inBps, outBps float64) {
+	for _, asn := range s.coveredOne(i, g) {
+		inBps += s.trafficIn[asn]
+		outBps += s.trafficOut[asn]
+	}
+	return inBps, outBps
+}
+
 // SingleIXP computes each IXP's standalone potential under group g, sorted
 // descending by total — Figure 7's bars come from the top entries under
-// each group.
+// each group. The 65 per-IXP evaluations run in parallel.
 func (s *Study) SingleIXP(g PeerGroup) []IXPPotential {
-	out := make([]IXPPotential, 0, len(s.World.IXPs))
-	for i, x := range s.World.IXPs {
-		in, outb := s.Potential([]int{i}, g)
-		out = append(out, IXPPotential{IXPIndex: i, Acronym: x.Acronym, InBps: in, OutBps: outb})
-	}
+	out := parallel.Map(s.workers, len(s.World.IXPs), func(i int) IXPPotential {
+		in, outb := s.potentialOne(i, g)
+		return IXPPotential{IXPIndex: i, Acronym: s.World.IXPs[i].Acronym, InBps: in, OutBps: outb}
+	})
 	sort.Slice(out, func(a, b int) bool {
 		if out[a].Total() != out[b].Total() {
 			return out[a].Total() > out[b].Total()
@@ -301,35 +386,41 @@ func (s *Study) Greedy(g PeerGroup, maxIXPs int) []GreedyStep {
 	var steps []GreedyStep
 	var cumIn, cumOut float64
 
-	// Per-IXP candidate network sets, computed once.
-	perIXP := make([][]topo.ASN, len(s.World.IXPs))
-	for i := range s.World.IXPs {
-		set := s.Covered([]int{i}, g)
-		lst := make([]topo.ASN, 0, len(set))
-		for a := range set {
-			lst = append(lst, a)
-		}
-		sort.Slice(lst, func(x, y int) bool { return lst[x] < lst[y] })
-		perIXP[i] = lst
-	}
+	// Per-IXP candidate network sets, computed once (in parallel).
+	perIXP := parallel.Map(s.workers, len(s.World.IXPs), func(i int) []topo.ASN {
+		return s.coveredOne(i, g)
+	})
 
+	type gain struct {
+		in, out float64
+	}
 	for step := 0; step < maxIXPs; step++ {
+		// Evaluate every candidate IXP's marginal gain in parallel; each
+		// gain is a sum over that IXP's own sorted coverage list, so it
+		// does not depend on scheduling. The argmax scan runs serially in
+		// IXP order — ties resolve to the smallest index, as before.
+		gains := parallel.Map(s.workers, len(perIXP), func(i int) gain {
+			if chosen[i] {
+				return gain{}
+			}
+			var gn gain
+			for _, a := range perIXP[i] {
+				if !covered[a] {
+					gn.in += s.trafficIn[a]
+					gn.out += s.trafficOut[a]
+				}
+			}
+			return gn
+		})
 		best, bestGain := -1, -1.0
 		var bestIn, bestOut float64
-		for i := range perIXP {
+		for i, gn := range gains {
 			if chosen[i] {
 				continue
 			}
-			var gIn, gOut float64
-			for _, a := range perIXP[i] {
-				if !covered[a] {
-					gIn += s.trafficIn[a]
-					gOut += s.trafficOut[a]
-				}
-			}
-			if gain := gIn + gOut; gain > bestGain {
-				best, bestGain = i, gain
-				bestIn, bestOut = gIn, gOut
+			if total := gn.in + gn.out; total > bestGain {
+				best, bestGain = i, total
+				bestIn, bestOut = gn.in, gn.out
 			}
 		}
 		if best < 0 {
@@ -371,13 +462,9 @@ func (s *Study) GreedyInterfaces(g PeerGroup, maxIXPs int) []InterfaceStep {
 	if maxIXPs <= 0 || maxIXPs > len(s.World.IXPs) {
 		maxIXPs = len(s.World.IXPs)
 	}
-	var total float64
-	for _, v := range s.interfaces {
-		total += v
-	}
+	total := s.TotalInterfaces()
 
-	perIXP := make([][]topo.ASN, len(s.World.IXPs))
-	for i := range s.World.IXPs {
+	perIXP := parallel.Map(s.workers, len(s.World.IXPs), func(i int) []topo.ASN {
 		seen := map[topo.ASN]bool{}
 		for _, m := range s.ixpMembers[i] {
 			if !s.inGroup(m, g) {
@@ -392,24 +479,30 @@ func (s *Study) GreedyInterfaces(g PeerGroup, maxIXPs int) []InterfaceStep {
 			lst = append(lst, a)
 		}
 		sort.Slice(lst, func(x, y int) bool { return lst[x] < lst[y] })
-		perIXP[i] = lst
-	}
+		return lst
+	})
 
 	covered := make(map[topo.ASN]bool)
 	chosen := make(map[int]bool)
 	remaining := total
 	var steps []InterfaceStep
 	for step := 0; step < maxIXPs; step++ {
-		best, bestGain := -1, -1.0
-		for i := range perIXP {
+		gains := parallel.Map(s.workers, len(perIXP), func(i int) float64 {
 			if chosen[i] {
-				continue
+				return 0
 			}
 			var gain float64
 			for _, a := range perIXP[i] {
 				if !covered[a] {
 					gain += s.interfaces[a]
 				}
+			}
+			return gain
+		})
+		best, bestGain := -1, -1.0
+		for i, gain := range gains {
+			if chosen[i] {
+				continue
 			}
 			if gain > bestGain {
 				best, bestGain = i, gain
@@ -433,11 +526,12 @@ func (s *Study) GreedyInterfaces(g PeerGroup, maxIXPs int) []InterfaceStep {
 }
 
 // TotalInterfaces returns the Figure 10 starting point: all IP interfaces
-// reachable through the transit hierarchy.
+// reachable through the transit hierarchy. The sum runs in ascending ASN
+// order so the floating-point total is identical across runs.
 func (s *Study) TotalInterfaces() float64 {
 	var total float64
-	for _, v := range s.interfaces {
-		total += v
+	for _, asn := range s.allASNs {
+		total += s.interfaces[asn]
 	}
 	return total
 }

@@ -1,0 +1,155 @@
+// Package parallel is the deterministic execution layer of the
+// reproduction: worker pools whose observable results are byte-identical
+// for every worker count. The paper's three expensive campaigns — the
+// four-month ping-based spread study, the month of NetFlow-style traffic,
+// and the greedy offload analysis — all fan out through this package, so
+// the rule every helper enforces is the same one the discrete-event
+// simulator already lives by: parallelism may change *when* work runs, but
+// never *what* it computes.
+//
+// Three idioms keep results worker-count-invariant:
+//
+//   - Index-stable output: ForEach/Map/MapErr hand shard i its own output
+//     slot i, so merge order is the index order, not completion order.
+//   - Fixed shard structure for floating-point reductions: when partial
+//     sums must be combined, the shard boundaries come from the problem
+//     size (Blocks) or write disjoint indices (Ranges), never from the
+//     worker count, so the addition order is fixed.
+//   - Deterministic per-shard PRNG seeding: stochastic call sites derive
+//     one stats.Source per shard — via stats.Source.Split with a label
+//     keyed by the shard's identity (e.g. the IXP index in RunSpreadStudy)
+//     — serially, before any goroutine starts, so a shard's random stream
+//     does not depend on which worker runs it or in what order.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n > 0 is used as-is; anything else
+// (the zero value of a config field) means one worker per available CPU,
+// so `-cpu` in benchmarks and GOMAXPROCS in production both steer it.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ForEach runs fn(i) for every i in [0,n) across at most workers
+// goroutines (0 = GOMAXPROCS). Indices are handed out dynamically, so fn
+// must write only to per-index storage for results to be deterministic.
+// With one worker (or n ≤ 1) it degenerates to the plain serial loop.
+func ForEach(workers, n int, fn func(i int)) {
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map computes fn(i) for every i in [0,n) and returns the results in index
+// order — the order-stable merge that makes fan-outs replayable.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapErr is Map for fallible shards. All shards run to completion; the
+// error reported is the one at the smallest index, so the failure a caller
+// sees does not depend on goroutine scheduling.
+func MapErr[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) { out[i], errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Range is a half-open index interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Ranges splits [0,n) into at most `parts` contiguous near-equal ranges.
+// Used to shard output indices (e.g. the intervals of a traffic series):
+// each range writes its own disjoint slots, and the value of a slot is
+// computed entirely within one range, so any partition gives identical
+// results.
+func Ranges(parts, n int) []Range {
+	p := Workers(parts)
+	if p > n {
+		p = n
+	}
+	if p <= 0 {
+		return nil
+	}
+	out := make([]Range, 0, p)
+	for i := 0; i < p; i++ {
+		lo := i * n / p
+		hi := (i + 1) * n / p
+		if lo < hi {
+			out = append(out, Range{lo, hi})
+		}
+	}
+	return out
+}
+
+// ForEachRange runs fn over a contiguous partition of [0,n), one range per
+// worker. fn must confine its writes to indices inside its range.
+func ForEachRange(workers, n int, fn func(lo, hi int)) {
+	rs := Ranges(workers, n)
+	ForEach(workers, len(rs), func(i int) { fn(rs[i].Lo, rs[i].Hi) })
+}
+
+// Blocks splits [0,n) into fixed-size blocks. Unlike Ranges, the block
+// structure depends only on n and size — never on the worker count — so
+// order-sensitive reductions (floating-point partial sums, map merges) can
+// compute one partial per block in parallel and fold the partials in block
+// order, yielding bit-identical totals for every worker count.
+func Blocks(n, size int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if size <= 0 {
+		size = 1
+	}
+	out := make([]Range, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Range{lo, hi})
+	}
+	return out
+}
+

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"remotepeering/internal/geo"
+	"remotepeering/internal/parallel"
 	"remotepeering/internal/stats"
 	"remotepeering/internal/topo"
 )
@@ -60,31 +61,28 @@ func (w *World) buildIXPs(src *stats.Source) error {
 	}
 	memberships := make(map[topo.ASN]int) // network → number of IXPs joined
 
-	// Distance-ordered city lists per IXP city, precomputed.
+	// Distance-ordered city lists per IXP city. The computation is pure
+	// geometry (no RNG), so it fans out across workers without touching
+	// the generated world's bytes; the sequential membership construction
+	// below then consumes the precomputed orders.
+	ixpCities := make([]string, 0, len(specs))
+	seenCity := make(map[string]bool)
+	for _, spec := range specs {
+		if !seenCity[spec.City] {
+			seenCity[spec.City] = true
+			ixpCities = append(ixpCities, spec.City)
+		}
+	}
 	allCities := geo.CityNames()
 	sort.Strings(allCities)
-	nearOrder := func(from string) []string {
-		f := geo.MustCity(from)
-		type dc struct {
-			name string
-			km   float64
-		}
-		ds := make([]dc, 0, len(allCities))
-		for _, c := range allCities {
-			ds = append(ds, dc{c, geo.HaversineKm(f.Coord, geo.MustCity(c).Coord)})
-		}
-		sort.Slice(ds, func(i, j int) bool {
-			if ds[i].km != ds[j].km {
-				return ds[i].km < ds[j].km
-			}
-			return ds[i].name < ds[j].name
-		})
-		out := make([]string, len(ds))
-		for i, d := range ds {
-			out[i] = d.name
-		}
-		return out
+	orders := parallel.Map(w.Cfg.Workers, len(ixpCities), func(i int) []string {
+		return nearOrderFrom(ixpCities[i], allCities)
+	})
+	orderByCity := make(map[string][]string, len(ixpCities))
+	for i, c := range ixpCities {
+		orderByCity[c] = orders[i]
 	}
+	nearOrder := func(from string) []string { return orderByCity[from] }
 
 	for i, spec := range specs {
 		x := &topo.IXP{
@@ -403,6 +401,31 @@ func minF(a, b float64) float64 {
 		return a
 	}
 	return b
+}
+
+// nearOrderFrom sorts allCities by great-circle distance from `from`,
+// breaking ties by name so the order is total.
+func nearOrderFrom(from string, allCities []string) []string {
+	f := geo.MustCity(from)
+	type dc struct {
+		name string
+		km   float64
+	}
+	ds := make([]dc, 0, len(allCities))
+	for _, c := range allCities {
+		ds = append(ds, dc{c, geo.HaversineKm(f.Coord, geo.MustCity(c).Coord)})
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].km != ds[j].km {
+			return ds[i].km < ds[j].km
+		}
+		return ds[i].name < ds[j].name
+	})
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.name
+	}
+	return out
 }
 
 // assignAddressSpace gives every network an IP-interface estimate whose

@@ -39,6 +39,11 @@ type Config struct {
 	// CampaignDays is the measurement-campaign length (default 120 days —
 	// October 2013 to January 2014).
 	CampaignDays int
+	// Workers bounds the parallelism of the RNG-free generation stages
+	// (the per-IXP geographic precomputation; 0 = one per CPU). The
+	// generated world is byte-identical for every value: all stochastic
+	// stages consume their seeded streams serially.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {

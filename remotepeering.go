@@ -36,6 +36,7 @@ import (
 	"remotepeering/internal/netflow"
 	"remotepeering/internal/netsim"
 	"remotepeering/internal/offload"
+	"remotepeering/internal/parallel"
 	"remotepeering/internal/registry"
 	"remotepeering/internal/stats"
 	"remotepeering/internal/worldgen"
@@ -116,6 +117,11 @@ type SpreadOptions struct {
 	Seed int64
 	// IXPs selects studied-IXP indices to measure; nil means all 22.
 	IXPs []int
+	// Workers bounds the number of IXP simulations run concurrently
+	// (0 = one per CPU). Results are byte-identical for every value: each
+	// IXP runs in its own discrete-event engine with RNG streams derived
+	// from Seed and the IXP index alone.
+	Workers int
 	// Campaign overrides the probing regime (zero value = the paper's).
 	Campaign CampaignConfig
 	// Detector overrides the methodology parameters (zero value = the
@@ -176,25 +182,55 @@ func RunSpreadStudy(w *World, opts SpreadOptions) (*SpreadResult, error) {
 		campaignCfg.Duration = time.Duration(w.CampaignDuration()) * 24 * time.Hour
 	}
 
-	var e netsim.Engine
+	// The IXP simulations are mutually independent — separate fabrics,
+	// nodes, and event queues — so each runs in its own engine and the
+	// per-IXP observation streams merge afterwards. The RNG sources are
+	// split serially up front, labelled by IXP index (the same labels the
+	// serial implementation used), so every IXP sees the same streams
+	// regardless of worker count or scheduling: the merged, sorted result
+	// is byte-identical to a single-threaded run.
 	src := stats.NewSource(opts.Seed)
-	camp := lg.NewCampaign(campaignCfg)
-	sims := make(map[int]*ixpsim.SimIXP, len(ixps))
-	for _, idx := range ixps {
-		sim, err := ixpsim.Build(&e, w, idx, campaignCfg.Duration, src.Split(fmt.Sprintf("ixp-%d", idx)))
-		if err != nil {
-			return nil, fmt.Errorf("remotepeering: build IXP %d: %w", idx, err)
-		}
-		sims[idx] = sim
-		if err := camp.Schedule(&e, sim, src.Split(fmt.Sprintf("campaign-%d", idx))); err != nil {
-			return nil, fmt.Errorf("remotepeering: schedule IXP %d: %w", idx, err)
-		}
-	}
-	if err := e.Run(); err != nil {
-		return nil, fmt.Errorf("remotepeering: campaign: %w", err)
+	simSrcs := make([]*stats.Source, len(ixps))
+	campSrcs := make([]*stats.Source, len(ixps))
+	for k, idx := range ixps {
+		simSrcs[k] = src.Split(fmt.Sprintf("ixp-%d", idx))
+		campSrcs[k] = src.Split(fmt.Sprintf("campaign-%d", idx))
 	}
 
-	obs := camp.Observations()
+	type ixpRun struct {
+		sim *ixpsim.SimIXP
+		obs []Observation
+	}
+	runs, err := parallel.MapErr(opts.Workers, len(ixps), func(k int) (ixpRun, error) {
+		idx := ixps[k]
+		var e netsim.Engine
+		camp := lg.NewCampaign(campaignCfg)
+		sim, err := ixpsim.Build(&e, w, idx, campaignCfg.Duration, simSrcs[k])
+		if err != nil {
+			return ixpRun{}, fmt.Errorf("remotepeering: build IXP %d: %w", idx, err)
+		}
+		if err := camp.Schedule(&e, sim, campSrcs[k]); err != nil {
+			return ixpRun{}, fmt.Errorf("remotepeering: schedule IXP %d: %w", idx, err)
+		}
+		if err := e.Run(); err != nil {
+			return ixpRun{}, fmt.Errorf("remotepeering: campaign IXP %d: %w", idx, err)
+		}
+		// Raw (engine-order) streams: the single stable sort after the
+		// merge below produces the canonical order, so sorting per IXP
+		// here would be redundant work.
+		return ixpRun{sim: sim, obs: camp.Raw()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var obs []Observation
+	sims := make(map[int]*ixpsim.SimIXP, len(ixps))
+	for k, r := range runs {
+		sims[ixps[k]] = r.sim
+		obs = append(obs, r.obs...)
+	}
+	lg.Sort(obs)
 	reg := RegistryFromWorld(w)
 	report, err := core.Analyze(obs, reg, campaignCfg.Duration, opts.Detector)
 	if err != nil {
@@ -230,10 +266,19 @@ func CollectTraffic(w *World, cfg TrafficConfig) (*TrafficDataset, error) {
 	return netflow.Collect(w, cfg)
 }
 
+// OffloadOptions tunes the Section 4 analysis machinery.
+type OffloadOptions = offload.Options
+
 // NewOffloadStudy prepares the Section 4 offload analysis over a world and
-// its traffic dataset.
+// its traffic dataset, using one worker per CPU. Results are identical for
+// every worker count.
 func NewOffloadStudy(w *World, ds *TrafficDataset) (*OffloadStudy, error) {
 	return offload.NewStudy(w, ds)
+}
+
+// NewOffloadStudyOptions is NewOffloadStudy with an explicit worker count.
+func NewOffloadStudyOptions(w *World, ds *TrafficDataset, opts OffloadOptions) (*OffloadStudy, error) {
+	return offload.NewStudyOptions(w, ds, opts)
 }
 
 // DecayFit is the result of fitting remaining-transit curves to e^{-b·k}.
