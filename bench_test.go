@@ -30,20 +30,27 @@ var (
 
 func fixtures(b *testing.B) (*World, *SpreadResult, *TrafficDataset, *OffloadStudy) {
 	b.Helper()
+	// Each stage wraps its error with the pipeline stage name: fixOnce
+	// caches the first failure for every subsequent benchmark, so a bare
+	// error would otherwise surface dozens of times with no hint of which
+	// fixture broke.
 	fixOnce.Do(func() {
-		fixWorld, fixErr = GenerateWorld(WorldConfig{Seed: 1})
-		if fixErr != nil {
+		var err error
+		if fixWorld, err = GenerateWorld(WorldConfig{Seed: 1}); err != nil {
+			fixErr = fmt.Errorf("world fixture (GenerateWorld): %w", err)
 			return
 		}
-		fixSpread, fixErr = RunSpreadStudy(fixWorld, SpreadOptions{Seed: 2})
-		if fixErr != nil {
+		if fixSpread, err = RunSpreadStudy(fixWorld, SpreadOptions{Seed: 2}); err != nil {
+			fixErr = fmt.Errorf("spread-campaign fixture (RunSpreadStudy): %w", err)
 			return
 		}
-		fixTraffic, fixErr = CollectTraffic(fixWorld, TrafficConfig{Seed: 3})
-		if fixErr != nil {
+		if fixTraffic, err = CollectTraffic(fixWorld, TrafficConfig{Seed: 3}); err != nil {
+			fixErr = fmt.Errorf("traffic fixture (CollectTraffic): %w", err)
 			return
 		}
-		fixStudy, fixErr = NewOffloadStudy(fixWorld, fixTraffic)
+		if fixStudy, err = NewOffloadStudy(fixWorld, fixTraffic); err != nil {
+			fixErr = fmt.Errorf("offload fixture (NewOffloadStudy): %w", err)
+		}
 	})
 	if fixErr != nil {
 		b.Fatal(fixErr)

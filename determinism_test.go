@@ -163,6 +163,59 @@ func TestGreedyIdenticalAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestBitsetAdaptersAgreeAcrossWorkers pins the contract of the dense
+// bitset engine introduced for the Section 4 hot paths: the bitset-valued
+// fast paths (CoveredSet, SeriesTotalSet) and their map-valued facade
+// adapters (Covered, SeriesTotal) must produce identical results — and
+// identical to each other — at every worker count.
+func TestBitsetAdaptersAgreeAcrossWorkers(t *testing.T) {
+	w := detWorld(t)
+	ixps := []int{0, 3, 12, 40, 64}
+	type outcome struct {
+		coveredASNs []uint32
+		in, out     []float64
+	}
+	run := func(workers int) outcome {
+		ds, err := CollectTraffic(w, TrafficConfig{Seed: 47, Intervals: 288, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewOffloadStudyOptions(w, ds, OffloadOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := s.Covered(ixps, GroupOpenSelective)
+		set := s.CoveredSet(ixps, GroupOpenSelective)
+		if len(covered) != set.Count() {
+			t.Fatalf("workers=%d: Covered map has %d networks, CoveredSet %d", workers, len(covered), set.Count())
+		}
+		var asns []uint32
+		set.ForEach(func(id int32) {
+			asn := w.Index.ASN(id)
+			if !covered[asn] {
+				t.Fatalf("workers=%d: CoveredSet contains AS%d missing from Covered map", workers, asn)
+			}
+			asns = append(asns, uint32(asn))
+		})
+		mapIn, mapOut := ds.SeriesTotal(covered)
+		setIn, setOut := ds.SeriesTotalSet(set)
+		if !reflect.DeepEqual(mapIn, setIn) || !reflect.DeepEqual(mapOut, setOut) {
+			t.Fatalf("workers=%d: SeriesTotal and SeriesTotalSet disagree for the same selection", workers)
+		}
+		return outcome{coveredASNs: asns, in: setIn, out: setOut}
+	}
+	base := run(1)
+	if len(base.coveredASNs) == 0 {
+		t.Fatal("empty coverage in base run")
+	}
+	for _, workers := range workerCounts[1:] {
+		got := run(workers)
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d: bitset-path results differ from workers=1", workers)
+		}
+	}
+}
+
 // TestRepeatedRunsIdentical guards the weaker but equally load-bearing
 // property that two runs at the *same* worker count are identical — i.e.
 // no scheduling- or map-iteration-order dependence leaks into results.

@@ -18,8 +18,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
+	"remotepeering/internal/asindex"
 	"remotepeering/internal/bgp"
 	"remotepeering/internal/parallel"
 	"remotepeering/internal/stats"
@@ -91,6 +93,21 @@ type Dataset struct {
 	transientIn map[topo.ASN]float64
 	transOut    map[topo.ASN]float64
 	seed        int64
+
+	// ix is the world's dense ASN index, shared so set-valued queries
+	// (SeriesTotalSet) can take bitsets instead of maps.
+	ix *asindex.Index
+	// transitOnce/transitCache memoise TransitEntries: the filtered slice
+	// is assembled once and shared (callers must not mutate it).
+	transitOnce  sync.Once
+	transitCache []Entry
+	// profOnce/profIn/profOut cache the diurnal profile per interval for
+	// the two amplitudes (0.55 inbound, 0.25 outbound): the profile is a
+	// pure function of the interval index, so the per-sample trigonometry
+	// of diurnalFactor collapses to a table lookup in the series hot loop.
+	profOnce sync.Once
+	profIn   []float64
+	profOut  []float64
 }
 
 // Collect builds the dataset from the world.
@@ -125,6 +142,10 @@ func Collect(w *worldgen.World, cfg Config) (*Dataset, error) {
 		return cands[i].asn < cands[j].asn
 	})
 
+	ix := w.Index
+	if ix == nil {
+		ix = asindex.New(w.Graph.ASNs())
+	}
 	ds := &Dataset{
 		Cfg:         cfg,
 		byASN:       make(map[topo.ASN]int),
@@ -132,6 +153,7 @@ func Collect(w *worldgen.World, cfg Config) (*Dataset, error) {
 		transientIn: make(map[topo.ASN]float64),
 		transOut:    make(map[topo.ASN]float64),
 		seed:        cfg.Seed,
+		ix:          ix,
 	}
 
 	// Rank-based contribution with the Figure 5a bend near rank 20,000.
@@ -302,25 +324,30 @@ func (d *Dataset) Entry(asn topo.ASN) (Entry, bool) {
 }
 
 // TransitEntries returns only the entries riding the transit providers —
-// the paper's 29,570-network dataset.
+// the paper's 29,570-network dataset. The filtered slice is built once and
+// cached (it is consulted inside benchmark and analysis loops); callers
+// must treat it as read-only.
 func (d *Dataset) TransitEntries() []Entry {
-	out := make([]Entry, 0, len(d.Entries))
-	for _, e := range d.Entries {
-		if e.Transit {
-			out = append(out, e)
+	d.transitOnce.Do(func() {
+		out := make([]Entry, 0, len(d.Entries))
+		for _, e := range d.Entries {
+			if e.Transit {
+				out = append(out, e)
+			}
 		}
-	}
-	return out
+		d.transitCache = out
+	})
+	return d.transitCache
 }
 
 // TransitTotals returns the average transit-provider traffic in each
-// direction.
+// direction. The sum runs in entry order (the same order TransitEntries
+// preserves), so the totals are bit-identical to the seed implementation.
 func (d *Dataset) TransitTotals() (inBps, outBps float64) {
-	for _, e := range d.Entries {
-		if e.Transit {
-			inBps += e.AvgInBps
-			outBps += e.AvgOutBps
-		}
+	for i := range d.TransitEntries() {
+		e := &d.transitCache[i]
+		inBps += e.AvgInBps
+		outBps += e.AvgOutBps
 	}
 	return inBps, outBps
 }
@@ -334,16 +361,31 @@ func (d *Dataset) Transient(asn topo.ASN) (total, in, out float64) {
 
 // hash01 derives a deterministic uniform [0,1) value from the dataset
 // seed, an ASN, an interval index, and a direction tag, giving O(1) random
-// access into the synthetic time series without storing it.
+// access into the synthetic time series without storing it. It is split
+// into hashBase (interval-independent, hoistable out of interval loops)
+// and hashFinish (the splitmix64 finaliser); the XOR composition keeps the
+// input word — and therefore every sample — bit-identical to the unsplit
+// form.
 func (d *Dataset) hash01(asn topo.ASN, interval int, dir uint64) float64 {
-	x := uint64(d.seed)*0x9E3779B97F4A7C15 ^ uint64(asn)<<32 ^ uint64(uint32(interval)) ^ dir<<61
-	// splitmix64 finaliser.
+	return hashFinish(d.hashBase(asn, dir) ^ uint64(uint32(interval)))
+}
+
+// hashBase is the per-(entry, direction) constant of hash01.
+func (d *Dataset) hashBase(asn topo.ASN, dir uint64) uint64 {
+	return uint64(d.seed)*0x9E3779B97F4A7C15 ^ uint64(asn)<<32 ^ dir<<61
+}
+
+// hashFinish applies the splitmix64 finaliser and maps to [0,1). The
+// 2^-53 scale is applied as a multiplication: the reciprocal of a power
+// of two is exact, so the product is bit-identical to the division it
+// replaces, without the division latency in the series hot loop.
+func hashFinish(x uint64) float64 {
 	x ^= x >> 30
 	x *= 0xBF58476D1CE4E5B9
 	x ^= x >> 27
 	x *= 0x94D049BB133111EB
 	x ^= x >> 31
-	return float64(x>>11) / float64(1<<53)
+	return float64(x>>11) * (1.0 / float64(1<<53))
 }
 
 // diurnalFactor is the multiplicative time-of-day/day-of-week profile. The
@@ -376,16 +418,63 @@ func (d *Dataset) Rate(asn topo.ASN, interval int) (inBps, outBps float64) {
 	return d.entryRate(&d.Entries[i], interval)
 }
 
+// profiles returns the cached per-interval diurnal factors for the two
+// amplitudes (inbound 0.55, outbound 0.25). Both tables are built once,
+// lazily, by evaluating diurnalFactor itself — so a table lookup is
+// bit-identical to the inline call it replaces.
+func (d *Dataset) profiles() (profIn, profOut []float64) {
+	d.profOnce.Do(func() {
+		d.profIn = make([]float64, d.Cfg.Intervals)
+		d.profOut = make([]float64, d.Cfg.Intervals)
+		for t := range d.profIn {
+			d.profIn[t] = diurnalFactor(t, d.Cfg.IntervalLength, 0.55)
+			d.profOut[t] = diurnalFactor(t, d.Cfg.IntervalLength, 0.25)
+		}
+	})
+	return d.profIn, d.profOut
+}
+
 // entryRate is Rate without the index lookup, for callers already holding
 // the entry.
 func (d *Dataset) entryRate(e *Entry, interval int) (inBps, outBps float64) {
+	profIn, profOut := d.profiles()
+	din, dout := diurnalAt(profIn, interval, d.Cfg.IntervalLength, 0.55),
+		diurnalAt(profOut, interval, d.Cfg.IntervalLength, 0.25)
 	// Multiplicative lognormal jitter, direction-specific.
 	jIn := math.Exp(0.3 * normFromUniform(d.hash01(e.ASN, interval, 1)))
 	jOut := math.Exp(0.3 * normFromUniform(d.hash01(e.ASN, interval, 2)))
-	inBps = e.AvgInBps * diurnalFactor(interval, d.Cfg.IntervalLength, 0.55) * jIn
-	outBps = e.AvgOutBps * diurnalFactor(interval, d.Cfg.IntervalLength, 0.25) * jOut
+	inBps = e.AvgInBps * din * jIn
+	outBps = e.AvgOutBps * dout * jOut
 	return inBps, outBps
 }
+
+// diurnalAt reads the cached profile when the interval is inside the
+// dataset's month and falls back to the direct evaluation for callers
+// probing beyond it.
+func diurnalAt(prof []float64, interval int, intervalLen time.Duration, amplitude float64) float64 {
+	if interval >= 0 && interval < len(prof) {
+		return prof[interval]
+	}
+	return diurnalFactor(interval, intervalLen, amplitude)
+}
+
+// Beasley-Springer-Moro style rational-approximation coefficients for
+// normFromUniform, hoisted to package level: a per-call composite literal
+// would re-materialise all 21 words on every one of the hundreds of
+// millions of calls the month-long series synthesis makes.
+var (
+	normA = [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	normB = [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	normC = [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	normD = [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+)
 
 // normFromUniform converts a uniform (0,1) value into a standard normal
 // deviate via the inverse-CDF approximation of Acklam (sufficient for
@@ -397,18 +486,7 @@ func normFromUniform(u float64) float64 {
 	if u >= 1 {
 		u = 1 - 1e-12
 	}
-	// Beasley-Springer-Moro style rational approximation.
-	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
-		-2.759285104469687e+02, 1.383577518672690e+02,
-		-3.066479806614716e+01, 2.506628277459239e+00}
-	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
-		-1.556989798598866e+02, 6.680131188771972e+01,
-		-1.328068155288572e+01}
-	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
-		-2.400758277161838e+00, -2.549732539343734e+00,
-		4.374664141464968e+00, 2.938163982698783e+00}
-	dd := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
-		2.445134137142996e+00, 3.754408661907416e+00}
+	a, b, c, dd := &normA, &normB, &normC, &normD
 	const plow = 0.02425
 	switch {
 	case u < plow:
@@ -437,8 +515,6 @@ func normFromUniform(u float64) float64 {
 // one shard, iterating entries in the same order a serial run would, so
 // the series is bit-identical for every worker count.
 func (d *Dataset) SeriesTotal(set map[topo.ASN]bool) (in, out []float64) {
-	in = make([]float64, d.Cfg.Intervals)
-	out = make([]float64, d.Cfg.Intervals)
 	active := make([]*Entry, 0, len(d.Entries))
 	for i := range d.Entries {
 		e := &d.Entries[i]
@@ -450,14 +526,54 @@ func (d *Dataset) SeriesTotal(set map[topo.ASN]bool) (in, out []float64) {
 		}
 		active = append(active, e)
 	}
+	return d.seriesOver(active)
+}
+
+// SeriesTotalSet is SeriesTotal with the selection given as a dense bitset
+// over the world's AS index — the allocation-light path the offload
+// analyses use. A nil set means all transit entries. Because the entry
+// iteration order is the same as SeriesTotal's (entry order, not set
+// order), the two overloads return bit-identical series for equal sets.
+func (d *Dataset) SeriesTotalSet(set *asindex.BitSet) (in, out []float64) {
+	active := make([]*Entry, 0, len(d.Entries))
+	for i := range d.Entries {
+		e := &d.Entries[i]
+		if !e.Transit {
+			continue
+		}
+		if set != nil {
+			id, ok := d.ix.ID(e.ASN)
+			if !ok || !set.Has(id) {
+				continue
+			}
+		}
+		active = append(active, e)
+	}
+	return d.seriesOver(active)
+}
+
+// seriesOver synthesises the month of 5-minute series for the selected
+// entries. The per-entry hash bases and averages are hoisted out of the
+// interval loop and the diurnal factors come from the cached profile
+// tables, so the per-sample work is one splitmix64 finish, one
+// inverse-CDF, and one Exp per direction — with the same multiplication
+// order as the unsplit entryRate, keeping every sample bit-identical.
+func (d *Dataset) seriesOver(active []*Entry) (in, out []float64) {
+	in = make([]float64, d.Cfg.Intervals)
+	out = make([]float64, d.Cfg.Intervals)
+	profIn, profOut := d.profiles()
 	parallel.ForEachRange(d.Cfg.Workers, d.Cfg.Intervals, func(lo, hi int) {
 		// The diurnal profile and jitter are per-network; summing
 		// network-by-network keeps the series deterministic.
 		for _, e := range active {
+			baseIn := d.hashBase(e.ASN, 1)
+			baseOut := d.hashBase(e.ASN, 2)
+			avgIn, avgOut := e.AvgInBps, e.AvgOutBps
 			for t := lo; t < hi; t++ {
-				i, o := d.entryRate(e, t)
-				in[t] += i
-				out[t] += o
+				jIn := math.Exp(0.3 * normFromUniform(hashFinish(baseIn^uint64(uint32(t)))))
+				jOut := math.Exp(0.3 * normFromUniform(hashFinish(baseOut^uint64(uint32(t)))))
+				in[t] += avgIn * profIn[t] * jIn
+				out[t] += avgOut * profOut[t] * jOut
 			}
 		}
 	})

@@ -8,12 +8,22 @@
 // single-IXP and second-IXP analyses (Figures 7 and 8), the greedy
 // expansion (Figure 9), and the RedIRIS-independent reachable-interfaces
 // variant (Figure 10).
+//
+// Internally the analysis runs on the world's dense AS index
+// (internal/asindex): customer cones are sorted []int32 id lists, per-IXP
+// coverage is a bitmask per peer group, and traffic/interface weights are
+// dense []float64 planes. Every reduction iterates ids in ascending order —
+// the same ascending-ASN order the original map-and-sort implementation
+// used — so results are bit-identical to it (the equivalence goldens in
+// the root package pin this).
 package offload
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"remotepeering/internal/asindex"
 	"remotepeering/internal/netflow"
 	"remotepeering/internal/parallel"
 	"remotepeering/internal/topo"
@@ -58,6 +68,10 @@ func (g PeerGroup) String() string {
 // Groups lists the four peer groups from most restrictive to broadest.
 var Groups = []PeerGroup{GroupOpen, GroupOpenTop10Selective, GroupOpenSelective, GroupAll}
 
+// numGroupSlots sizes the per-group mask caches: the four paper groups
+// plus slot 0 for out-of-range PeerGroup values.
+const numGroupSlots = int(GroupAll) + 1
+
 // Options tunes the analysis machinery without touching its semantics.
 type Options struct {
 	// Workers bounds the parallelism of cone precomputation, coverage
@@ -66,32 +80,57 @@ type Options struct {
 	Workers int
 }
 
+// groupMasks holds one peer group's precomputed per-IXP coverage.
+type groupMasks struct {
+	// traffic[i] is IXP i's coverage intersected with the transit-traffic
+	// universe — the candidate set of Figures 7-9.
+	traffic []*asindex.BitSet
+	// full[i] is the un-intersected coverage — the Figure 10 candidate
+	// set, which counts interfaces regardless of the NREN's traffic.
+	full []*asindex.BitSet
+}
+
 // Study is the prepared offload analysis.
 type Study struct {
 	World   *worldgen.World
 	Dataset *netflow.Dataset
 
 	workers int
-	// potential holds the potential remote peers after the Section 4.2
-	// exclusions (the paper arrives at 2,192 networks).
-	potential map[topo.ASN]bool
-	// trafficIn/trafficOut index the transit-riding traffic by network.
-	trafficIn  map[topo.ASN]float64
-	trafficOut map[topo.ASN]float64
-	// ixpMembers lists, per IXP, the distinct member ASNs that survive
-	// the exclusions.
-	ixpMembers [][]topo.ASN
-	// coneCache holds the customer cones of every potential peer. It is
-	// fully populated during construction and read-only afterwards, so
-	// the parallel coverage paths can share it without locking.
-	coneCache map[topo.ASN][]topo.ASN
+	// ix is the dense ASN index every set and weight plane below is
+	// expressed in. Ids ascend with ASNs, so ascending-id iteration is
+	// ascending-ASN iteration.
+	ix *asindex.Index
+	// potential marks the potential remote peers after the Section 4.2
+	// exclusions (the paper arrives at 2,192 networks); peerIDs is the
+	// same set as a sorted id list.
+	potential *asindex.BitSet
+	peerIDs   []int32
+	// trafficIn/trafficOut are the transit-riding traffic planes;
+	// hasTraffic marks ids present in the transit dataset at all (the
+	// map-presence test of the original implementation).
+	trafficIn  []float64
+	trafficOut []float64
+	hasTraffic *asindex.BitSet
+	// policies caches each id's peering policy for the group predicate.
+	policies []topo.PeeringPolicy
+	// ixpMembers lists, per IXP, the sorted member ids surviving the
+	// exclusions.
+	ixpMembers [][]int32
+	// cones holds the customer cone of every potential peer as a sorted
+	// id list, fully populated during construction and read-only
+	// afterwards, so the parallel coverage paths share it without locking.
+	cones [][]int32
 	// top10Selective is peer group 2's selective complement.
-	top10Selective map[topo.ASN]bool
-	// interfaces weights networks for the Figure 10 metric; allASNs keeps
-	// the graph's ASNs in ascending order so sums over the whole universe
-	// have a fixed addition order.
-	interfaces map[topo.ASN]float64
-	allASNs    []topo.ASN
+	top10Selective *asindex.BitSet
+	// interfaces weights networks for the Figure 10 metric.
+	interfaces []float64
+
+	// masksByGroup lazily caches each group's per-IXP coverage bitmasks:
+	// built once (in parallel, deterministically) on the group's first
+	// coverage query, then reused by every Covered/Greedy/SingleIXP call.
+	// Slot 0 serves unknown groups; slots 1-4 the paper's groups.
+	masksOnce    [numGroupSlots]sync.Once
+	masksByGroup [numGroupSlots]*groupMasks
 }
 
 // NewStudy prepares the analysis with default options.
@@ -104,31 +143,65 @@ func NewStudyOptions(w *worldgen.World, ds *netflow.Dataset, opts Options) (*Stu
 	if w == nil || ds == nil {
 		return nil, fmt.Errorf("offload: nil world or dataset")
 	}
+	ix := w.Index
+	if ix == nil {
+		ix = asindex.New(w.Graph.ASNs())
+	}
+	n := ix.Len()
 	s := &Study{
 		World:      w,
 		Dataset:    ds,
 		workers:    opts.Workers,
-		potential:  make(map[topo.ASN]bool),
-		trafficIn:  make(map[topo.ASN]float64),
-		trafficOut: make(map[topo.ASN]float64),
-		coneCache:  make(map[topo.ASN][]topo.ASN),
-		interfaces: make(map[topo.ASN]float64),
+		ix:         ix,
+		potential:  asindex.NewBitSet(n),
+		trafficIn:  make([]float64, n),
+		trafficOut: make([]float64, n),
+		hasTraffic: asindex.NewBitSet(n),
+		policies:   make([]topo.PeeringPolicy, n),
+		interfaces: make([]float64, n),
+		cones:      make([][]int32, n),
 	}
 
 	for _, e := range ds.TransitEntries() {
-		s.trafficIn[e.ASN] = e.AvgInBps
-		s.trafficOut[e.ASN] = e.AvgOutBps
+		id, ok := ix.ID(e.ASN)
+		if !ok {
+			return nil, fmt.Errorf("offload: dataset ASN %d not in world index", e.ASN)
+		}
+		s.trafficIn[id] = e.AvgInBps
+		s.trafficOut[id] = e.AvgOutBps
+		s.hasTraffic.Set(id)
+	}
+
+	// The graph and the index are separate exported surfaces, so guard
+	// against a world whose graph grew after generation froze the index:
+	// every dense plane below keys on the index's ids, and a silent
+	// misalignment would attribute weights to the wrong ASNs.
+	asns := w.Graph.ASNs()
+	if len(asns) != n {
+		return nil, fmt.Errorf("offload: world graph has %d ASNs but index covers %d (graph modified after generation?)", len(asns), n)
+	}
+	for id, asn := range asns {
+		if got, ok := ix.ID(asn); !ok || got != int32(id) {
+			return nil, fmt.Errorf("offload: ASN %d not aligned with world index (graph modified after generation?)", asn)
+		}
+		net := w.Graph.Network(asn)
+		s.policies[id] = net.Policy
+		s.interfaces[id] = float64(net.IPInterfaces)
 	}
 
 	// Section 4.2 exclusions.
-	excluded := map[topo.ASN]bool{
-		w.RedIRIS:  true,
-		w.Transit1: true, // transit providers do not peer with customers
-		w.Transit2: true,
-		w.Geant:    true,
+	excluded := asindex.NewBitSet(n)
+	setExcluded := func(asn topo.ASN) {
+		if id, ok := ix.ID(asn); ok {
+			excluded.Set(id)
+		}
 	}
-	for _, n := range w.NRENs {
-		excluded[n] = true // GÉANT members already interconnect cheaply
+	setExcluded(w.RedIRIS)
+	setExcluded(w.Transit1) // transit providers do not peer with customers
+	setExcluded(w.Transit2)
+	setExcluded(w.Geant)
+	for _, nren := range w.NRENs {
+		setExcluded(nren) // GÉANT members already interconnect cheaply
 	}
 	for _, acr := range []string{"CATNIX", "ESpanix"} {
 		x, _, err := w.IXPByAcronym(acr)
@@ -136,77 +209,92 @@ func NewStudyOptions(w *worldgen.World, ds *netflow.Dataset, opts Options) (*Stu
 			return nil, err
 		}
 		for _, m := range x.MemberASNs() {
-			excluded[m] = true // co-members of the home IXPs
+			setExcluded(m) // co-members of the home IXPs
 		}
 	}
 
-	s.ixpMembers = make([][]topo.ASN, len(w.IXPs))
+	s.ixpMembers = make([][]int32, len(w.IXPs))
 	for i, x := range w.IXPs {
 		for _, asn := range x.MemberASNs() {
-			if excluded[asn] {
+			id, ok := ix.ID(asn)
+			if !ok || excluded.Has(id) {
 				continue
 			}
-			s.ixpMembers[i] = append(s.ixpMembers[i], asn)
-			s.potential[asn] = true
+			s.ixpMembers[i] = append(s.ixpMembers[i], id)
+			s.potential.Set(id)
 		}
 	}
-
-	s.allASNs = w.Graph.ASNs()
-	for _, asn := range s.allASNs {
-		s.interfaces[asn] = float64(w.Graph.Network(asn).IPInterfaces)
-	}
+	s.peerIDs = make([]int32, 0, s.potential.Count())
+	s.potential.ForEach(func(id int32) { s.peerIDs = append(s.peerIDs, id) })
 
 	// Precompute every potential peer's customer cone in parallel (the
-	// graph is read-only; each BFS is independent). After this point the
-	// cache is never written again, which is what lets Covered, Greedy,
-	// and SingleIXP fan out over it.
-	peers := s.sortedPotential()
-	cones := parallel.Map(s.workers, len(peers), func(i int) []topo.ASN {
-		return w.Graph.CustomerCone(peers[i])
+	// graph is read-only; each BFS is independent). The BFS runs in id
+	// space over a dense customer adjacency, and each cone is emitted in
+	// ascending id order. After this point the cone table is never
+	// written again, which is what lets Covered, Greedy, and SingleIXP
+	// fan out over it.
+	customers := make([][]int32, n)
+	for id, asn := range asns {
+		cs := w.Graph.Customers(asn)
+		if len(cs) == 0 {
+			continue
+		}
+		row := make([]int32, 0, len(cs))
+		for _, c := range cs {
+			if cid, ok := ix.ID(c); ok {
+				row = append(row, cid)
+			}
+		}
+		customers[id] = row
+	}
+	cones := parallel.Map(s.workers, len(s.peerIDs), func(k int) []int32 {
+		return coneOf(customers, s.peerIDs[k], n)
 	})
-	for i, asn := range peers {
-		s.coneCache[asn] = cones[i]
+	for k, id := range s.peerIDs {
+		s.cones[id] = cones[k]
 	}
 
-	s.computeTop10Selective(peers)
+	s.computeTop10Selective()
 	return s, nil
 }
 
-// sortedPotential returns the potential peers in ascending ASN order.
-func (s *Study) sortedPotential() []topo.ASN {
-	out := make([]topo.ASN, 0, len(s.potential))
-	for asn := range s.potential {
-		out = append(out, asn)
+// coneOf computes the customer cone of root (root plus its direct and
+// indirect transit customers, Section 2.2) over the dense adjacency,
+// returning a sorted id list.
+func coneOf(customers [][]int32, root int32, n int) []int32 {
+	seen := asindex.NewBitSet(n)
+	seen.Set(root)
+	queue := []int32{root}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, c := range customers[cur] {
+			if !seen.Has(c) {
+				seen.Set(c)
+				queue = append(queue, c)
+			}
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out := make([]int32, 0, seen.Count())
+	seen.ForEach(func(id int32) { out = append(out, id) })
 	return out
 }
 
 // PotentialPeerCount returns the number of potential peers after
 // exclusions (the paper: 2,192).
-func (s *Study) PotentialPeerCount() int { return len(s.potential) }
+func (s *Study) PotentialPeerCount() int { return len(s.peerIDs) }
 
-// cone returns the customer cone of asn. Every potential peer is cached at
-// construction time; the fallback recomputes without storing, so the cache
-// stays read-only (and goroutine-safe) after NewStudy returns.
-func (s *Study) cone(asn topo.ASN) []topo.ASN {
-	if c, ok := s.coneCache[asn]; ok {
-		return c
-	}
-	return s.World.Graph.CustomerCone(asn)
-}
-
-// inGroup reports whether a potential peer belongs to the peer group.
-func (s *Study) inGroup(asn topo.ASN, g PeerGroup) bool {
-	if !s.potential[asn] {
+// inGroupID reports whether a potential peer belongs to the peer group.
+func (s *Study) inGroupID(id int32, g PeerGroup) bool {
+	if !s.potential.Has(id) {
 		return false
 	}
-	pol := s.World.Graph.Network(asn).Policy
+	pol := s.policies[id]
 	switch g {
 	case GroupOpen:
 		return pol == topo.PolicyOpen
 	case GroupOpenTop10Selective:
-		return pol == topo.PolicyOpen || s.top10Selective[asn]
+		return pol == topo.PolicyOpen || s.top10Selective.Has(id)
 	case GroupOpenSelective:
 		return pol == topo.PolicyOpen || pol == topo.PolicySelective
 	case GroupAll:
@@ -218,79 +306,96 @@ func (s *Study) inGroup(asn topo.ASN, g PeerGroup) bool {
 
 // computeTop10Selective ranks selective potential peers by their individual
 // offload potential (their cone's transit traffic) and keeps the top 10.
-// peers is the sorted potential-peer list the caller already materialised.
-func (s *Study) computeTop10Selective(peers []topo.ASN) {
-	var selective []topo.ASN
-	for _, asn := range peers {
-		if s.World.Graph.Network(asn).Policy == topo.PolicySelective {
-			selective = append(selective, asn)
+func (s *Study) computeTop10Selective() {
+	var selective []int32
+	for _, id := range s.peerIDs {
+		if s.policies[id] == topo.PolicySelective {
+			selective = append(selective, id)
 		}
 	}
 	type cand struct {
-		asn topo.ASN
+		id  int32
 		pot float64
 	}
 	cands := parallel.Map(s.workers, len(selective), func(i int) cand {
-		asn := selective[i]
+		id := selective[i]
 		var pot float64
-		for _, c := range s.cone(asn) {
+		for _, c := range s.cones[id] {
 			pot += s.trafficIn[c] + s.trafficOut[c]
 		}
-		return cand{asn, pot}
+		return cand{id, pot}
 	})
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].pot != cands[j].pot {
 			return cands[i].pot > cands[j].pot
 		}
-		return cands[i].asn < cands[j].asn
+		return cands[i].id < cands[j].id
 	})
-	s.top10Selective = make(map[topo.ASN]bool, 10)
+	s.top10Selective = asindex.NewBitSet(s.ix.Len())
 	for i := 0; i < 10 && i < len(cands); i++ {
-		s.top10Selective[cands[i].asn] = true
+		s.top10Selective.Set(cands[i].id)
 	}
 }
 
-// coveredOne returns the sorted coverage list of a single IXP: the group
-// members there plus their customer cones, intersected with the
-// transit-traffic universe.
-func (s *Study) coveredOne(i int, g PeerGroup) []topo.ASN {
-	if i < 0 || i >= len(s.ixpMembers) {
-		return nil
+// masks returns the group's per-IXP coverage bitmasks, building them on
+// first use: the full coverage (group members' cones unioned) and its
+// intersection with the transit-traffic universe. Construction fans out
+// across IXPs; each mask depends only on read-only state, so the result
+// is identical for every worker count.
+func (s *Study) masks(g PeerGroup) *groupMasks {
+	gi := int(g)
+	if gi < 1 || gi >= numGroupSlots {
+		gi = 0 // unknown groups share the "nothing covered" slot
 	}
-	set := make(map[topo.ASN]bool)
-	for _, m := range s.ixpMembers[i] {
-		if !s.inGroup(m, g) {
-			continue
-		}
-		for _, c := range s.cone(m) {
-			if _, hasTraffic := s.trafficIn[c]; hasTraffic {
-				set[c] = true
+	s.masksOnce[gi].Do(func() {
+		n := s.ix.Len()
+		type pair struct{ full, traffic *asindex.BitSet }
+		built := parallel.Map(s.workers, len(s.ixpMembers), func(i int) pair {
+			full := asindex.NewBitSet(n)
+			for _, m := range s.ixpMembers[i] {
+				if !s.inGroupID(m, g) {
+					continue
+				}
+				full.SetList(s.cones[m])
 			}
+			traffic := full.Clone()
+			traffic.And(s.hasTraffic)
+			return pair{full, traffic}
+		})
+		gm := &groupMasks{
+			full:    make([]*asindex.BitSet, len(built)),
+			traffic: make([]*asindex.BitSet, len(built)),
+		}
+		for i, p := range built {
+			gm.full[i] = p.full
+			gm.traffic[i] = p.traffic
+		}
+		s.masksByGroup[gi] = gm
+	})
+	return s.masksByGroup[gi]
+}
+
+// CoveredSet returns, as a bitset over the world's AS index, the networks
+// whose transit traffic the NREN can offload by peering (per group g) at
+// the given IXPs: the group members at those IXPs plus their customer
+// cones, intersected with the transit-traffic universe.
+func (s *Study) CoveredSet(ixps []int, g PeerGroup) *asindex.BitSet {
+	m := s.masks(g).traffic
+	out := asindex.NewBitSet(s.ix.Len())
+	for _, i := range ixps {
+		if i >= 0 && i < len(m) {
+			out.Or(m[i])
 		}
 	}
-	out := make([]topo.ASN, 0, len(set))
-	for a := range set {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(x, y int) bool { return out[x] < out[y] })
 	return out
 }
 
-// Covered returns the set of networks whose transit traffic the NREN can
-// offload by peering (per group g) at the given IXPs: the group members at
-// those IXPs plus their customer cones, intersected with the
-// transit-traffic universe. Per-IXP coverage is evaluated in parallel and
-// merged in IXP order.
+// Covered is CoveredSet as a map — the original facade signature, kept as
+// a thin adapter over the bitset engine.
 func (s *Study) Covered(ixps []int, g PeerGroup) map[topo.ASN]bool {
-	lists := parallel.Map(s.workers, len(ixps), func(k int) []topo.ASN {
-		return s.coveredOne(ixps[k], g)
-	})
-	out := make(map[topo.ASN]bool)
-	for _, lst := range lists {
-		for _, a := range lst {
-			out[a] = true
-		}
-	}
+	set := s.CoveredSet(ixps, g)
+	out := make(map[topo.ASN]bool, set.Count())
+	set.ForEach(func(id int32) { out[s.ix.ASN(id)] = true })
 	return out
 }
 
@@ -298,17 +403,7 @@ func (s *Study) Covered(ixps []int, g PeerGroup) map[topo.ASN]bool {
 // The sum runs over the covered set in ascending ASN order, so the
 // floating-point result is identical across runs and worker counts.
 func (s *Study) Potential(ixps []int, g PeerGroup) (inBps, outBps float64) {
-	covered := s.Covered(ixps, g)
-	asns := make([]topo.ASN, 0, len(covered))
-	for a := range covered {
-		asns = append(asns, a)
-	}
-	sort.Slice(asns, func(x, y int) bool { return asns[x] < asns[y] })
-	for _, asn := range asns {
-		inBps += s.trafficIn[asn]
-		outBps += s.trafficOut[asn]
-	}
-	return inBps, outBps
+	return s.CoveredSet(ixps, g).Sum2(s.trafficIn, s.trafficOut)
 }
 
 // IXPPotential is one IXP's standalone offload potential.
@@ -322,22 +417,13 @@ type IXPPotential struct {
 // Total returns the combined potential.
 func (p IXPPotential) Total() float64 { return p.InBps + p.OutBps }
 
-// potentialOne is Potential for a single IXP, kept serial so callers can
-// fan out across IXPs without nesting worker pools.
-func (s *Study) potentialOne(i int, g PeerGroup) (inBps, outBps float64) {
-	for _, asn := range s.coveredOne(i, g) {
-		inBps += s.trafficIn[asn]
-		outBps += s.trafficOut[asn]
-	}
-	return inBps, outBps
-}
-
 // SingleIXP computes each IXP's standalone potential under group g, sorted
 // descending by total — Figure 7's bars come from the top entries under
 // each group. The 65 per-IXP evaluations run in parallel.
 func (s *Study) SingleIXP(g PeerGroup) []IXPPotential {
+	m := s.masks(g).traffic
 	out := parallel.Map(s.workers, len(s.World.IXPs), func(i int) IXPPotential {
-		in, outb := s.potentialOne(i, g)
+		in, outb := m[i].Sum2(s.trafficIn, s.trafficOut)
 		return IXPPotential{IXPIndex: i, Acronym: s.World.IXPs[i].Acronym, InBps: in, OutBps: outb}
 	})
 	sort.Slice(out, func(a, b int) bool {
@@ -381,36 +467,28 @@ func (s *Study) Greedy(g PeerGroup, maxIXPs int) []GreedyStep {
 		maxIXPs = len(s.World.IXPs)
 	}
 
-	covered := make(map[topo.ASN]bool)
-	chosen := make(map[int]bool)
+	// Per-IXP candidate bitmasks, cached per group.
+	perIXP := s.masks(g).traffic
+	covered := asindex.NewBitSet(s.ix.Len())
+	chosen := make([]bool, len(perIXP))
 	var steps []GreedyStep
 	var cumIn, cumOut float64
-
-	// Per-IXP candidate network sets, computed once (in parallel).
-	perIXP := parallel.Map(s.workers, len(s.World.IXPs), func(i int) []topo.ASN {
-		return s.coveredOne(i, g)
-	})
 
 	type gain struct {
 		in, out float64
 	}
 	for step := 0; step < maxIXPs; step++ {
 		// Evaluate every candidate IXP's marginal gain in parallel; each
-		// gain is a sum over that IXP's own sorted coverage list, so it
-		// does not depend on scheduling. The argmax scan runs serially in
-		// IXP order — ties resolve to the smallest index, as before.
+		// gain is a popcount-guided scan over that IXP's mask minus the
+		// covered set, in ascending id order, so it does not depend on
+		// scheduling. The argmax scan runs serially in IXP order — ties
+		// resolve to the smallest index, as before.
 		gains := parallel.Map(s.workers, len(perIXP), func(i int) gain {
 			if chosen[i] {
 				return gain{}
 			}
-			var gn gain
-			for _, a := range perIXP[i] {
-				if !covered[a] {
-					gn.in += s.trafficIn[a]
-					gn.out += s.trafficOut[a]
-				}
-			}
-			return gn
+			in, out := perIXP[i].AndNotSum2(covered, s.trafficIn, s.trafficOut)
+			return gain{in, out}
 		})
 		best, bestGain := -1, -1.0
 		var bestIn, bestOut float64
@@ -427,9 +505,7 @@ func (s *Study) Greedy(g PeerGroup, maxIXPs int) []GreedyStep {
 			break
 		}
 		chosen[best] = true
-		for _, a := range perIXP[best] {
-			covered[a] = true
-		}
+		covered.Or(perIXP[best])
 		cumIn += bestIn
 		cumOut += bestOut
 		steps = append(steps, GreedyStep{
@@ -464,26 +540,11 @@ func (s *Study) GreedyInterfaces(g PeerGroup, maxIXPs int) []InterfaceStep {
 	}
 	total := s.TotalInterfaces()
 
-	perIXP := parallel.Map(s.workers, len(s.World.IXPs), func(i int) []topo.ASN {
-		seen := map[topo.ASN]bool{}
-		for _, m := range s.ixpMembers[i] {
-			if !s.inGroup(m, g) {
-				continue
-			}
-			for _, c := range s.cone(m) {
-				seen[c] = true
-			}
-		}
-		lst := make([]topo.ASN, 0, len(seen))
-		for a := range seen {
-			lst = append(lst, a)
-		}
-		sort.Slice(lst, func(x, y int) bool { return lst[x] < lst[y] })
-		return lst
-	})
-
-	covered := make(map[topo.ASN]bool)
-	chosen := make(map[int]bool)
+	// The Figure 10 candidate masks are the un-intersected cones: the
+	// interface metric counts networks with no transit traffic too.
+	perIXP := s.masks(g).full
+	covered := asindex.NewBitSet(s.ix.Len())
+	chosen := make([]bool, len(perIXP))
 	remaining := total
 	var steps []InterfaceStep
 	for step := 0; step < maxIXPs; step++ {
@@ -491,13 +552,7 @@ func (s *Study) GreedyInterfaces(g PeerGroup, maxIXPs int) []InterfaceStep {
 			if chosen[i] {
 				return 0
 			}
-			var gain float64
-			for _, a := range perIXP[i] {
-				if !covered[a] {
-					gain += s.interfaces[a]
-				}
-			}
-			return gain
+			return perIXP[i].AndNotSum(covered, s.interfaces)
 		})
 		best, bestGain := -1, -1.0
 		for i, gain := range gains {
@@ -512,9 +567,7 @@ func (s *Study) GreedyInterfaces(g PeerGroup, maxIXPs int) []InterfaceStep {
 			break
 		}
 		chosen[best] = true
-		for _, a := range perIXP[best] {
-			covered[a] = true
-		}
+		covered.Or(perIXP[best])
 		remaining -= bestGain
 		steps = append(steps, InterfaceStep{
 			IXPIndex:  best,
@@ -530,8 +583,8 @@ func (s *Study) GreedyInterfaces(g PeerGroup, maxIXPs int) []InterfaceStep {
 // order so the floating-point total is identical across runs.
 func (s *Study) TotalInterfaces() float64 {
 	var total float64
-	for _, asn := range s.allASNs {
-		total += s.interfaces[asn]
+	for _, v := range s.interfaces {
+		total += v
 	}
 	return total
 }
@@ -574,11 +627,13 @@ func (b BillingRelief) ReliefFraction() float64 {
 }
 
 // EstimateBillingRelief computes the inbound p95 before/after offloading
-// the networks covered when peering (per group g) at the given IXPs.
+// the networks covered when peering (per group g) at the given IXPs. The
+// series synthesis runs over the covered bitset directly, skipping the
+// map materialisation of the public Covered facade.
 func (s *Study) EstimateBillingRelief(ixps []int, g PeerGroup) (BillingRelief, error) {
-	covered := s.Covered(ixps, g)
-	allIn, _ := s.Dataset.SeriesTotal(nil)
-	offIn, _ := s.Dataset.SeriesTotal(covered)
+	covered := s.CoveredSet(ixps, g)
+	allIn, _ := s.Dataset.SeriesTotalSet(nil)
+	offIn, _ := s.Dataset.SeriesTotalSet(covered)
 	residual := make([]float64, len(allIn))
 	for i := range allIn {
 		residual[i] = allIn[i] - offIn[i]
@@ -602,19 +657,20 @@ func (s *Study) TopContributors(n int) []Contributor {
 	for i := range all {
 		all[i] = i
 	}
-	covered := s.Covered(all, GroupAll)
-	var out []Contributor
-	for asn := range covered {
+	covered := s.CoveredSet(all, GroupAll)
+	out := make([]Contributor, 0, covered.Count())
+	covered.ForEach(func(id int32) {
+		asn := s.ix.ASN(id)
 		_, tin, tout := s.Dataset.Transient(asn)
 		out = append(out, Contributor{
 			ASN:             asn,
 			Name:            s.World.Graph.Network(asn).Name,
-			OriginInBps:     s.trafficIn[asn],
-			DestOutBps:      s.trafficOut[asn],
+			OriginInBps:     s.trafficIn[id],
+			DestOutBps:      s.trafficOut[id],
 			TransientInBps:  tin,
 			TransientOutBps: tout,
 		})
-	}
+	})
 	sort.Slice(out, func(a, b int) bool {
 		ta := out[a].OriginInBps + out[a].DestOutBps + out[a].TransientInBps + out[a].TransientOutBps
 		tb := out[b].OriginInBps + out[b].DestOutBps + out[b].TransientInBps + out[b].TransientOutBps

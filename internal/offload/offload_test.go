@@ -47,26 +47,33 @@ func TestNewStudyValidation(t *testing.T) {
 	}
 }
 
+// isPotential resolves an ASN through the dense index and reports whether
+// it survived the Section 4.2 exclusions.
+func isPotential(s *Study, asn topo.ASN) bool {
+	id, ok := s.ix.ID(asn)
+	return ok && s.potential.Has(id)
+}
+
 func TestExclusionRules(t *testing.T) {
 	s := testStudy(t)
 	w := s.World
 	// Rule 1: transit providers.
-	if s.potential[w.Transit1] || s.potential[w.Transit2] {
+	if isPotential(s, w.Transit1) || isPotential(s, w.Transit2) {
 		t.Error("transit providers must be excluded")
 	}
 	// Rule 2: co-members of CATNIX/ESpanix, including all tier-1s.
 	for _, t1 := range w.Tier1s {
-		if s.potential[t1] {
+		if isPotential(s, t1) {
 			t.Errorf("tier-1 %d must be excluded (ESpanix member)", t1)
 		}
 	}
 	// Rule 3: GÉANT members.
 	for _, n := range w.NRENs {
-		if s.potential[n] {
+		if isPotential(s, n) {
 			t.Errorf("NREN %d must be excluded (GÉANT member)", n)
 		}
 	}
-	if s.potential[w.RedIRIS] {
+	if isPotential(s, w.RedIRIS) {
 		t.Error("RedIRIS cannot peer with itself")
 	}
 	if s.PotentialPeerCount() == 0 {
@@ -118,7 +125,8 @@ func TestCoveredSubsetOfTransitUniverse(t *testing.T) {
 	s := testStudy(t)
 	cov := s.Covered(allIXPs(s), GroupAll)
 	for asn := range cov {
-		if _, ok := s.trafficIn[asn]; !ok {
+		id, ok := s.ix.ID(asn)
+		if !ok || !s.hasTraffic.Has(id) {
 			t.Fatalf("covered network %d has no transit traffic", asn)
 		}
 	}
@@ -335,20 +343,21 @@ func TestTopContributors(t *testing.T) {
 
 func TestTop10SelectiveUsedByGroup2(t *testing.T) {
 	s := testStudy(t)
-	if len(s.top10Selective) == 0 || len(s.top10Selective) > 10 {
-		t.Fatalf("top10Selective size = %d", len(s.top10Selective))
+	if n := s.top10Selective.Count(); n == 0 || n > 10 {
+		t.Fatalf("top10Selective size = %d", n)
 	}
-	for asn := range s.top10Selective {
+	s.top10Selective.ForEach(func(id int32) {
+		asn := s.ix.ASN(id)
 		if s.World.Graph.Network(asn).Policy != topo.PolicySelective {
 			t.Errorf("non-selective network %d in top-10 selective", asn)
 		}
-		if !s.inGroup(asn, GroupOpenTop10Selective) {
+		if !s.inGroupID(id, GroupOpenTop10Selective) {
 			t.Errorf("top-10 selective %d not in group 2", asn)
 		}
-		if s.inGroup(asn, GroupOpen) {
+		if s.inGroupID(id, GroupOpen) {
 			t.Errorf("selective network %d leaked into group 1", asn)
 		}
-	}
+	})
 }
 
 func TestPeerGroupString(t *testing.T) {

@@ -103,6 +103,10 @@ type Graph struct {
 	providers map[ASN][]ASN // asn -> its transit providers
 	customers map[ASN][]ASN // asn -> its transit customers
 	peers     map[ASN][]ASN // settlement-free peers (layer-3 view)
+	// asnCache memoises ASNs(): the sorted universe is rebuilt only after
+	// an AddNetwork, not on every analysis pass over the graph. Callers
+	// receive the cached slice and must treat it as read-only.
+	asnCache []ASN
 }
 
 // NewGraph returns an empty graph.
@@ -124,6 +128,7 @@ func (g *Graph) AddNetwork(n *Network) error {
 		return fmt.Errorf("topo: duplicate ASN %d", n.ASN)
 	}
 	g.nets[n.ASN] = n
+	g.asnCache = nil
 	return nil
 }
 
@@ -133,14 +138,18 @@ func (g *Graph) Network(asn ASN) *Network { return g.nets[asn] }
 // Len returns the number of registered networks.
 func (g *Graph) Len() int { return len(g.nets) }
 
-// ASNs returns all registered ASNs in ascending order.
+// ASNs returns all registered ASNs in ascending order. The slice is cached
+// until the next AddNetwork and shared between callers: do not mutate it.
 func (g *Graph) ASNs() []ASN {
-	out := make([]ASN, 0, len(g.nets))
-	for a := range g.nets {
-		out = append(out, a)
+	if g.asnCache == nil {
+		out := make([]ASN, 0, len(g.nets))
+		for a := range g.nets {
+			out = append(out, a)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		g.asnCache = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return g.asnCache
 }
 
 // AddTransit records that customer buys transit from provider.

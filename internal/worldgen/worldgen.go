@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"net/netip"
 
+	"remotepeering/internal/asindex"
 	"remotepeering/internal/stats"
 	"remotepeering/internal/topo"
 )
@@ -182,6 +183,10 @@ type World struct {
 	IXPs []*topo.IXP
 	// Ifaces are the probe targets at studied IXPs.
 	Ifaces []IfaceRecord
+	// Index assigns every ASN of the graph a contiguous dense id (in
+	// ascending ASN order). It is built once at generation time and shared
+	// by the analysis layers as their common dense data plane.
+	Index *asindex.Index
 
 	RedIRIS  topo.ASN
 	Geant    topo.ASN
@@ -243,6 +248,7 @@ func Generate(cfg Config) (*World, error) {
 	if err := w.assignAddressSpace(src.Split("addrspace")); err != nil {
 		return nil, fmt.Errorf("worldgen: address space: %w", err)
 	}
+	w.Index = asindex.New(w.Graph.ASNs())
 	return w, nil
 }
 

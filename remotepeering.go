@@ -29,6 +29,7 @@ import (
 	"net/netip"
 	"time"
 
+	"remotepeering/internal/asindex"
 	"remotepeering/internal/core"
 	"remotepeering/internal/econ"
 	"remotepeering/internal/ixpsim"
@@ -78,6 +79,22 @@ type (
 	PeerGroup = offload.PeerGroup
 	// GreedyStep is one step of the Figure 9 expansion.
 	GreedyStep = offload.GreedyStep
+	// InterfaceStep is one step of the Figure 10 reachable-interfaces
+	// expansion.
+	InterfaceStep = offload.InterfaceStep
+	// IXPPotential is one IXP's standalone offload potential (Figure 7).
+	IXPPotential = offload.IXPPotential
+
+	// ASNIndex maps every ASN of a generated world to a contiguous dense
+	// id (World.Index carries the instance built at generation time).
+	ASNIndex = asindex.Index
+	// ASNBitSet is an allocation-free set over an ASNIndex's ids — the
+	// currency of the bitset-valued fast paths (OffloadStudy.CoveredSet,
+	// TrafficDataset.SeriesTotalSet). The map-valued signatures
+	// (OffloadStudy.Covered, TrafficDataset.SeriesTotal) remain available
+	// as thin adapters over the same engine, so existing callers keep
+	// working unmodified.
+	ASNBitSet = asindex.BitSet
 
 	// EconParams holds the Section 5 model parameters.
 	EconParams = econ.Params

@@ -1,0 +1,84 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// BENCH_<n>.json schema of scripts/bench.sh: one record per benchmark
+// measurement with its name, iteration count, and every reported metric
+// (ns/op, B/op, allocs/op, and the b.ReportMetric custom units that carry
+// the reproduction's headline numbers).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// record is one benchmark measurement line.
+type record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// output is the BENCH_<n>.json document.
+type output struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPU       string   `json:"cpu,omitempty"`
+	Benches   []record `json:"benchmarks"`
+}
+
+func main() {
+	out := output{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			out.CPU = cpu
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Shape: Name  N  value unit  value unit ...
+		if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		rec := record{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			rec.Metrics[fields[i+1]] = v
+		}
+		if ok {
+			out.Benches = append(out.Benches, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: encode:", err)
+		os.Exit(1)
+	}
+}
