@@ -471,6 +471,44 @@ func BenchmarkCollectTraffic(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioGrid measures the what-if engine end to end: a 4-cell
+// grid (baseline + outage + latency shift + churn/traffic combo) at
+// reduced scale, each cell cloning the world and re-running the full
+// spread/traffic/offload/econ pipeline.
+func BenchmarkScenarioGrid(b *testing.B) {
+	w, err := GenerateWorld(WorldConfig{Seed: 5, LeafNetworks: 4000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	grid, err := ParseScenarioGrid(
+		"dark=outage:AMS-IX;fast-pw=latency:city:-3;surge=churn:LINX:25:10,traffic:1.5")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := ScenarioOptions{
+		MeasureSeed:  2,
+		TrafficSeed:  3,
+		IXPs:         []int{0, 2, 7},
+		Campaign:     CampaignConfig{Duration: 6 * 24 * time.Hour, PCHRounds: 3, RIPERounds: 3},
+		Intervals:    288,
+		CoverageIXPs: 3,
+		GreedyIXPs:   12,
+	}
+	b.ResetTimer()
+	var cells int
+	var baselineOffload float64
+	for i := 0; i < b.N; i++ {
+		rep, err := RunScenarios(w, grid, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cells = len(rep.Cells)
+		baselineOffload = 100 * rep.Baseline.OffloadedFrac
+	}
+	b.ReportMetric(float64(cells), "cells")
+	b.ReportMetric(baselineOffload, "baseline-offload-%")
+}
+
 // BenchmarkWorldGeneration measures paper-scale world construction.
 func BenchmarkWorldGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -13,32 +13,32 @@ import (
 	"flag"
 	"fmt"
 	"math"
-	"os"
 
 	"remotepeering"
+	"remotepeering/internal/cli"
 )
 
+var fatal = cli.Fataler("rpecon")
+
 func main() {
-	seed := flag.Int64("seed", 1, "world generation seed")
+	common := cli.CommonFlags()
 	trafficSeed := flag.Int64("traffic-seed", 2, "traffic generation seed")
-	leaves := flag.Int("leaves", 0, "leaf network count (0 = paper scale)")
 	pP := flag.Float64("p", 1.0, "normalised transit price p")
 	pG := flag.Float64("g", 0.08, "direct peering per-IXP cost g")
 	pU := flag.Float64("u", 0.15, "direct peering per-unit cost u")
 	pH := flag.Float64("h", 0.02, "remote peering per-IXP cost h")
 	pV := flag.Float64("v", 0.45, "remote peering per-unit cost v")
-	workers := flag.Int("workers", 0, "worker count (0 = one per CPU; output is identical for any value)")
 	flag.Parse()
 
-	w, err := remotepeering.GenerateWorld(remotepeering.WorldConfig{Seed: *seed, LeafNetworks: *leaves, Workers: *workers})
+	w, err := remotepeering.GenerateWorld(common.WorldConfig())
 	if err != nil {
 		fatal(err)
 	}
-	ds, err := remotepeering.CollectTraffic(w, remotepeering.TrafficConfig{Seed: *trafficSeed, Intervals: 288, Workers: *workers})
+	ds, err := remotepeering.CollectTraffic(w, remotepeering.TrafficConfig{Seed: *trafficSeed, Intervals: 288, Workers: *common.Workers})
 	if err != nil {
 		fatal(err)
 	}
-	study, err := remotepeering.NewOffloadStudyOptions(w, ds, remotepeering.OffloadOptions{Workers: *workers})
+	study, err := remotepeering.NewOffloadStudyOptions(w, ds, remotepeering.OffloadOptions{Workers: *common.Workers})
 	if err != nil {
 		fatal(err)
 	}
@@ -102,9 +102,4 @@ func main() {
 		p.H = p.G / gh
 		fmt.Printf("%8.1f %12.2f %10.3f\n", gh, p.ViabilityRatio(), p.ViabilityThresholdB())
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rpecon:", err)
-	os.Exit(1)
 }

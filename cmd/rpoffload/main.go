@@ -10,40 +10,32 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
-	"strings"
 	"time"
 
 	"remotepeering"
+	"remotepeering/internal/cli"
 )
 
+var fatal = cli.Fataler("rpoffload")
+
 func main() {
-	seed := flag.Int64("seed", 1, "world generation seed")
+	common := cli.CommonFlags()
 	trafficSeed := flag.Int64("traffic-seed", 2, "traffic generation seed")
-	leaves := flag.Int("leaves", 0, "leaf network count (0 = paper scale)")
 	intervals := flag.Int("intervals", 0, "5-minute intervals (0 = full month)")
-	workers := flag.Int("workers", 0, "worker count (0 = one per CPU; output is identical for any value)")
 	only := flag.String("only", "", "comma-separated subset: fig5a,fig5b,fig6,fig7,fig8,fig9,fig10")
 	flag.Parse()
-
-	want := map[string]bool{}
-	if *only != "" {
-		for _, s := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(s)] = true
-		}
-	}
-	show := func(k string) bool { return len(want) == 0 || want[k] }
+	show := cli.Selector(*only)
 
 	start := time.Now()
-	w, err := remotepeering.GenerateWorld(remotepeering.WorldConfig{Seed: *seed, LeafNetworks: *leaves, Workers: *workers})
+	w, err := remotepeering.GenerateWorld(common.WorldConfig())
 	if err != nil {
 		fatal(err)
 	}
-	ds, err := remotepeering.CollectTraffic(w, remotepeering.TrafficConfig{Seed: *trafficSeed, Intervals: *intervals, Workers: *workers})
+	ds, err := remotepeering.CollectTraffic(w, remotepeering.TrafficConfig{Seed: *trafficSeed, Intervals: *intervals, Workers: *common.Workers})
 	if err != nil {
 		fatal(err)
 	}
-	study, err := remotepeering.NewOffloadStudyOptions(w, ds, remotepeering.OffloadOptions{Workers: *workers})
+	study, err := remotepeering.NewOffloadStudyOptions(w, ds, remotepeering.OffloadOptions{Workers: *common.Workers})
 	if err != nil {
 		fatal(err)
 	}
@@ -224,9 +216,4 @@ func min(a, b int) int {
 		return a
 	}
 	return b
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rpoffload:", err)
-	os.Exit(1)
 }

@@ -12,36 +12,28 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"sort"
-	"strings"
 	"time"
 
 	"remotepeering"
+	"remotepeering/internal/cli"
 )
 
+var fatal = cli.Fataler("rpspread")
+
 func main() {
-	seed := flag.Int64("seed", 1, "world generation seed")
+	common := cli.CommonFlags()
 	measureSeed := flag.Int64("measure-seed", 2, "measurement-side seed")
-	leaves := flag.Int("leaves", 0, "leaf network count (0 = paper scale)")
-	workers := flag.Int("workers", 0, "worker count (0 = one per CPU; output is identical for any value)")
 	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig3,fig4a,fig4b,validate")
 	flag.Parse()
-
-	want := map[string]bool{}
-	if *only != "" {
-		for _, s := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(s)] = true
-		}
-	}
-	show := func(k string) bool { return len(want) == 0 || want[k] }
+	show := cli.Selector(*only)
 
 	start := time.Now()
-	w, err := remotepeering.GenerateWorld(remotepeering.WorldConfig{Seed: *seed, LeafNetworks: *leaves, Workers: *workers})
+	w, err := remotepeering.GenerateWorld(common.WorldConfig())
 	if err != nil {
 		fatal(err)
 	}
-	res, err := remotepeering.RunSpreadStudy(w, remotepeering.SpreadOptions{Seed: *measureSeed, Workers: *workers})
+	res, err := remotepeering.RunSpreadStudy(w, remotepeering.SpreadOptions{Seed: *measureSeed, Workers: *common.Workers})
 	if err != nil {
 		fatal(err)
 	}
@@ -131,9 +123,4 @@ func main() {
 			v.TruePositives, v.FalsePositives, v.TrueNegatives, v.FalseNegatives,
 			v.Precision(), v.Recall())
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rpspread:", err)
-	os.Exit(1)
 }

@@ -10,19 +10,19 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"remotepeering"
+	"remotepeering/internal/cli"
 )
 
+var fatal = cli.Fataler("rpworld")
+
 func main() {
-	seed := flag.Int64("seed", 1, "world generation seed")
-	leaves := flag.Int("leaves", 0, "leaf network count (0 = paper scale)")
-	workers := flag.Int("workers", 0, "worker count (0 = one per CPU; output is identical for any value)")
+	common := cli.CommonFlags()
 	ixp := flag.String("ixp", "", "show membership detail for one IXP acronym")
 	flag.Parse()
 
-	w, err := remotepeering.GenerateWorld(remotepeering.WorldConfig{Seed: *seed, LeafNetworks: *leaves, Workers: *workers})
+	w, err := remotepeering.GenerateWorld(common.WorldConfig())
 	if err != nil {
 		fatal(err)
 	}
@@ -75,9 +75,4 @@ func main() {
 	for _, k := range []string{"none", "blackhole", "flaky", "ttl-switch", "odd-ttl", "misdirect", "congested", "far-site", "asn-churn"} {
 		fmt.Printf("  %-12s %d\n", k, counts[k])
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rpworld:", err)
-	os.Exit(1)
 }

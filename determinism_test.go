@@ -216,6 +216,134 @@ func TestBitsetAdaptersAgreeAcrossWorkers(t *testing.T) {
 	}
 }
 
+// scenarioTestGrid is the ≥6-cell what-if matrix the scenario determinism
+// and baseline-exactness tests share: three scenarios × two seed offsets
+// plus the runner's implicit baseline cell = 7 cells.
+func scenarioTestGrid(t *testing.T) ScenarioGrid {
+	t.Helper()
+	grid, err := ParseScenarioGrid(
+		"dark-msk=outage:MSK-IX;" +
+			"slow-pw=latency:all:2;" +
+			"ams-churn=churn:AMS-IX:10:5,traffic:1.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid.Seeds = []int64{0, 1}
+	return grid
+}
+
+// scenarioTestOptions keeps the per-cell pipeline affordable: a 6-day
+// campaign over four studied IXPs and a half-day traffic sample.
+func scenarioTestOptions(workers int) ScenarioOptions {
+	return ScenarioOptions{
+		MeasureSeed:  31,
+		TrafficSeed:  37,
+		Workers:      workers,
+		IXPs:         []int{0, 7, 13, 19}, // AMS-IX, MSK-IX, VIX, INEX
+		Campaign:     CampaignConfig{Duration: 6 * 24 * time.Hour, PCHRounds: 3, RIPERounds: 3},
+		Intervals:    144,
+		CoverageIXPs: 2,
+		GreedyIXPs:   10,
+	}
+}
+
+// TestRunScenariosIdenticalAcrossWorkers extends the determinism suite to
+// the scenario engine: a 7-cell grid must produce a deep-equal report at
+// every worker count — cell RNG streams are keyed by grid coordinates, so
+// neither cell scheduling nor inner-stage fan-out may leak in.
+func TestRunScenariosIdenticalAcrossWorkers(t *testing.T) {
+	w := detWorld(t)
+	grid := scenarioTestGrid(t)
+	base, err := RunScenarios(w, grid, scenarioTestOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Cells) != 7 {
+		t.Fatalf("grid expanded to %d cells, want 7", len(base.Cells))
+	}
+	if base.Baseline.DetectedRemote == 0 || base.Baseline.Observations == 0 {
+		t.Fatalf("degenerate baseline cell: %+v", base.Baseline)
+	}
+	for _, workers := range workerCounts[1:] {
+		rep, err := RunScenarios(w, grid, scenarioTestOptions(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep, base) {
+			t.Errorf("workers=%d: scenario report differs from workers=1", workers)
+		}
+	}
+}
+
+// TestScenarioBaselineReproducesPipeline pins the engine's anchor: the
+// implicit empty-op baseline cell must reproduce the unperturbed pipeline
+// — the Table 1 detector view and the Figure 9 greedy/decay numbers —
+// exactly (integer and float equality, not tolerances), even though it ran
+// on a cloned world inside the grid runner.
+func TestScenarioBaselineReproducesPipeline(t *testing.T) {
+	w := detWorld(t)
+	opts := scenarioTestOptions(0)
+	rep, err := RunScenarios(w, scenarioTestGrid(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Baseline
+
+	res, err := RunSpreadStudy(w, SpreadOptions{
+		Seed: opts.MeasureSeed, IXPs: opts.IXPs, Campaign: opts.Campaign,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Observations != res.Observations {
+		t.Errorf("baseline observations %d != pipeline %d", got.Observations, res.Observations)
+	}
+	if want := len(res.Report.Analyzed()); got.AnalyzedIfaces != want {
+		t.Errorf("baseline analyzed %d != pipeline %d", got.AnalyzedIfaces, want)
+	}
+	wantRemote := 0
+	for _, row := range res.Report.Table1() {
+		wantRemote += row.Remote
+	}
+	if got.DetectedRemote != wantRemote {
+		t.Errorf("baseline Table 1 remote %d != pipeline %d", got.DetectedRemote, wantRemote)
+	}
+	var wantBands [3]int
+	for _, row := range res.Report.Figure3() {
+		wantBands[0] += row.Counts[1]
+		wantBands[1] += row.Counts[2]
+		wantBands[2] += row.Counts[3]
+	}
+	if got.BandCounts != wantBands {
+		t.Errorf("baseline bands %v != pipeline %v", got.BandCounts, wantBands)
+	}
+
+	ds, err := CollectTraffic(w, TrafficConfig{Seed: opts.TrafficSeed, Intervals: opts.Intervals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	study, err := NewOffloadStudy(w, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := study.PotentialPeerCount(); got.PotentialPeers != want {
+		t.Errorf("baseline potential peers %d != pipeline %d", got.PotentialPeers, want)
+	}
+	in, out := ds.TransitTotals()
+	steps := study.Greedy(GroupAll, opts.GreedyIXPs)
+	at := steps[opts.CoverageIXPs-1]
+	if want := (at.OffloadedInBps + at.OffloadedOutBps) / (in + out); got.OffloadedFrac != want {
+		t.Errorf("baseline offload fraction %v != pipeline %v", got.OffloadedFrac, want)
+	}
+	fit, err := FitDecayFromGreedy(steps, in+out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FittedB != fit.B {
+		t.Errorf("baseline fitted b %v != pipeline %v", got.FittedB, fit.B)
+	}
+}
+
 // TestRepeatedRunsIdentical guards the weaker but equally load-bearing
 // property that two runs at the *same* worker count are identical — i.e.
 // no scheduling- or map-iteration-order dependence leaks into results.

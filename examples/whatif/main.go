@@ -1,0 +1,91 @@
+// What-if: how fragile is the NREN's offload plan to a single point of
+// failure? The scenario engine answers by taking the largest offload IXP
+// dark, shifting the remote-peering latency regime, and repricing the
+// remote market — each on a deterministic clone of the world — and diffing
+// every outcome against the unperturbed baseline.
+//
+//	go run ./examples/whatif
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"remotepeering"
+)
+
+func main() {
+	// A reduced world keeps the example fast; drop LeafNetworks (and the
+	// campaign override below) for the paper-scale run.
+	world, err := remotepeering.GenerateWorld(remotepeering.WorldConfig{
+		Seed:         42,
+		LeafNetworks: 5000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Which exchange matters most? Ask the offload analysis first, then
+	// knock exactly that one out.
+	ds, err := remotepeering.CollectTraffic(world, remotepeering.TrafficConfig{Seed: 3, Intervals: 288})
+	if err != nil {
+		log.Fatal(err)
+	}
+	study, err := remotepeering.NewOffloadStudy(world, ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := study.SingleIXP(remotepeering.GroupAll)[0]
+	fmt.Printf("largest standalone offload IXP: %s (%.2f Gbps potential)\n\n",
+		best.Acronym, best.Total()/1e9)
+
+	// Probe two big exchanges plus the outage victim itself (when it is
+	// one of the 22 studied IXPs), so the detector-side impact shows up
+	// alongside the offload-side one.
+	probed := []int{0, 2}
+	if best.IXPIndex < world.NumStudied() && best.IXPIndex != 0 && best.IXPIndex != 2 {
+		probed = append(probed, best.IXPIndex)
+	}
+
+	grid := remotepeering.ScenarioGrid{
+		Scenarios: []remotepeering.Scenario{
+			{Name: "big-outage", Ops: []remotepeering.ScenarioOp{
+				remotepeering.IXPOutage{IXP: best.Acronym},
+			}},
+			{Name: "fast-pseudowires", Ops: []remotepeering.ScenarioOp{
+				remotepeering.LatencyShift{Band: remotepeering.BandIntercity, DeltaMs: -3},
+			}},
+			{Name: "remote-price-drop", Ops: []remotepeering.ScenarioOp{
+				remotepeering.RemotePrice{Factor: 0.5},
+			}},
+		},
+	}
+	report, err := remotepeering.RunScenarios(world, grid, remotepeering.ScenarioOptions{
+		MeasureSeed: 2,
+		TrafficSeed: 3,
+		// A short campaign over the probed subset keeps the example
+		// fast; the offload metrics still cover all 65 exchanges.
+		IXPs:         probed,
+		Campaign:     remotepeering.CampaignConfig{Duration: 8 * 24 * time.Hour, PCHRounds: 3, RIPERounds: 3},
+		Intervals:    288,
+		CoverageIXPs: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(report.Text())
+
+	base := report.Baseline
+	for _, cell := range report.Cells {
+		if cell.Scenario != "big-outage" {
+			continue
+		}
+		d := cell.Diff(base)
+		fmt.Printf("\nlosing %s moves offload coverage at 5 IXPs by %+.1f points "+
+			"(%.1f%% → %.1f%%) and hides %d detected remote interfaces\n",
+			best.Acronym, 100*d.OffloadedFrac,
+			100*base.OffloadedFrac, 100*cell.Metrics.OffloadedFrac, -d.DetectedRemote)
+	}
+}

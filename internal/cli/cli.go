@@ -1,0 +1,75 @@
+// Package cli holds the command-line plumbing every cmd/rp* tool was
+// repeating: the common world flags (-seed, -leaves, -workers), the
+// "-only" section selector, and the fatal-error exit path.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"remotepeering/internal/worldgen"
+)
+
+// Common are the world-generation flags shared by every rp* command.
+type Common struct {
+	Seed    *int64
+	Leaves  *int
+	Workers *int
+}
+
+// CommonFlags registers -seed, -leaves, and -workers on the default flag
+// set with the tools' shared defaults and help strings.
+func CommonFlags() Common {
+	return Common{
+		Seed:    flag.Int64("seed", 1, "world generation seed"),
+		Leaves:  flag.Int("leaves", 0, "leaf network count (0 = paper scale)"),
+		Workers: flag.Int("workers", 0, "worker count (0 = one per CPU; output is identical for any value)"),
+	}
+}
+
+// WorldConfig resolves the common flags into a world configuration. The
+// returned type aliases remotepeering.WorldConfig, so it feeds
+// GenerateWorld directly.
+func (c Common) WorldConfig() worldgen.Config {
+	return worldgen.Config{Seed: *c.Seed, LeafNetworks: *c.Leaves, Workers: *c.Workers}
+}
+
+// Fataler returns the tool's fatal-error reporter: it prints
+// "tool: err" to stderr and exits 1.
+func Fataler(tool string) func(error) {
+	return func(err error) {
+		fmt.Fprintln(os.Stderr, tool+":", err)
+		os.Exit(1)
+	}
+}
+
+// Selector parses a -only comma-separated subset spec into a predicate;
+// an empty spec selects every section.
+func Selector(spec string) func(section string) bool {
+	want := map[string]bool{}
+	for _, s := range strings.Split(spec, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			want[s] = true
+		}
+	}
+	return func(section string) bool { return len(want) == 0 || want[section] }
+}
+
+// Int64List parses a comma-separated integer list ("0,1,2").
+func Int64List(spec string) ([]int64, error) {
+	var out []int64
+	for _, s := range strings.Split(spec, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cli: bad integer %q in list", s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,42 @@
+package cli
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSelector(t *testing.T) {
+	all := Selector("")
+	if !all("anything") {
+		t.Fatal("empty spec must select everything")
+	}
+	some := Selector(" table1 , fig2 ")
+	if !some("table1") || !some("fig2") || some("fig3") {
+		t.Fatal("subset spec selected the wrong sections")
+	}
+}
+
+func TestInt64List(t *testing.T) {
+	got, err := Int64List(" 0, 1 ,-2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int64{0, 1, -2}) {
+		t.Fatalf("got %v", got)
+	}
+	if _, err := Int64List("1,x"); err == nil {
+		t.Fatal("bad integer should fail")
+	}
+	if got, err := Int64List(" , "); err != nil || got != nil {
+		t.Fatalf("blank list: got %v, %v", got, err)
+	}
+}
+
+func TestWorldConfig(t *testing.T) {
+	seed, leaves, workers := int64(9), 1234, 4
+	c := Common{Seed: &seed, Leaves: &leaves, Workers: &workers}
+	cfg := c.WorldConfig()
+	if cfg.Seed != 9 || cfg.LeafNetworks != 1234 || cfg.Workers != 4 {
+		t.Fatalf("unexpected config %+v", cfg)
+	}
+}

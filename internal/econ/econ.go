@@ -176,6 +176,29 @@ func FitB(remaining []float64) (stats.ExpFit, error) {
 	return stats.FitExpDecay(xs, remaining)
 }
 
+// FitBFromRemaining fits b from a raw remaining-transit curve (in bps,
+// indexed by number of reached IXPs starting at 1) against the full
+// traffic level totalBps. Because a fixed share of the traffic is not
+// offloadable at any IXP, the fit isolates the decaying component:
+// (remaining − floor)/(total − floor), with the floor just under the
+// curve's asymptote (98% of the last point).
+func FitBFromRemaining(remainingBps []float64, totalBps float64) (stats.ExpFit, error) {
+	if len(remainingBps) < 2 {
+		return stats.ExpFit{}, errors.New("econ: need at least two remaining-transit points")
+	}
+	if totalBps <= 0 {
+		return stats.ExpFit{}, fmt.Errorf("econ: non-positive total traffic %v", totalBps)
+	}
+	floor := remainingBps[len(remainingBps)-1] * 0.98
+	var remaining []float64
+	for _, r := range remainingBps {
+		if v := (r - floor) / (totalBps - floor); v > 0 {
+			remaining = append(remaining, v)
+		}
+	}
+	return FitB(remaining)
+}
+
 // DefaultParams returns a plausible parameterisation used by the examples
 // and benchmarks: transit at the normalised price 1, direct peering with
 // high fixed and low marginal cost, remote peering in between (satisfying

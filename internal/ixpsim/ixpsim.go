@@ -174,6 +174,15 @@ func (s *SimIXP) addMember(e *netsim.Engine, w *worldgen.World, subnet netip.Pre
 		// top of raw propagation.
 		overhead := time.Duration((1.5 + 1.0*src.Float64()) * float64(time.Millisecond))
 		access = prop + overhead
+		// Scenario-level latency regime shifts (zero outside what-if
+		// runs) move the pseudowire delay per distance band; the floor
+		// keeps a large negative shift physically plausible.
+		if shift := w.PseudowireShift(rec.IXPIndex, rec.AccessCity); shift != 0 {
+			access += shift
+			if access < 100*time.Microsecond {
+				access = 100 * time.Microsecond
+			}
+		}
 	} else {
 		// Direct members still reach the switch over metro tails of
 		// varying length (same building to across town), which spreads

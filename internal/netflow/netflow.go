@@ -43,10 +43,23 @@ type Config struct {
 	// (inbound dominates, as in the paper).
 	TotalInboundBps  float64
 	TotalOutboundBps float64
+	// PhaseHours rotates the diurnal/weekly profile by the given number
+	// of hours (the scenario engine's diurnal-shift perturbation: a
+	// traffic mix whose peak moves relative to the billing day). Zero
+	// keeps the generated profile exactly as-is.
+	PhaseHours float64
 	// Workers bounds the parallelism of collection and series synthesis
 	// (0 = one per CPU). The dataset is byte-identical for every value.
 	Workers int
 }
+
+// Default average transit-provider traffic levels (the paper's regime:
+// inbound dominates). Exported so the scenario engine can scale the
+// defaults rather than silently replacing them.
+const (
+	DefaultInboundBps  = 8e9
+	DefaultOutboundBps = 4.5e9
+)
 
 func (c Config) withDefaults() Config {
 	if c.Intervals == 0 {
@@ -56,10 +69,10 @@ func (c Config) withDefaults() Config {
 		c.IntervalLength = 5 * time.Minute
 	}
 	if c.TotalInboundBps == 0 {
-		c.TotalInboundBps = 8e9
+		c.TotalInboundBps = DefaultInboundBps
 	}
 	if c.TotalOutboundBps == 0 {
-		c.TotalOutboundBps = 4.5e9
+		c.TotalOutboundBps = DefaultOutboundBps
 	}
 	return c
 }
@@ -112,6 +125,9 @@ type Dataset struct {
 
 // Collect builds the dataset from the world.
 func Collect(w *worldgen.World, cfg Config) (*Dataset, error) {
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("netflow: negative Workers %d (use 0 for one per CPU)", cfg.Workers)
+	}
 	cfg = cfg.withDefaults()
 	src := stats.NewSource(cfg.Seed).Split("netflow")
 
@@ -389,11 +405,15 @@ func hashFinish(x uint64) float64 {
 }
 
 // diurnalFactor is the multiplicative time-of-day/day-of-week profile. The
-// epoch is midnight Monday. amplitude scales the swing; inbound traffic
-// uses a larger amplitude than outbound, giving Figure 5b's pronounced
-// inbound periodicity.
-func diurnalFactor(interval int, intervalLen time.Duration, amplitude float64) float64 {
-	at := time.Duration(interval) * intervalLen
+// epoch is midnight Monday, rotated by phase. amplitude scales the swing;
+// inbound traffic uses a larger amplitude than outbound, giving
+// Figure 5b's pronounced inbound periodicity.
+func diurnalFactor(interval int, intervalLen time.Duration, amplitude float64, phase time.Duration) float64 {
+	at := time.Duration(interval)*intervalLen + phase
+	if at < 0 {
+		const week = 7 * 24 * time.Hour
+		at = at%week + week
+	}
 	const day = 24 * time.Hour
 	const week = 7 * day
 	hour := float64(at%day) / float64(time.Hour)
@@ -424,22 +444,27 @@ func (d *Dataset) Rate(asn topo.ASN, interval int) (inBps, outBps float64) {
 // bit-identical to the inline call it replaces.
 func (d *Dataset) profiles() (profIn, profOut []float64) {
 	d.profOnce.Do(func() {
+		phase := d.phase()
 		d.profIn = make([]float64, d.Cfg.Intervals)
 		d.profOut = make([]float64, d.Cfg.Intervals)
 		for t := range d.profIn {
-			d.profIn[t] = diurnalFactor(t, d.Cfg.IntervalLength, 0.55)
-			d.profOut[t] = diurnalFactor(t, d.Cfg.IntervalLength, 0.25)
+			d.profIn[t] = diurnalFactor(t, d.Cfg.IntervalLength, 0.55, phase)
+			d.profOut[t] = diurnalFactor(t, d.Cfg.IntervalLength, 0.25, phase)
 		}
 	})
 	return d.profIn, d.profOut
+}
+
+// phase is the dataset's diurnal-profile rotation.
+func (d *Dataset) phase() time.Duration {
+	return time.Duration(d.Cfg.PhaseHours * float64(time.Hour))
 }
 
 // entryRate is Rate without the index lookup, for callers already holding
 // the entry.
 func (d *Dataset) entryRate(e *Entry, interval int) (inBps, outBps float64) {
 	profIn, profOut := d.profiles()
-	din, dout := diurnalAt(profIn, interval, d.Cfg.IntervalLength, 0.55),
-		diurnalAt(profOut, interval, d.Cfg.IntervalLength, 0.25)
+	din, dout := d.diurnalAt(profIn, interval, 0.55), d.diurnalAt(profOut, interval, 0.25)
 	// Multiplicative lognormal jitter, direction-specific.
 	jIn := math.Exp(0.3 * normFromUniform(d.hash01(e.ASN, interval, 1)))
 	jOut := math.Exp(0.3 * normFromUniform(d.hash01(e.ASN, interval, 2)))
@@ -450,12 +475,13 @@ func (d *Dataset) entryRate(e *Entry, interval int) (inBps, outBps float64) {
 
 // diurnalAt reads the cached profile when the interval is inside the
 // dataset's month and falls back to the direct evaluation for callers
-// probing beyond it.
-func diurnalAt(prof []float64, interval int, intervalLen time.Duration, amplitude float64) float64 {
+// probing beyond it. The phase is derived only on the fallback path, so
+// the hot path stays a bare table lookup.
+func (d *Dataset) diurnalAt(prof []float64, interval int, amplitude float64) float64 {
 	if interval >= 0 && interval < len(prof) {
 		return prof[interval]
 	}
-	return diurnalFactor(interval, intervalLen, amplitude)
+	return diurnalFactor(interval, d.Cfg.IntervalLength, amplitude, d.phase())
 }
 
 // Beasley-Springer-Moro style rational-approximation coefficients for

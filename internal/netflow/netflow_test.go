@@ -290,7 +290,7 @@ func TestNormFromUniform(t *testing.T) {
 
 func TestDiurnalFactorBounds(t *testing.T) {
 	for i := 0; i < 2016; i++ {
-		f := diurnalFactor(i, 5*time.Minute, 0.55)
+		f := diurnalFactor(i, 5*time.Minute, 0.55, 0)
 		if f < 0.2 || f > 1.6 {
 			t.Fatalf("diurnal factor %v at %d out of bounds", f, i)
 		}

@@ -143,6 +143,9 @@ func NewStudyOptions(w *worldgen.World, ds *netflow.Dataset, opts Options) (*Stu
 	if w == nil || ds == nil {
 		return nil, fmt.Errorf("offload: nil world or dataset")
 	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("offload: negative Workers %d (use 0 for one per CPU)", opts.Workers)
+	}
 	ix := w.Index
 	if ix == nil {
 		ix = asindex.New(w.Graph.ASNs())

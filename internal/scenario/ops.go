@@ -1,0 +1,425 @@
+// Package scenario is the what-if engine of the reproduction: a typed,
+// closed algebra of world perturbations plus a grid campaign runner that
+// re-runs the full paper pipeline — spread study, traffic collection,
+// offload analysis, economic model — over every perturbed copy and diffs
+// each cell against the unperturbed baseline.
+//
+// The paper's Sections 4-5 are themselves counterfactuals ("what if the
+// NREN remote-peered at these IXPs?"); this package opens the next layer
+// of questions: what happens to detector spread, offload coverage, and
+// economic viability when the *world* changes — an IXP outage, a latency
+// regime shift, a membership surge, a traffic surge, a port-price drop.
+//
+// Every op applies to a deterministic copy-on-write clone of the world
+// (worldgen.World.Clone), so a grid run never mutates the caller's world,
+// and the runner inherits the repo-wide invariant: results are
+// byte-identical for every worker count.
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"remotepeering/internal/econ"
+	"remotepeering/internal/netflow"
+	"remotepeering/internal/spread"
+	"remotepeering/internal/stats"
+	"remotepeering/internal/topo"
+	"remotepeering/internal/worldgen"
+)
+
+// state is the mutable what-if cell an op perturbs: the cloned world plus
+// the per-cell pipeline configurations. Ops may rewrite any of it — world
+// structure (outage, churn), measurement physics (latency shift), traffic
+// regime (scale, diurnal phase), or the economic price vector.
+type state struct {
+	World   *worldgen.World
+	Traffic netflow.Config
+	Spread  spread.Options
+	Econ    econ.Params
+	// src drives any randomness an op needs (e.g. churn member
+	// selection); it is split serially per cell, keyed by the scenario
+	// index, before the grid fans out.
+	src *stats.Source
+}
+
+// Op is one serializable perturbation. The set is closed — the unexported
+// apply method keeps external packages from adding ops, so every op a grid
+// can contain round-trips through ParseOp/String.
+type Op interface {
+	fmt.Stringer
+	apply(st *state) error
+}
+
+// Distance bands for LatencyShift, matching Figure 3's classes.
+const (
+	// BandAll applies a latency shift to every remote membership.
+	BandAll = -1
+	// BandIntercity covers remote peers ~550-1000 km out (10-20 ms RTT).
+	BandIntercity = 0
+	// BandIntercountry covers ~1000-2900 km (20-50 ms RTT).
+	BandIntercountry = 1
+	// BandIntercontinental covers ≥3200 km (≥50 ms RTT).
+	BandIntercontinental = 2
+)
+
+// IXPOutage takes an exchange dark: every membership disappears and, at
+// studied IXPs, its probe targets with them. Offload coverage loses the
+// IXP's cones; the spread study loses its Table 1 row.
+type IXPOutage struct {
+	// IXP is the exchange's acronym ("AMS-IX").
+	IXP string
+}
+
+// String implements Op.
+func (o IXPOutage) String() string { return "outage:" + o.IXP }
+
+func (o IXPOutage) apply(st *state) error {
+	_, xi, err := st.World.IXPByAcronym(o.IXP)
+	if err != nil {
+		return err
+	}
+	return st.World.RemoveIXPMembers(xi)
+}
+
+// LatencyShift moves the one-way pseudowire delay of remote memberships in
+// a distance band by DeltaMs — a latency regime shift (provider wavepath
+// upgrades when negative, congestion or reroutes when positive) that moves
+// remote interfaces across the detector's 10 ms RTT threshold. A one-way
+// shift of d ms moves minimum RTTs by 2d ms.
+type LatencyShift struct {
+	// Band selects the affected distance band (BandAll for every one).
+	Band int
+	// DeltaMs is the one-way delay change in milliseconds (may be
+	// negative).
+	DeltaMs float64
+}
+
+// String implements Op.
+func (o LatencyShift) String() string {
+	return "latency:" + bandName(o.Band) + ":" + formatFloat(o.DeltaMs)
+}
+
+func (o LatencyShift) apply(st *state) error {
+	if o.Band < BandAll || o.Band > BandIntercontinental {
+		return fmt.Errorf("scenario: latency shift band %d out of range", o.Band)
+	}
+	d := time.Duration(o.DeltaMs * float64(time.Millisecond))
+	for b := 0; b < 3; b++ {
+		if o.Band == BandAll || o.Band == b {
+			st.World.PseudowireDelta[b] += d
+		}
+	}
+	return nil
+}
+
+// MemberChurn models a membership surge or exodus at one IXP: Join leaf
+// networks connect as direct members on fresh ports, Leave existing direct
+// leaf members disconnect (all their ports). The selection is driven by
+// the cell's deterministic RNG stream.
+type MemberChurn struct {
+	// IXP is the exchange's acronym.
+	IXP string
+	// Join and Leave are the number of networks joining and leaving.
+	Join, Leave int
+}
+
+// String implements Op.
+func (o MemberChurn) String() string {
+	return fmt.Sprintf("churn:%s:%d:%d", o.IXP, o.Join, o.Leave)
+}
+
+func (o MemberChurn) apply(st *state) error {
+	if o.Join < 0 || o.Leave < 0 {
+		return fmt.Errorf("scenario: negative churn counts join=%d leave=%d", o.Join, o.Leave)
+	}
+	w := st.World
+	x, xi, err := w.IXPByAcronym(o.IXP)
+	if err != nil {
+		return err
+	}
+
+	// Leavers: distinct direct leaf members, drawn without replacement
+	// from a shuffled candidate list (membership order, so the draw is a
+	// pure function of the cell's RNG stream).
+	if o.Leave > 0 {
+		var cands []topo.ASN
+		seen := make(map[topo.ASN]bool)
+		for _, m := range x.Members {
+			if m.Remote || m.ASN < worldgen.ASNLeafBase || seen[m.ASN] {
+				continue
+			}
+			seen[m.ASN] = true
+			cands = append(cands, m.ASN)
+		}
+		st.src.Shuffle(len(cands), func(a, b int) { cands[a], cands[b] = cands[b], cands[a] })
+		n := o.Leave
+		if n > len(cands) {
+			n = len(cands)
+		}
+		gone := make(map[topo.ASN]bool, n)
+		for _, asn := range cands[:n] {
+			gone[asn] = true
+		}
+		w.RemoveMemberships(xi, gone)
+	}
+
+	// Joiners: leaf networks not yet members, rejection-sampled from the
+	// leaf universe like the generator's own remote-member placement.
+	joined := 0
+	for tries := 0; joined < o.Join && tries < 64*(o.Join+1); tries++ {
+		asn := worldgen.ASNLeafBase + topo.ASN(st.src.Intn(w.Cfg.LeafNetworks))
+		if x.HasMember(asn) {
+			continue
+		}
+		if err := w.AddDirectMembership(xi, asn, st.src); err != nil {
+			return err
+		}
+		joined++
+	}
+	if joined < o.Join {
+		return fmt.Errorf("scenario: could only join %d of %d members at %s", joined, o.Join, o.IXP)
+	}
+	return nil
+}
+
+// TrafficScale multiplies the NREN's average transit-traffic levels in
+// both directions — a demand surge (>1) or decline (<1).
+type TrafficScale struct {
+	// Factor is the multiplier (must be positive).
+	Factor float64
+}
+
+// String implements Op.
+func (o TrafficScale) String() string { return "traffic:" + formatFloat(o.Factor) }
+
+func (o TrafficScale) apply(st *state) error {
+	if o.Factor <= 0 {
+		return fmt.Errorf("scenario: non-positive traffic scale %v", o.Factor)
+	}
+	if st.Traffic.TotalInboundBps == 0 {
+		st.Traffic.TotalInboundBps = netflow.DefaultInboundBps
+	}
+	if st.Traffic.TotalOutboundBps == 0 {
+		st.Traffic.TotalOutboundBps = netflow.DefaultOutboundBps
+	}
+	st.Traffic.TotalInboundBps *= o.Factor
+	st.Traffic.TotalOutboundBps *= o.Factor
+	return nil
+}
+
+// DiurnalShift rotates the diurnal/weekly traffic profile by Hours — a
+// traffic mix whose peak moves relative to the billing day (e.g. a content
+// catalogue whose audience sits several time zones away).
+type DiurnalShift struct {
+	// Hours rotates the profile (positive moves the peak earlier).
+	Hours float64
+}
+
+// String implements Op.
+func (o DiurnalShift) String() string { return "diurnal:" + formatFloat(o.Hours) }
+
+func (o DiurnalShift) apply(st *state) error {
+	st.Traffic.PhaseHours += o.Hours
+	return nil
+}
+
+// PortPrice scales the per-IXP traffic-independent costs of the Section 5
+// model — g (direct peering) and h (remote peering) together, as when IXP
+// port and colocation prices move market-wide. Viability (eq. 14) depends
+// on their ratio times the traffic prices, so a uniform drop leaves the
+// verdict's ratio intact but moves the optimal ñ and m̃; use it with
+// custom base params for asymmetric moves.
+type PortPrice struct {
+	// Factor is the multiplier on g and h (must be positive).
+	Factor float64
+}
+
+// String implements Op.
+func (o PortPrice) String() string { return "portprice:" + formatFloat(o.Factor) }
+
+func (o PortPrice) apply(st *state) error {
+	if o.Factor <= 0 {
+		return fmt.Errorf("scenario: non-positive port-price factor %v", o.Factor)
+	}
+	st.Econ.G *= o.Factor
+	st.Econ.H *= o.Factor
+	return nil
+}
+
+// RemotePrice scales the remote-peering price vector alone (h and v) — the
+// remote-peering market maturing (<1) or consolidating (>1). Unlike
+// PortPrice it moves the eq. 14 viability ratio directly.
+type RemotePrice struct {
+	// Factor is the multiplier on h and v (must be positive).
+	Factor float64
+}
+
+// String implements Op.
+func (o RemotePrice) String() string { return "remoteprice:" + formatFloat(o.Factor) }
+
+func (o RemotePrice) apply(st *state) error {
+	if o.Factor <= 0 {
+		return fmt.Errorf("scenario: non-positive remote-price factor %v", o.Factor)
+	}
+	st.Econ.H *= o.Factor
+	st.Econ.V *= o.Factor
+	return nil
+}
+
+// bandName renders a LatencyShift band for the text codec.
+func bandName(b int) string {
+	switch b {
+	case BandAll:
+		return "all"
+	case BandIntercity:
+		return "city"
+	case BandIntercountry:
+		return "country"
+	case BandIntercontinental:
+		return "continent"
+	default:
+		return strconv.Itoa(b)
+	}
+}
+
+// parseBand is bandName's inverse.
+func parseBand(s string) (int, error) {
+	switch s {
+	case "all":
+		return BandAll, nil
+	case "city":
+		return BandIntercity, nil
+	case "country":
+		return BandIntercountry, nil
+	case "continent":
+		return BandIntercontinental, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown latency band %q (want all/city/country/continent)", s)
+	}
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ParseOp parses the textual form of an op, the exact format String
+// emits:
+//
+//	outage:<IXP>
+//	latency:<all|city|country|continent>:<deltaMs>
+//	churn:<IXP>:<join>:<leave>
+//	traffic:<factor>
+//	diurnal:<hours>
+//	portprice:<factor>
+//	remoteprice:<factor>
+func ParseOp(s string) (Op, error) {
+	kind, rest, _ := strings.Cut(strings.TrimSpace(s), ":")
+	switch kind {
+	case "outage":
+		if rest == "" {
+			return nil, fmt.Errorf("scenario: outage needs an IXP acronym in %q", s)
+		}
+		return IXPOutage{IXP: rest}, nil
+	case "latency":
+		bandStr, msStr, ok := strings.Cut(rest, ":")
+		if !ok {
+			return nil, fmt.Errorf("scenario: latency wants latency:<band>:<deltaMs> in %q", s)
+		}
+		band, err := parseBand(bandStr)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := strconv.ParseFloat(msStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: bad latency delta in %q: %v", s, err)
+		}
+		return LatencyShift{Band: band, DeltaMs: ms}, nil
+	case "churn":
+		parts := strings.Split(rest, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("scenario: churn wants churn:<IXP>:<join>:<leave> in %q", s)
+		}
+		join, err1 := strconv.Atoi(parts[1])
+		leave, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("scenario: bad churn counts in %q", s)
+		}
+		return MemberChurn{IXP: parts[0], Join: join, Leave: leave}, nil
+	case "traffic", "diurnal", "portprice", "remoteprice":
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: bad %s value in %q: %v", kind, s, err)
+		}
+		switch kind {
+		case "traffic":
+			return TrafficScale{Factor: v}, nil
+		case "diurnal":
+			return DiurnalShift{Hours: v}, nil
+		case "portprice":
+			return PortPrice{Factor: v}, nil
+		default:
+			return RemotePrice{Factor: v}, nil
+		}
+	default:
+		return nil, fmt.Errorf("scenario: unknown op kind %q in %q", kind, s)
+	}
+}
+
+// ParseScenario parses "name=op,op,..."; a spec without '=' names the
+// scenario after its op list.
+func ParseScenario(spec string) (Scenario, error) {
+	spec = strings.TrimSpace(spec)
+	name, opsSpec, ok := strings.Cut(spec, "=")
+	if !ok {
+		name, opsSpec = spec, spec
+	}
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return Scenario{}, fmt.Errorf("scenario: empty scenario name in %q", spec)
+	}
+	var ops []Op
+	for _, part := range strings.Split(opsSpec, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		op, err := ParseOp(part)
+		if err != nil {
+			return Scenario{}, err
+		}
+		ops = append(ops, op)
+	}
+	if len(ops) == 0 {
+		return Scenario{}, fmt.Errorf("scenario: no ops in %q", spec)
+	}
+	return Scenario{Name: name, Ops: ops}, nil
+}
+
+// ParseGrid parses a ';'-separated list of scenario specs into a grid
+// (seeds are left for the caller to fill in).
+func ParseGrid(spec string) (Grid, error) {
+	var g Grid
+	for _, part := range strings.Split(spec, ";") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		s, err := ParseScenario(part)
+		if err != nil {
+			return Grid{}, err
+		}
+		g.Scenarios = append(g.Scenarios, s)
+	}
+	if len(g.Scenarios) == 0 {
+		return Grid{}, fmt.Errorf("scenario: empty grid spec %q", spec)
+	}
+	return g, nil
+}
+
+// OpsString renders an op list in the codec's textual form.
+func OpsString(ops []Op) string {
+	parts := make([]string, len(ops))
+	for i, op := range ops {
+		parts[i] = op.String()
+	}
+	return strings.Join(parts, ",")
+}

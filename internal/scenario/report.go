@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text renders the report as a fixed-width diff table against the
+// baseline. The rendering is stable: cells appear in grid order and every
+// number is formatted with a fixed precision, so equal reports produce
+// equal bytes.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# what-if grid: %d cells vs baseline (offload coverage at %d IXPs, b fitted over %d)\n",
+		len(r.Cells), r.CoverageIXPs, r.GreedyIXPs)
+	base := r.Baseline
+	fmt.Fprintf(&b, "baseline: %d analyzed ifaces, %d detected remote (bands %d/%d/%d), offload@%d %.1f%%, b=%.4f, viable=%v\n\n",
+		base.AnalyzedIfaces, base.DetectedRemote,
+		base.BandCounts[0], base.BandCounts[1], base.BandCounts[2],
+		r.CoverageIXPs, 100*base.OffloadedFrac, base.FittedB, base.Viable)
+	fmt.Fprintf(&b, "%-22s %5s %8s %8s %14s %10s %8s %9s %8s %7s\n",
+		"scenario", "seed", "remote", "Δremote", "bands", "offload%", "Δpp", "b", "Δb", "viable")
+	for _, c := range r.Cells {
+		d := c.Diff(base)
+		viable := fmt.Sprintf("%v", c.Metrics.Viable)
+		if d.ViableFlipped {
+			viable += "!"
+		}
+		fmt.Fprintf(&b, "%-22s %5d %8d %+8d %14s %10.1f %+8.1f %9.4f %+8.4f %7s\n",
+			c.Scenario, c.SeedOffset,
+			c.Metrics.DetectedRemote, d.DetectedRemote,
+			fmt.Sprintf("%d/%d/%d", c.Metrics.BandCounts[0], c.Metrics.BandCounts[1], c.Metrics.BandCounts[2]),
+			100*c.Metrics.OffloadedFrac, 100*d.OffloadedFrac,
+			c.Metrics.FittedB, d.FittedB, viable)
+	}
+	return b.String()
+}
+
+// csvHeader is the stable column set of WriteCSV.
+var csvHeader = []string{
+	"scenario", "seed_offset", "ops",
+	"observations", "analyzed_ifaces", "detected_remote",
+	"band_10_20ms", "band_20_50ms", "band_50ms",
+	"potential_peers", "covered_nets", "offloaded_frac",
+	"fitted_b", "viable",
+	"d_detected_remote", "d_covered_nets", "d_offloaded_frac", "d_fitted_b", "viable_flipped",
+}
+
+// WriteCSV emits one row per cell (baseline first) with absolute metrics
+// and baseline deltas, in grid order.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	base := r.Baseline
+	for _, c := range r.Cells {
+		d := c.Diff(base)
+		row := []string{
+			c.Scenario,
+			strconv.FormatInt(c.SeedOffset, 10),
+			c.Ops,
+			strconv.Itoa(c.Metrics.Observations),
+			strconv.Itoa(c.Metrics.AnalyzedIfaces),
+			strconv.Itoa(c.Metrics.DetectedRemote),
+			strconv.Itoa(c.Metrics.BandCounts[0]),
+			strconv.Itoa(c.Metrics.BandCounts[1]),
+			strconv.Itoa(c.Metrics.BandCounts[2]),
+			strconv.Itoa(c.Metrics.PotentialPeers),
+			strconv.Itoa(c.Metrics.CoveredNets),
+			formatFloat(c.Metrics.OffloadedFrac),
+			formatFloat(c.Metrics.FittedB),
+			strconv.FormatBool(c.Metrics.Viable),
+			strconv.Itoa(d.DetectedRemote),
+			strconv.Itoa(d.CoveredNets),
+			formatFloat(d.OffloadedFrac),
+			formatFloat(d.FittedB),
+			strconv.FormatBool(d.ViableFlipped),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

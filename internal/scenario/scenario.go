@@ -1,0 +1,383 @@
+package scenario
+
+import (
+	"fmt"
+
+	"remotepeering/internal/core"
+	"remotepeering/internal/econ"
+	"remotepeering/internal/lg"
+	"remotepeering/internal/netflow"
+	"remotepeering/internal/offload"
+	"remotepeering/internal/parallel"
+	"remotepeering/internal/spread"
+	"remotepeering/internal/stats"
+	"remotepeering/internal/worldgen"
+)
+
+// Scenario is one named what-if: a composition of perturbation ops applied
+// in order to a fresh clone of the world.
+type Scenario struct {
+	Name string
+	Ops  []Op
+}
+
+// Grid is a scenario×seed campaign matrix. Every scenario runs once per
+// seed offset; the runner prepends its own unperturbed baseline cell
+// (offset 0), which every cell is diffed against.
+type Grid struct {
+	Scenarios []Scenario
+	// Seeds are measurement/traffic seed offsets (cell seeds are the
+	// options' base seeds plus the offset). Empty means {0}.
+	Seeds []int64
+}
+
+// Cells returns the number of cells the grid expands to, including the
+// baseline.
+func (g Grid) Cells() int {
+	seeds := len(g.Seeds)
+	if seeds == 0 {
+		seeds = 1
+	}
+	return 1 + len(g.Scenarios)*seeds
+}
+
+// Options tunes a grid run.
+type Options struct {
+	// MeasureSeed and TrafficSeed are the baseline pipeline seeds; grid
+	// seed offsets are added to both. With the same seeds, the baseline
+	// cell reproduces RunSpreadStudy/CollectTraffic numbers exactly.
+	MeasureSeed int64
+	TrafficSeed int64
+	// Workers bounds how many cells run concurrently (0 = one per CPU).
+	// Each cell's inner pipeline runs serially — the parallelism axis is
+	// the grid — and results are byte-identical for every value: cell
+	// RNG streams are keyed by scenario index and seed offset alone.
+	Workers int
+	// Campaign and Detector override the spread study's regime per cell
+	// (zero values = the paper's).
+	Campaign lg.Config
+	Detector core.Config
+	// IXPs restricts the spread study to a subset of studied-IXP indices
+	// (nil = all 22). Dark IXPs are always skipped.
+	IXPs []int
+	// Intervals bounds the traffic month (0 = the full 8064 samples).
+	Intervals int
+	// CoverageIXPs is the k of the offload-coverage metric: the greedy
+	// expansion's offloaded share after k exchanges (default 5).
+	CoverageIXPs int
+	// GreedyIXPs is the expansion depth the decay parameter b is fitted
+	// from (default 30, the paper's Figure 9 x-axis).
+	GreedyIXPs int
+	// Econ is the base Section 5 price vector (zero value = the
+	// reference parameterisation); price ops rescale it per cell.
+	Econ econ.Params
+}
+
+func (o Options) withDefaults() Options {
+	if o.CoverageIXPs <= 0 {
+		o.CoverageIXPs = 5
+	}
+	if o.GreedyIXPs <= 0 {
+		o.GreedyIXPs = 30
+	}
+	if o.Econ.P == 0 {
+		o.Econ = econ.DefaultParams(0)
+	}
+	return o
+}
+
+// Metrics are one cell's headline numbers: the Table 1 / Figure 3 detector
+// view, the Figure 9 offload view, and the Section 5 verdict.
+type Metrics struct {
+	// Observations is the campaign's ping-outcome count.
+	Observations int
+	// AnalyzedIfaces is the interface count surviving the six filters.
+	AnalyzedIfaces int
+	// DetectedRemote is the Table 1 remote total across IXPs.
+	DetectedRemote int
+	// BandCounts splits the detected interfaces into the Figure 3 remote
+	// classes: 10-20 ms, 20-50 ms, ≥50 ms.
+	BandCounts [3]int
+	// PotentialPeers is the Section 4.2 candidate count after exclusions.
+	PotentialPeers int
+	// CoveredNets is the number of networks covered when peering at the
+	// greedy-best CoverageIXPs exchanges (group 4).
+	CoveredNets int
+	// OffloadedFrac is the offloaded share of transit traffic at
+	// CoverageIXPs exchanges.
+	OffloadedFrac float64
+	// FittedB is the decay parameter fitted from the greedy curve.
+	FittedB float64
+	// Viable is the eq. 14 verdict at the cell's (possibly price-
+	// perturbed) parameters with the fitted b.
+	Viable bool
+}
+
+// Delta is a cell's headline movement against the baseline.
+type Delta struct {
+	DetectedRemote int
+	BandCounts     [3]int
+	CoveredNets    int
+	OffloadedFrac  float64
+	FittedB        float64
+	// ViableFlipped marks cells whose economic verdict differs from the
+	// baseline's.
+	ViableFlipped bool
+}
+
+// CellResult is one evaluated grid cell.
+type CellResult struct {
+	// Scenario is the scenario name ("baseline" for the implicit cell).
+	Scenario string
+	// Ops is the serialized op list (empty for the baseline).
+	Ops string
+	// SeedOffset is the grid seed offset the cell ran under.
+	SeedOffset int64
+	// Metrics are the cell's absolute numbers.
+	Metrics Metrics
+}
+
+// Diff returns the cell's movement against a baseline.
+func (c CellResult) Diff(base Metrics) Delta {
+	d := Delta{
+		DetectedRemote: c.Metrics.DetectedRemote - base.DetectedRemote,
+		CoveredNets:    c.Metrics.CoveredNets - base.CoveredNets,
+		OffloadedFrac:  c.Metrics.OffloadedFrac - base.OffloadedFrac,
+		FittedB:        c.Metrics.FittedB - base.FittedB,
+		ViableFlipped:  c.Metrics.Viable != base.Viable,
+	}
+	for i := range d.BandCounts {
+		d.BandCounts[i] = c.Metrics.BandCounts[i] - base.BandCounts[i]
+	}
+	return d
+}
+
+// Report is a grid run's outcome: the baseline metrics plus every cell in
+// grid order (scenarios in declaration order, seed offsets within each).
+type Report struct {
+	Baseline     Metrics
+	Cells        []CellResult
+	CoverageIXPs int
+	GreedyIXPs   int
+}
+
+// cellSpec pairs a scenario with one seed offset and its RNG stream.
+type cellSpec struct {
+	scn  Scenario
+	off  int64
+	src  *stats.Source
+	base bool
+}
+
+// Run evaluates the grid. Cells fan out across workers through
+// internal/parallel with the repo's hard invariant: the report is
+// byte-identical at every worker count, because each cell runs on its own
+// world clone with RNG streams derived from the scenario index and seed
+// offset alone, and the cell results merge in grid order.
+func Run(w *worldgen.World, grid Grid, opts Options) (*Report, error) {
+	if w == nil {
+		return nil, fmt.Errorf("scenario: nil world")
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("scenario: negative Workers %d (use 0 for one per CPU)", opts.Workers)
+	}
+	if w.Index == nil || w.Index.Len() != w.Graph.Len() {
+		return nil, fmt.Errorf("scenario: world index misaligned with graph (world not from Generate?)")
+	}
+	opts = opts.withDefaults()
+
+	seeds := grid.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{0}
+	}
+
+	// Expand the matrix: the baseline first, then scenarios × seeds. The
+	// per-cell RNG sources split serially here — keyed by scenario index
+	// and seed offset, never by worker identity — so an op's random draws
+	// are a pure function of the cell's grid coordinates.
+	root := stats.NewSource(opts.MeasureSeed).Split("scenario-grid")
+	cells := []cellSpec{{scn: Scenario{Name: "baseline"}, off: 0, base: true}}
+	for si, s := range grid.Scenarios {
+		if s.Name == "" {
+			return nil, fmt.Errorf("scenario: scenario %d has no name", si)
+		}
+		if s.Name == "baseline" {
+			return nil, fmt.Errorf("scenario: the name %q is reserved for the implicit unperturbed cell", s.Name)
+		}
+		for _, off := range seeds {
+			cells = append(cells, cellSpec{scn: s, off: off})
+		}
+	}
+	for i := range cells {
+		si := -1 // baseline
+		if !cells[i].base {
+			si = (i - 1) / len(seeds)
+		}
+		cells[i].src = root.Split(fmt.Sprintf("cell-%d-seed-%d", si, cells[i].off))
+	}
+
+	// Materialise the parent graph's lazy ASN cache before the fan-out so
+	// concurrent Clone calls only ever read it.
+	w.Graph.ASNs()
+
+	results, err := parallel.MapErr(opts.Workers, len(cells), func(i int) (Metrics, error) {
+		m, err := runCell(w, cells[i], opts)
+		if err != nil {
+			return Metrics{}, fmt.Errorf("scenario %q (seed offset %d): %w", cells[i].scn.Name, cells[i].off, err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Baseline:     results[0],
+		CoverageIXPs: opts.CoverageIXPs,
+		GreedyIXPs:   opts.GreedyIXPs,
+	}
+	for i, spec := range cells {
+		rep.Cells = append(rep.Cells, CellResult{
+			Scenario:   spec.scn.Name,
+			Ops:        OpsString(spec.scn.Ops),
+			SeedOffset: spec.off,
+			Metrics:    results[i],
+		})
+	}
+	return rep, nil
+}
+
+// runCell evaluates one cell: clone, perturb, and re-run the full
+// pipeline. The inner stages run with Workers=1 — the grid is the
+// parallelism axis — which is byte-identical to any other inner worker
+// count by the determinism invariant those stages already hold.
+func runCell(w *worldgen.World, spec cellSpec, opts Options) (Metrics, error) {
+	st := &state{
+		World: w.Clone(),
+		Traffic: netflow.Config{
+			Seed:      opts.TrafficSeed + spec.off,
+			Intervals: opts.Intervals,
+			Workers:   1,
+		},
+		Spread: spread.Options{
+			Seed:     opts.MeasureSeed + spec.off,
+			Workers:  1,
+			Campaign: opts.Campaign,
+			Detector: opts.Detector,
+		},
+		Econ: opts.Econ,
+		src:  spec.src,
+	}
+	for _, op := range spec.scn.Ops {
+		if err := op.apply(st); err != nil {
+			return Metrics{}, err
+		}
+	}
+	// Membership-level ops keep the ASN universe intact and share the
+	// parent's immutable index; an op that grew or shrank the graph needs
+	// the dense plane rebuilt before the analyses key on it.
+	if st.World.Graph.Len() != st.World.Index.Len() {
+		st.World.RefreshIndex()
+	}
+
+	// A dark IXP has nothing to probe: schedule only the (possibly
+	// opts-restricted) studied IXPs that still expose registry-listed
+	// targets. In the baseline this is the full selection, so the
+	// explicit list matches the unrestricted campaign.
+	wanted := opts.IXPs
+	if len(wanted) == 0 {
+		wanted = make([]int, st.World.NumStudied())
+		for i := range wanted {
+			wanted[i] = i
+		}
+	}
+	hasTargets := make([]bool, st.World.NumStudied())
+	for _, rec := range st.World.Ifaces {
+		hasTargets[rec.IXPIndex] = true
+	}
+	live := make([]int, 0, len(wanted))
+	for _, i := range wanted {
+		if i < 0 || i >= len(hasTargets) {
+			return Metrics{}, fmt.Errorf("scenario: IXP index %d is not a studied IXP", i)
+		}
+		if hasTargets[i] {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return Metrics{}, fmt.Errorf("scenario: every selected studied IXP is dark")
+	}
+	st.Spread.IXPs = live
+
+	var m Metrics
+
+	sp, err := spread.Run(st.World, st.Spread)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m.Observations = sp.Observations
+	m.AnalyzedIfaces = len(sp.Report.Analyzed())
+	for _, row := range sp.Report.Table1() {
+		m.DetectedRemote += row.Remote
+	}
+	for _, row := range sp.Report.Figure3() {
+		m.BandCounts[0] += row.Counts[1]
+		m.BandCounts[1] += row.Counts[2]
+		m.BandCounts[2] += row.Counts[3]
+	}
+
+	ds, err := netflow.Collect(st.World, st.Traffic)
+	if err != nil {
+		return Metrics{}, err
+	}
+	study, err := offload.NewStudyOptions(st.World, ds, offload.Options{Workers: 1})
+	if err != nil {
+		return Metrics{}, err
+	}
+	m.PotentialPeers = study.PotentialPeerCount()
+
+	in, out := ds.TransitTotals()
+	total := in + out
+	depth := opts.GreedyIXPs
+	if depth < opts.CoverageIXPs {
+		depth = opts.CoverageIXPs
+	}
+	// One greedy expansion serves both metrics: the step sequence is
+	// prefix-stable in the depth, so step k is the coverage point and the
+	// full curve feeds the decay fit.
+	steps := study.Greedy(offload.GroupAll, depth)
+	if len(steps) == 0 {
+		return Metrics{}, fmt.Errorf("scenario: empty greedy expansion")
+	}
+	k := opts.CoverageIXPs
+	if k > len(steps) {
+		k = len(steps)
+	}
+	at := steps[k-1]
+	if total > 0 {
+		m.OffloadedFrac = (at.OffloadedInBps + at.OffloadedOutBps) / total
+	}
+	chosen := make([]int, k)
+	for i := 0; i < k; i++ {
+		chosen[i] = steps[i].IXPIndex
+	}
+	m.CoveredNets = study.CoveredSet(chosen, offload.GroupAll).Count()
+
+	fitSteps := steps
+	if opts.GreedyIXPs < len(fitSteps) {
+		fitSteps = fitSteps[:opts.GreedyIXPs]
+	}
+	remaining := make([]float64, len(fitSteps))
+	for i, s := range fitSteps {
+		remaining[i] = s.Remaining()
+	}
+	fit, err := econ.FitBFromRemaining(remaining, total)
+	if err != nil {
+		return Metrics{}, fmt.Errorf("decay fit: %w", err)
+	}
+	m.FittedB = fit.B
+	params := st.Econ
+	params.B = fit.B
+	m.Viable = params.RemoteViable()
+	return m, nil
+}

@@ -1,0 +1,247 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"remotepeering/internal/econ"
+	"remotepeering/internal/netflow"
+	"remotepeering/internal/stats"
+	"remotepeering/internal/worldgen"
+)
+
+// testWorld is one reduced world shared by the package tests.
+var (
+	testWorldOnce sync.Once
+	testWorldVal  *worldgen.World
+	testWorldErr  error
+)
+
+func testWorld(t *testing.T) *worldgen.World {
+	t.Helper()
+	testWorldOnce.Do(func() {
+		testWorldVal, testWorldErr = worldgen.Generate(worldgen.Config{Seed: 11, LeafNetworks: 1500})
+	})
+	if testWorldErr != nil {
+		t.Fatal(testWorldErr)
+	}
+	return testWorldVal
+}
+
+// newState builds a fresh cell state over a clone of the test world.
+func newState(t *testing.T) *state {
+	return &state{
+		World: testWorld(t).Clone(),
+		Econ:  econ.DefaultParams(0),
+		src:   stats.NewSource(3).Split("test-cell"),
+	}
+}
+
+func TestOpCodecRoundTrip(t *testing.T) {
+	ops := []Op{
+		IXPOutage{IXP: "AMS-IX"},
+		LatencyShift{Band: BandAll, DeltaMs: -3},
+		LatencyShift{Band: BandIntercity, DeltaMs: 2.5},
+		LatencyShift{Band: BandIntercontinental, DeltaMs: 10},
+		MemberChurn{IXP: "LINX", Join: 40, Leave: 10},
+		TrafficScale{Factor: 1.5},
+		DiurnalShift{Hours: 6},
+		PortPrice{Factor: 0.5},
+		RemotePrice{Factor: 0.8},
+	}
+	for _, op := range ops {
+		got, err := ParseOp(op.String())
+		if err != nil {
+			t.Fatalf("ParseOp(%q): %v", op.String(), err)
+		}
+		if !reflect.DeepEqual(got, op) {
+			t.Errorf("round-trip of %q: got %#v, want %#v", op.String(), got, op)
+		}
+	}
+}
+
+func TestParseOpErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "outage:", "latency:city", "latency:orbit:3", "latency:city:x",
+		"churn:LINX:2", "churn:LINX:a:b", "traffic:zero", "warp:9",
+	} {
+		if _, err := ParseOp(bad); err == nil {
+			t.Errorf("ParseOp(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseGrid(t *testing.T) {
+	g, err := ParseGrid("big-outage=outage:AMS-IX; combo=traffic:1.5,portprice:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Scenarios) != 2 {
+		t.Fatalf("got %d scenarios, want 2", len(g.Scenarios))
+	}
+	if g.Scenarios[0].Name != "big-outage" || len(g.Scenarios[1].Ops) != 2 {
+		t.Fatalf("unexpected parse: %+v", g.Scenarios)
+	}
+	if g.Cells() != 3 { // baseline + 2 scenarios × 1 implicit seed
+		t.Fatalf("Cells() = %d, want 3", g.Cells())
+	}
+	if _, err := ParseGrid(" ; "); err == nil {
+		t.Fatal("empty grid should fail")
+	}
+	if _, err := ParseGrid("name="); err == nil {
+		t.Fatal("scenario with no ops should fail")
+	}
+}
+
+func TestIXPOutageApply(t *testing.T) {
+	st := newState(t)
+	if err := (IXPOutage{IXP: "DE-CIX"}).apply(st); err != nil {
+		t.Fatal(err)
+	}
+	_, xi, err := st.World.IXPByAcronym("DE-CIX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(st.World.IXPs[xi].Members); n != 0 {
+		t.Fatalf("DE-CIX still has %d members", n)
+	}
+	if err := (IXPOutage{IXP: "NO-SUCH"}).apply(st); err == nil {
+		t.Fatal("unknown IXP should fail")
+	}
+}
+
+func TestLatencyShiftApply(t *testing.T) {
+	st := newState(t)
+	if err := (LatencyShift{Band: BandIntercity, DeltaMs: -3}).apply(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := (LatencyShift{Band: BandAll, DeltaMs: 1}).apply(st); err != nil {
+		t.Fatal(err)
+	}
+	want := [3]time.Duration{-2 * time.Millisecond, time.Millisecond, time.Millisecond}
+	if st.World.PseudowireDelta != want {
+		t.Fatalf("PseudowireDelta = %v, want %v", st.World.PseudowireDelta, want)
+	}
+	if err := (LatencyShift{Band: 7, DeltaMs: 1}).apply(st); err == nil {
+		t.Fatal("out-of-range band should fail")
+	}
+}
+
+func TestMemberChurnApply(t *testing.T) {
+	st := newState(t)
+	_, xi, err := st.World.IXPByAcronym("LINX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinctBefore := len(st.World.IXPs[xi].MemberASNs())
+	if err := (MemberChurn{IXP: "LINX", Join: 15, Leave: 5}).apply(st); err != nil {
+		t.Fatal(err)
+	}
+	distinctAfter := len(st.World.IXPs[xi].MemberASNs())
+	if distinctAfter != distinctBefore+10 {
+		t.Fatalf("distinct members %d → %d, want net +10", distinctBefore, distinctAfter)
+	}
+	if err := (MemberChurn{IXP: "LINX", Join: -1}).apply(st); err == nil {
+		t.Fatal("negative churn should fail")
+	}
+}
+
+func TestTrafficAndPriceOpsApply(t *testing.T) {
+	st := newState(t)
+	if err := (TrafficScale{Factor: 1.5}).apply(st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Traffic.TotalInboundBps != 1.5*netflow.DefaultInboundBps ||
+		st.Traffic.TotalOutboundBps != 1.5*netflow.DefaultOutboundBps {
+		t.Fatalf("traffic scale resolved to (%v, %v)", st.Traffic.TotalInboundBps, st.Traffic.TotalOutboundBps)
+	}
+	if err := (DiurnalShift{Hours: 6}).apply(st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Traffic.PhaseHours != 6 {
+		t.Fatalf("PhaseHours = %v, want 6", st.Traffic.PhaseHours)
+	}
+	base := econ.DefaultParams(0)
+	if err := (PortPrice{Factor: 0.5}).apply(st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Econ.G != base.G*0.5 || st.Econ.H != base.H*0.5 {
+		t.Fatalf("port price scaled to g=%v h=%v", st.Econ.G, st.Econ.H)
+	}
+	if err := (RemotePrice{Factor: 2}).apply(st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Econ.H != base.H*0.5*2 || st.Econ.V != base.V*2 {
+		t.Fatalf("remote price scaled to h=%v v=%v", st.Econ.H, st.Econ.V)
+	}
+	if err := (TrafficScale{Factor: 0}).apply(st); err == nil {
+		t.Fatal("zero traffic factor should fail")
+	}
+	if err := (PortPrice{Factor: -1}).apply(st); err == nil {
+		t.Fatal("negative port-price factor should fail")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	w := testWorld(t)
+	grid := Grid{Scenarios: []Scenario{{Name: "x", Ops: []Op{TrafficScale{Factor: 2}}}}}
+	if _, err := Run(nil, grid, Options{}); err == nil {
+		t.Fatal("nil world should fail")
+	}
+	if _, err := Run(w, grid, Options{Workers: -2}); err == nil ||
+		!strings.Contains(err.Error(), "negative Workers") {
+		t.Fatalf("negative workers should fail clearly, got %v", err)
+	}
+	if _, err := Run(w, Grid{Scenarios: []Scenario{{}}}, Options{}); err == nil {
+		t.Fatal("unnamed scenario should fail")
+	}
+	reserved := Grid{Scenarios: []Scenario{{Name: "baseline", Ops: []Op{TrafficScale{Factor: 2}}}}}
+	if _, err := Run(w, reserved, Options{}); err == nil ||
+		!strings.Contains(err.Error(), "reserved") {
+		t.Fatalf("scenario named baseline should be rejected, got %v", err)
+	}
+}
+
+// TestReportRendering pins the stable shape of the text and CSV output on
+// a hand-built report.
+func TestReportRendering(t *testing.T) {
+	rep := &Report{
+		Baseline:     Metrics{AnalyzedIfaces: 100, DetectedRemote: 10, OffloadedFrac: 0.25, FittedB: 0.3, Viable: true},
+		CoverageIXPs: 5,
+		GreedyIXPs:   30,
+		Cells: []CellResult{
+			{Scenario: "baseline", SeedOffset: 0,
+				Metrics: Metrics{AnalyzedIfaces: 100, DetectedRemote: 10, OffloadedFrac: 0.25, FittedB: 0.3, Viable: true}},
+			{Scenario: "outage", Ops: "outage:AMS-IX", SeedOffset: 1,
+				Metrics: Metrics{AnalyzedIfaces: 90, DetectedRemote: 7, OffloadedFrac: 0.20, FittedB: 0.35, Viable: false}},
+		},
+	}
+	text := rep.Text()
+	for _, want := range []string{"baseline", "outage", "-3", "false!"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text report missing %q:\n%s", want, text)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 cells", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "scenario,seed_offset,ops,") {
+		t.Errorf("unexpected CSV header %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "outage:AMS-IX") {
+		t.Errorf("CSV row missing ops column: %q", lines[2])
+	}
+	d := rep.Cells[1].Diff(rep.Baseline)
+	if d.DetectedRemote != -3 || !d.ViableFlipped {
+		t.Fatalf("Diff = %+v", d)
+	}
+}

@@ -1,0 +1,158 @@
+// Package spread orchestrates the Section 3 measurement campaign: it
+// builds the simulated IXPs, schedules and runs the four-month
+// looking-glass study, derives the public registry view, and runs the
+// six-filter detector. The facade's RunSpreadStudy delegates here, and the
+// scenario engine re-runs the same pipeline over perturbed worlds — both
+// callers share one implementation, so a baseline scenario cell reproduces
+// the facade's Table 1 byte-for-byte.
+package spread
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"remotepeering/internal/core"
+	"remotepeering/internal/ixpsim"
+	"remotepeering/internal/lg"
+	"remotepeering/internal/netsim"
+	"remotepeering/internal/parallel"
+	"remotepeering/internal/registry"
+	"remotepeering/internal/stats"
+	"remotepeering/internal/worldgen"
+)
+
+// Options controls Run.
+type Options struct {
+	// Seed drives the measurement-side randomness (noise, scheduling);
+	// it is independent of the world's seed.
+	Seed int64
+	// IXPs selects studied-IXP indices to measure; nil means all 22.
+	IXPs []int
+	// Workers bounds the number of IXP simulations run concurrently
+	// (0 = one per CPU). Results are byte-identical for every value: each
+	// IXP runs in its own discrete-event engine with RNG streams derived
+	// from Seed and the IXP index alone.
+	Workers int
+	// Campaign overrides the probing regime (zero value = the paper's).
+	Campaign lg.Config
+	// Detector overrides the methodology parameters (zero value = the
+	// paper's: 10 ms threshold, 8 replies per LG, 4-reply consistency,
+	// 5 ms / 10% windows, TTLs {64, 255}).
+	Detector core.Config
+}
+
+// Result bundles the outcome of a Section 3 measurement campaign.
+type Result struct {
+	// Report is the detector output: Table 1 rows, Figure 2 CDF,
+	// Figure 3 classification, Figure 4 network aggregation.
+	Report *core.Report
+	// Observations is the number of ping outcomes collected.
+	Observations int
+	// Validation scores the detector against the simulator's ground
+	// truth — the reproduction's analogue of the paper's TorIX/E4A/
+	// Invitel validation, but exhaustive.
+	Validation core.Validation
+	// Raw holds the collected ping outcomes, so callers can re-run the
+	// detector under alternative configurations (threshold sweeps,
+	// filter ablations) without repeating the campaign.
+	Raw []lg.Observation
+	// Truth reports the ground-truth remoteness of a probed interface.
+	Truth func(ixpIndex int, ip netip.Addr) bool
+	// Campaign is the effective campaign configuration.
+	Campaign lg.Config
+}
+
+// Reanalyze re-runs the detector over the campaign's raw observations with
+// a different configuration — the ablation entry point.
+func (r *Result) Reanalyze(w *worldgen.World, cfg core.Config) (*core.Report, error) {
+	return core.Analyze(r.Raw, registry.FromWorld(w), r.Campaign.Duration, cfg)
+}
+
+// Run reproduces Section 3 over the given world.
+func Run(w *worldgen.World, opts Options) (*Result, error) {
+	if w == nil {
+		return nil, fmt.Errorf("spread: nil world")
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("spread: negative Workers %d (use 0 for one per CPU)", opts.Workers)
+	}
+	ixps := opts.IXPs
+	if len(ixps) == 0 {
+		ixps = make([]int, w.NumStudied())
+		for i := range ixps {
+			ixps[i] = i
+		}
+	}
+	campaignCfg := opts.Campaign
+	if campaignCfg.Duration == 0 {
+		campaignCfg.Duration = time.Duration(w.CampaignDuration()) * 24 * time.Hour
+	}
+
+	// The IXP simulations are mutually independent — separate fabrics,
+	// nodes, and event queues — so each runs in its own engine and the
+	// per-IXP observation streams merge afterwards. The RNG sources are
+	// split serially up front, labelled by IXP index (the same labels the
+	// serial implementation used), so every IXP sees the same streams
+	// regardless of worker count or scheduling: the merged, sorted result
+	// is byte-identical to a single-threaded run.
+	src := stats.NewSource(opts.Seed)
+	simSrcs := make([]*stats.Source, len(ixps))
+	campSrcs := make([]*stats.Source, len(ixps))
+	for k, idx := range ixps {
+		simSrcs[k] = src.Split(fmt.Sprintf("ixp-%d", idx))
+		campSrcs[k] = src.Split(fmt.Sprintf("campaign-%d", idx))
+	}
+
+	type ixpRun struct {
+		sim *ixpsim.SimIXP
+		obs []lg.Observation
+	}
+	runs, err := parallel.MapErr(opts.Workers, len(ixps), func(k int) (ixpRun, error) {
+		idx := ixps[k]
+		var e netsim.Engine
+		camp := lg.NewCampaign(campaignCfg)
+		sim, err := ixpsim.Build(&e, w, idx, campaignCfg.Duration, simSrcs[k])
+		if err != nil {
+			return ixpRun{}, fmt.Errorf("spread: build IXP %d: %w", idx, err)
+		}
+		if err := camp.Schedule(&e, sim, campSrcs[k]); err != nil {
+			return ixpRun{}, fmt.Errorf("spread: schedule IXP %d: %w", idx, err)
+		}
+		if err := e.Run(); err != nil {
+			return ixpRun{}, fmt.Errorf("spread: campaign IXP %d: %w", idx, err)
+		}
+		// Raw (engine-order) streams: the single stable sort after the
+		// merge below produces the canonical order, so sorting per IXP
+		// here would be redundant work.
+		return ixpRun{sim: sim, obs: camp.Raw()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var obs []lg.Observation
+	sims := make(map[int]*ixpsim.SimIXP, len(ixps))
+	for k, r := range runs {
+		sims[ixps[k]] = r.sim
+		obs = append(obs, r.obs...)
+	}
+	lg.Sort(obs)
+	reg := registry.FromWorld(w)
+	report, err := core.Analyze(obs, reg, campaignCfg.Duration, opts.Detector)
+	if err != nil {
+		return nil, fmt.Errorf("spread: detector: %w", err)
+	}
+	truth := func(ixpIndex int, ip netip.Addr) bool {
+		sim, ok := sims[ixpIndex]
+		return ok && sim.IsRemote(ip)
+	}
+	return &Result{
+		Report:       report,
+		Observations: len(obs),
+		Validation:   report.Validate(truth),
+		Raw:          obs,
+		Truth:        truth,
+		Campaign:     campaignCfg,
+	}, nil
+}

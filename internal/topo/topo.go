@@ -152,6 +152,37 @@ func (g *Graph) ASNs() []ASN {
 	return g.asnCache
 }
 
+// Clone returns a deep copy of the graph: network records, adjacency
+// lists, and the cached ASN universe are all independent of the receiver,
+// so a scenario can rewire the copy while analyses keep reading the
+// original. Adjacency slices are copied in order, which keeps every
+// traversal (customer-cone BFS, RIB computation) identical on both sides.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{
+		nets:      make(map[ASN]*Network, len(g.nets)),
+		providers: make(map[ASN][]ASN, len(g.providers)),
+		customers: make(map[ASN][]ASN, len(g.customers)),
+		peers:     make(map[ASN][]ASN, len(g.peers)),
+	}
+	for asn, n := range g.nets {
+		c := *n
+		ng.nets[asn] = &c
+	}
+	for asn, ps := range g.providers {
+		ng.providers[asn] = append([]ASN(nil), ps...)
+	}
+	for asn, cs := range g.customers {
+		ng.customers[asn] = append([]ASN(nil), cs...)
+	}
+	for asn, ps := range g.peers {
+		ng.peers[asn] = append([]ASN(nil), ps...)
+	}
+	if g.asnCache != nil {
+		ng.asnCache = append([]ASN(nil), g.asnCache...)
+	}
+	return ng
+}
+
 // AddTransit records that customer buys transit from provider.
 func (g *Graph) AddTransit(customer, provider ASN) error {
 	if _, ok := g.nets[customer]; !ok {
@@ -293,6 +324,16 @@ type IXP struct {
 	// (the study requires at least one).
 	HasPCHLG  bool
 	HasRIPELG bool
+}
+
+// Clone returns a deep copy of the IXP: the membership and city slices are
+// independent of the receiver, so scenario perturbations (outages, member
+// churn) on the copy leave the original exchange untouched.
+func (x *IXP) Clone() *IXP {
+	nx := *x
+	nx.Cities = append([]string(nil), x.Cities...)
+	nx.Members = append([]Membership(nil), x.Members...)
+	return &nx
 }
 
 // City returns the primary city.

@@ -18,6 +18,7 @@ package worldgen
 import (
 	"fmt"
 	"net/netip"
+	"time"
 
 	"remotepeering/internal/asindex"
 	"remotepeering/internal/stats"
@@ -188,6 +189,14 @@ type World struct {
 	// by the analysis layers as their common dense data plane.
 	Index *asindex.Index
 
+	// PseudowireDelta shifts the one-way access delay of every remote
+	// membership's layer-2 pseudowire, per distance band (intercity,
+	// intercountry, intercontinental). The zero value leaves the
+	// generated delays untouched; the scenario engine's latency-shift
+	// perturbation adjusts it to move remote interfaces across the
+	// detector's RTT threshold.
+	PseudowireDelta [3]time.Duration
+
 	RedIRIS  topo.ASN
 	Geant    topo.ASN
 	Transit1 topo.ASN // first tier-1 transit provider of RedIRIS
@@ -229,6 +238,9 @@ func (w *World) HomeCity(asn topo.ASN) string {
 
 // Generate builds the world.
 func Generate(cfg Config) (*World, error) {
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("worldgen: negative Workers %d (use 0 for one per CPU)", cfg.Workers)
+	}
 	cfg = cfg.withDefaults()
 	src := stats.NewSource(cfg.Seed)
 	w := &World{Cfg: cfg, Graph: topo.NewGraph()}

@@ -37,8 +37,9 @@ import (
 	"remotepeering/internal/netflow"
 	"remotepeering/internal/netsim"
 	"remotepeering/internal/offload"
-	"remotepeering/internal/parallel"
 	"remotepeering/internal/registry"
+	"remotepeering/internal/scenario"
+	"remotepeering/internal/spread"
 	"remotepeering/internal/stats"
 	"remotepeering/internal/worldgen"
 )
@@ -127,52 +128,14 @@ func GenerateWorld(cfg WorldConfig) (*World, error) {
 	return worldgen.Generate(cfg)
 }
 
-// SpreadOptions controls RunSpreadStudy.
-type SpreadOptions struct {
-	// Seed drives the measurement-side randomness (noise, scheduling);
-	// it is independent of the world's seed.
-	Seed int64
-	// IXPs selects studied-IXP indices to measure; nil means all 22.
-	IXPs []int
-	// Workers bounds the number of IXP simulations run concurrently
-	// (0 = one per CPU). Results are byte-identical for every value: each
-	// IXP runs in its own discrete-event engine with RNG streams derived
-	// from Seed and the IXP index alone.
-	Workers int
-	// Campaign overrides the probing regime (zero value = the paper's).
-	Campaign CampaignConfig
-	// Detector overrides the methodology parameters (zero value = the
-	// paper's: 10 ms threshold, 8 replies per LG, 4-reply consistency,
-	// 5 ms / 10% windows, TTLs {64, 255}).
-	Detector DetectorConfig
-}
+// SpreadOptions controls RunSpreadStudy: the measurement seed, the studied
+// IXP subset, the worker count, and the campaign/detector overrides.
+type SpreadOptions = spread.Options
 
-// SpreadResult bundles the outcome of a Section 3 measurement campaign.
-type SpreadResult struct {
-	// Report is the detector output: Table 1 rows, Figure 2 CDF,
-	// Figure 3 classification, Figure 4 network aggregation.
-	Report *DetectorReport
-	// Observations is the number of ping outcomes collected.
-	Observations int
-	// Validation scores the detector against the simulator's ground
-	// truth — the reproduction's analogue of the paper's TorIX/E4A/
-	// Invitel validation, but exhaustive.
-	Validation Validation
-	// Raw holds the collected ping outcomes, so callers can re-run the
-	// detector under alternative configurations (threshold sweeps,
-	// filter ablations) without repeating the campaign.
-	Raw []Observation
-	// Truth reports the ground-truth remoteness of a probed interface.
-	Truth func(ixpIndex int, ip netip.Addr) bool
-	// Campaign is the effective campaign configuration.
-	Campaign CampaignConfig
-}
-
-// Reanalyze re-runs the detector over the campaign's raw observations with
-// a different configuration — the ablation entry point.
-func (r *SpreadResult) Reanalyze(w *World, cfg DetectorConfig) (*DetectorReport, error) {
-	return core.Analyze(r.Raw, RegistryFromWorld(w), r.Campaign.Duration, cfg)
-}
+// SpreadResult bundles the outcome of a Section 3 measurement campaign:
+// the detector report, the raw observations (for Reanalyze ablations), and
+// the exhaustive ground-truth validation.
+type SpreadResult = spread.Result
 
 // AnalyzeObservations runs the detector directly over a set of raw
 // observations — useful for vantage-point ablations (e.g. PCH-only).
@@ -182,89 +145,10 @@ func AnalyzeObservations(obs []Observation, reg *Registry, campaign time.Duratio
 
 // RunSpreadStudy reproduces Section 3: it builds the simulated IXPs,
 // schedules and runs the four-month looking-glass campaign, derives the
-// public registry view, and runs the detector.
+// public registry view, and runs the detector. The implementation lives in
+// internal/spread, where the scenario engine re-runs it per what-if cell.
 func RunSpreadStudy(w *World, opts SpreadOptions) (*SpreadResult, error) {
-	if w == nil {
-		return nil, fmt.Errorf("remotepeering: nil world")
-	}
-	ixps := opts.IXPs
-	if len(ixps) == 0 {
-		ixps = make([]int, w.NumStudied())
-		for i := range ixps {
-			ixps[i] = i
-		}
-	}
-	campaignCfg := opts.Campaign
-	if campaignCfg.Duration == 0 {
-		campaignCfg.Duration = time.Duration(w.CampaignDuration()) * 24 * time.Hour
-	}
-
-	// The IXP simulations are mutually independent — separate fabrics,
-	// nodes, and event queues — so each runs in its own engine and the
-	// per-IXP observation streams merge afterwards. The RNG sources are
-	// split serially up front, labelled by IXP index (the same labels the
-	// serial implementation used), so every IXP sees the same streams
-	// regardless of worker count or scheduling: the merged, sorted result
-	// is byte-identical to a single-threaded run.
-	src := stats.NewSource(opts.Seed)
-	simSrcs := make([]*stats.Source, len(ixps))
-	campSrcs := make([]*stats.Source, len(ixps))
-	for k, idx := range ixps {
-		simSrcs[k] = src.Split(fmt.Sprintf("ixp-%d", idx))
-		campSrcs[k] = src.Split(fmt.Sprintf("campaign-%d", idx))
-	}
-
-	type ixpRun struct {
-		sim *ixpsim.SimIXP
-		obs []Observation
-	}
-	runs, err := parallel.MapErr(opts.Workers, len(ixps), func(k int) (ixpRun, error) {
-		idx := ixps[k]
-		var e netsim.Engine
-		camp := lg.NewCampaign(campaignCfg)
-		sim, err := ixpsim.Build(&e, w, idx, campaignCfg.Duration, simSrcs[k])
-		if err != nil {
-			return ixpRun{}, fmt.Errorf("remotepeering: build IXP %d: %w", idx, err)
-		}
-		if err := camp.Schedule(&e, sim, campSrcs[k]); err != nil {
-			return ixpRun{}, fmt.Errorf("remotepeering: schedule IXP %d: %w", idx, err)
-		}
-		if err := e.Run(); err != nil {
-			return ixpRun{}, fmt.Errorf("remotepeering: campaign IXP %d: %w", idx, err)
-		}
-		// Raw (engine-order) streams: the single stable sort after the
-		// merge below produces the canonical order, so sorting per IXP
-		// here would be redundant work.
-		return ixpRun{sim: sim, obs: camp.Raw()}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	var obs []Observation
-	sims := make(map[int]*ixpsim.SimIXP, len(ixps))
-	for k, r := range runs {
-		sims[ixps[k]] = r.sim
-		obs = append(obs, r.obs...)
-	}
-	lg.Sort(obs)
-	reg := RegistryFromWorld(w)
-	report, err := core.Analyze(obs, reg, campaignCfg.Duration, opts.Detector)
-	if err != nil {
-		return nil, fmt.Errorf("remotepeering: detector: %w", err)
-	}
-	truth := func(ixpIndex int, ip netip.Addr) bool {
-		sim, ok := sims[ixpIndex]
-		return ok && sim.IsRemote(ip)
-	}
-	return &SpreadResult{
-		Report:       report,
-		Observations: len(obs),
-		Validation:   report.Validate(truth),
-		Raw:          obs,
-		Truth:        truth,
-		Campaign:     campaignCfg,
-	}, nil
+	return spread.Run(w, opts)
 }
 
 // Registry is the public-data view (the PeeringDB/PCH/IXP-website
@@ -322,20 +206,91 @@ func DefaultEconParams(b float64) EconParams {
 // floor just under the curve's asymptote. totalBps is the full
 // transit-provider traffic (in + out).
 func FitDecayFromGreedy(steps []GreedyStep, totalBps float64) (DecayFit, error) {
-	if len(steps) < 2 {
-		return DecayFit{}, fmt.Errorf("remotepeering: need at least two greedy steps")
+	remaining := make([]float64, len(steps))
+	for i, s := range steps {
+		remaining[i] = s.Remaining()
 	}
-	if totalBps <= 0 {
-		return DecayFit{}, fmt.Errorf("remotepeering: non-positive total traffic")
-	}
-	floor := steps[len(steps)-1].Remaining() * 0.98
-	var remaining []float64
-	for _, s := range steps {
-		if v := (s.Remaining() - floor) / (totalBps - floor); v > 0 {
-			remaining = append(remaining, v)
-		}
-	}
-	return econ.FitB(remaining)
+	return econ.FitBFromRemaining(remaining, totalBps)
+}
+
+// Scenario-engine re-exports: the typed what-if perturbation algebra over
+// a generated world and the grid campaign runner (internal/scenario).
+type (
+	// Scenario is one named what-if: perturbation ops applied in order
+	// to a fresh deterministic clone of the world.
+	Scenario = scenario.Scenario
+	// ScenarioOp is one serializable perturbation (a closed set:
+	// IXPOutage, LatencyShift, MemberChurn, TrafficScale, DiurnalShift,
+	// PortPrice, RemotePrice).
+	ScenarioOp = scenario.Op
+	// ScenarioGrid is a scenario×seed campaign matrix.
+	ScenarioGrid = scenario.Grid
+	// ScenarioOptions tunes a grid run (seeds, workers, campaign and
+	// traffic overrides, coverage depth, base prices).
+	ScenarioOptions = scenario.Options
+	// ScenarioMetrics are one cell's headline numbers.
+	ScenarioMetrics = scenario.Metrics
+	// ScenarioCell is one evaluated grid cell.
+	ScenarioCell = scenario.CellResult
+	// ScenarioDelta is a cell's movement against the baseline.
+	ScenarioDelta = scenario.Delta
+	// ScenarioReport is a grid run's outcome with stable text/CSV
+	// rendering.
+	ScenarioReport = scenario.Report
+
+	// IXPOutage takes an exchange dark.
+	IXPOutage = scenario.IXPOutage
+	// LatencyShift moves remote pseudowire delays per distance band.
+	LatencyShift = scenario.LatencyShift
+	// MemberChurn joins/removes members at one IXP.
+	MemberChurn = scenario.MemberChurn
+	// TrafficScale scales the NREN's transit-traffic level.
+	TrafficScale = scenario.TrafficScale
+	// DiurnalShift rotates the diurnal/weekly traffic profile.
+	DiurnalShift = scenario.DiurnalShift
+	// PortPrice scales the per-IXP costs g and h of the Section 5 model.
+	PortPrice = scenario.PortPrice
+	// RemotePrice scales the remote-peering prices h and v.
+	RemotePrice = scenario.RemotePrice
+)
+
+// LatencyShift distance bands.
+const (
+	BandAll              = scenario.BandAll
+	BandIntercity        = scenario.BandIntercity
+	BandIntercountry     = scenario.BandIntercountry
+	BandIntercontinental = scenario.BandIntercontinental
+)
+
+// RunScenarios evaluates a what-if grid over the world: every cell clones
+// the world, applies its scenario's ops, re-runs the full pipeline (spread
+// study, traffic collection, offload analysis, economic model), and is
+// diffed against the runner's own unperturbed baseline cell. Cells fan out
+// across Workers with the repo-wide invariant: the report is byte-identical
+// for every worker count.
+func RunScenarios(w *World, grid ScenarioGrid, opts ScenarioOptions) (*ScenarioReport, error) {
+	return scenario.Run(w, grid, opts)
+}
+
+// ParseScenarioGrid parses the textual grid form used by cmd/rpwhatif:
+// ';'-separated scenarios, each "name=op,op,..." with ops like
+// "outage:AMS-IX", "latency:city:-3", "churn:LINX:40:10", "traffic:1.5",
+// "diurnal:6", "portprice:0.5", "remoteprice:0.8".
+func ParseScenarioGrid(spec string) (ScenarioGrid, error) {
+	return scenario.ParseGrid(spec)
+}
+
+// ParseScenarioOp parses one op in the same textual form.
+func ParseScenarioOp(s string) (ScenarioOp, error) {
+	return scenario.ParseOp(s)
+}
+
+// CloneWorld returns a deep copy of the world sharing no mutable state
+// with the original — the copy-on-write substrate the scenario engine
+// perturbs. Callers experimenting with manual world surgery get the same
+// guarantee: analyses over the clone never write through to the parent.
+func CloneWorld(w *World) *World {
+	return w.Clone()
 }
 
 // P95 returns the 95th-percentile rate of a traffic series — the
