@@ -29,6 +29,11 @@ func main() {
 	pH := flag.Float64("h", 0.02, "remote peering per-IXP cost h")
 	pV := flag.Float64("v", 0.45, "remote peering per-unit cost v")
 	flag.Parse()
+	stopProfiles, err := common.StartProfiles()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	w, err := remotepeering.GenerateWorld(common.WorldConfig())
 	if err != nil {

@@ -24,6 +24,11 @@ func main() {
 	intervals := flag.Int("intervals", 0, "5-minute intervals (0 = full month)")
 	only := flag.String("only", "", "comma-separated subset: fig5a,fig5b,fig6,fig7,fig8,fig9,fig10")
 	flag.Parse()
+	stopProfiles, err := common.StartProfiles()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 	show := cli.Selector(*only)
 
 	start := time.Now()

@@ -26,6 +26,11 @@ func main() {
 	measureSeed := flag.Int64("measure-seed", 2, "measurement-side seed")
 	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig3,fig4a,fig4b,validate")
 	flag.Parse()
+	stopProfiles, err := common.StartProfiles()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 	show := cli.Selector(*only)
 
 	start := time.Now()

@@ -49,6 +49,11 @@ func main() {
 	intervals := flag.Int("intervals", 0, "5-minute traffic intervals per cell (0 = full month)")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of the text table")
 	flag.Parse()
+	stopProfiles, err := common.StartProfiles()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	grid, err := remotepeering.ParseScenarioGrid(*scenarios)
 	if err != nil {

@@ -21,6 +21,11 @@ func main() {
 	common := cli.CommonFlags()
 	ixp := flag.String("ixp", "", "show membership detail for one IXP acronym")
 	flag.Parse()
+	stopProfiles, err := common.StartProfiles()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
 
 	w, err := remotepeering.GenerateWorld(common.WorldConfig())
 	if err != nil {

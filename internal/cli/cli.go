@@ -1,33 +1,90 @@
 // Package cli holds the command-line plumbing every cmd/rp* tool was
 // repeating: the common world flags (-seed, -leaves, -workers), the
-// "-only" section selector, and the fatal-error exit path.
+// pprof flags (-cpuprofile, -memprofile), the "-only" section selector,
+// and the fatal-error exit path.
 package cli
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"remotepeering/internal/worldgen"
 )
 
-// Common are the world-generation flags shared by every rp* command.
+// Common are the world-generation and profiling flags shared by every
+// rp* command.
 type Common struct {
 	Seed    *int64
 	Leaves  *int
 	Workers *int
+	// CPUProfile and MemProfile are output paths for pprof profiles
+	// (empty = off); StartProfiles consumes them. Perf work on the
+	// tools attaches evidence through these instead of ad-hoc patches.
+	CPUProfile *string
+	MemProfile *string
 }
 
-// CommonFlags registers -seed, -leaves, and -workers on the default flag
-// set with the tools' shared defaults and help strings.
+// CommonFlags registers -seed, -leaves, -workers, -cpuprofile, and
+// -memprofile on the default flag set with the tools' shared defaults
+// and help strings.
 func CommonFlags() Common {
 	return Common{
-		Seed:    flag.Int64("seed", 1, "world generation seed"),
-		Leaves:  flag.Int("leaves", 0, "leaf network count (0 = paper scale)"),
-		Workers: flag.Int("workers", 0, "worker count (0 = one per CPU; output is identical for any value)"),
+		Seed:       flag.Int64("seed", 1, "world generation seed"),
+		Leaves:     flag.Int("leaves", 0, "leaf network count (0 = paper scale)"),
+		Workers:    flag.Int("workers", 0, "worker count (0 = one per CPU; output is identical for any value)"),
+		CPUProfile: flag.String("cpuprofile", "", "write a pprof CPU profile to this file"),
+		MemProfile: flag.String("memprofile", "", "write a pprof heap profile to this file on exit"),
 	}
+}
+
+// StartProfiles starts CPU profiling if -cpuprofile was given and returns
+// a stop function that finishes the CPU profile and writes the heap
+// profile if -memprofile was given. Call it after flag.Parse and defer
+// the stop:
+//
+//	stop, err := common.StartProfiles()
+//	if err != nil { fatal(err) }
+//	defer stop()
+//
+// Note that os.Exit skips deferred calls, so tools should reach their
+// fatal path before starting profiles or accept a truncated profile on
+// fatal errors (the profile of a failed run is rarely the point).
+func (c Common) StartProfiles() (stop func(), err error) {
+	var cpuFile *os.File
+	if *c.CPUProfile != "" {
+		cpuFile, err = os.Create(*c.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cli: cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cli: cpuprofile: %w", err)
+		}
+	}
+	memPath := *c.MemProfile
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cli: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cli: memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 // WorldConfig resolves the common flags into a world configuration. The

@@ -8,6 +8,7 @@ import (
 
 	"remotepeering/internal/stats"
 	"remotepeering/internal/topo"
+	"remotepeering/internal/vecmath"
 	"remotepeering/internal/worldgen"
 )
 
@@ -265,25 +266,25 @@ func TestInboundFractionBounds(t *testing.T) {
 
 func TestNormFromUniform(t *testing.T) {
 	// Sanity: median 0, symmetric tails, strictly increasing.
-	if math.Abs(normFromUniform(0.5)) > 1e-9 {
-		t.Errorf("median = %v", normFromUniform(0.5))
+	if math.Abs(vecmath.NormFromUniform(0.5)) > 1e-9 {
+		t.Errorf("median = %v", vecmath.NormFromUniform(0.5))
 	}
-	if math.Abs(normFromUniform(0.975)-1.96) > 0.01 {
-		t.Errorf("q(0.975) = %v, want ≈ 1.96", normFromUniform(0.975))
+	if math.Abs(vecmath.NormFromUniform(0.975)-1.96) > 0.01 {
+		t.Errorf("q(0.975) = %v, want ≈ 1.96", vecmath.NormFromUniform(0.975))
 	}
-	if math.Abs(normFromUniform(0.025)+1.96) > 0.01 {
-		t.Errorf("q(0.025) = %v, want ≈ -1.96", normFromUniform(0.025))
+	if math.Abs(vecmath.NormFromUniform(0.025)+1.96) > 0.01 {
+		t.Errorf("q(0.025) = %v, want ≈ -1.96", vecmath.NormFromUniform(0.025))
 	}
 	prev := math.Inf(-1)
 	for u := 0.01; u < 1; u += 0.01 {
-		v := normFromUniform(u)
+		v := vecmath.NormFromUniform(u)
 		if v <= prev {
 			t.Fatalf("not increasing at %v", u)
 		}
 		prev = v
 	}
 	// Extremes are clamped, not NaN.
-	if math.IsNaN(normFromUniform(0)) || math.IsNaN(normFromUniform(1)) {
+	if math.IsNaN(vecmath.NormFromUniform(0)) || math.IsNaN(vecmath.NormFromUniform(1)) {
 		t.Error("extremes must not be NaN")
 	}
 }

@@ -29,6 +29,15 @@ type Fabric struct {
 	byMAC       map[packet.MAC]*Attachment
 	// interLoc[a][b] is the one-way delay between fabric locations a and b.
 	interLoc map[int]map[int]time.Duration
+
+	// byIP indexes attachments by owned address for ResolveMAC; ipIndexed
+	// counts how many attachments have been folded in, so the index
+	// lazily catches up after Attach calls. Interface address lists are
+	// immutable once created (AddIface is the only writer), which is what
+	// makes the index safe. First-wins on duplicate addresses, matching
+	// the linear scan it replaces.
+	byIP      map[netip.Addr]*Attachment
+	ipIndexed int
 }
 
 // Attachment binds an interface to a fabric.
@@ -113,11 +122,26 @@ func (f *Fabric) Attachments() []*Attachment { return f.attachments }
 // of the attachment owning ip, falling back to proxy claims. The boolean
 // reports success; an unresolvable address means the probe is silently
 // lost, like an unanswered ARP.
+//
+// Resolution is a map lookup over an incrementally maintained index —
+// the linear owner scan it replaces was the hottest line of the campaign
+// simulation at IXPs with hundreds of member ports.
 func (f *Fabric) ResolveMAC(ip netip.Addr) (packet.MAC, bool) {
-	for _, a := range f.attachments {
-		if a.Iface.Owns(ip) {
-			return a.Iface.MAC, true
+	if f.ipIndexed < len(f.attachments) {
+		if f.byIP == nil {
+			f.byIP = make(map[netip.Addr]*Attachment, len(f.attachments)*2)
 		}
+		for _, a := range f.attachments[f.ipIndexed:] {
+			for _, p := range a.Iface.addrs {
+				if _, dup := f.byIP[p.Addr()]; !dup {
+					f.byIP[p.Addr()] = a
+				}
+			}
+		}
+		f.ipIndexed = len(f.attachments)
+	}
+	if a, ok := f.byIP[ip]; ok {
+		return a.Iface.MAC, true
 	}
 	for _, a := range f.attachments {
 		for _, p := range a.Proxy {

@@ -78,6 +78,79 @@ type Options struct {
 	// evaluation, and the greedy expansions (0 = one per CPU). Every
 	// result is byte-identical for every value.
 	Workers int
+	// Cones, when set, shares customer-cone computations between studies
+	// whose worlds carry the same immutable AS graph and index — the
+	// scenario grid's cells, whose ops perturb memberships and prices but
+	// never the graph. Cone contents are a pure function of the graph, so
+	// sharing changes only the cost of NewStudy, never its results; a
+	// cache bound to a different index is ignored.
+	Cones *ConeCache
+}
+
+// ConeCache shares the dense customer adjacency and the per-AS customer
+// cones across Study constructions over the same immutable graph. Safe
+// for concurrent use; the first study binds it to its index.
+type ConeCache struct {
+	mu        sync.Mutex
+	ix        *asindex.Index
+	customers [][]int32
+	cones     [][]int32
+}
+
+// NewConeCache returns an empty cache; the first NewStudyOptions call
+// that receives it binds it to that study's graph and index.
+func NewConeCache() *ConeCache { return &ConeCache{} }
+
+// bind attaches the cache to (w, ix) on first use and reports whether the
+// cache serves this index. The dense customer adjacency is built once
+// under the lock; cone rows fill lazily as studies request them.
+func (cc *ConeCache) bind(w *worldgen.World, ix *asindex.Index, asns []topo.ASN) bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.ix == nil {
+		cc.ix = ix
+		cc.customers = buildCustomers(w, ix, asns)
+		cc.cones = make([][]int32, ix.Len())
+	}
+	return cc.ix == ix
+}
+
+// cone returns the cached cone of id, computing and storing it on first
+// request. Concurrent duplicate computation is benign — every computation
+// yields the same sorted list.
+func (cc *ConeCache) cone(id int32) []int32 {
+	cc.mu.Lock()
+	c := cc.cones[id]
+	customers := cc.customers
+	n := len(cc.cones)
+	cc.mu.Unlock()
+	if c != nil {
+		return c
+	}
+	c = coneOf(customers, id, n)
+	cc.mu.Lock()
+	cc.cones[id] = c
+	cc.mu.Unlock()
+	return c
+}
+
+// buildCustomers assembles the dense customer adjacency in id space.
+func buildCustomers(w *worldgen.World, ix *asindex.Index, asns []topo.ASN) [][]int32 {
+	customers := make([][]int32, ix.Len())
+	for id, asn := range asns {
+		cs := w.Graph.Customers(asn)
+		if len(cs) == 0 {
+			continue
+		}
+		row := make([]int32, 0, len(cs))
+		for _, c := range cs {
+			if cid, ok := ix.ID(c); ok {
+				row = append(row, cid)
+			}
+		}
+		customers[id] = row
+	}
+	return customers
 }
 
 // groupMasks holds one peer group's precomputed per-IXP coverage.
@@ -235,26 +308,24 @@ func NewStudyOptions(w *worldgen.World, ds *netflow.Dataset, opts Options) (*Stu
 	// space over a dense customer adjacency, and each cone is emitted in
 	// ascending id order. After this point the cone table is never
 	// written again, which is what lets Covered, Greedy, and SingleIXP
-	// fan out over it.
-	customers := make([][]int32, n)
-	for id, asn := range asns {
-		cs := w.Graph.Customers(asn)
-		if len(cs) == 0 {
-			continue
+	// fan out over it. A shared ConeCache serves cones computed by prior
+	// studies over the same graph (and collects this study's for the
+	// next one); the fallback is the local computation.
+	if cc := opts.Cones; cc != nil && cc.bind(w, ix, asns) {
+		cones := parallel.Map(s.workers, len(s.peerIDs), func(k int) []int32 {
+			return cc.cone(s.peerIDs[k])
+		})
+		for k, id := range s.peerIDs {
+			s.cones[id] = cones[k]
 		}
-		row := make([]int32, 0, len(cs))
-		for _, c := range cs {
-			if cid, ok := ix.ID(c); ok {
-				row = append(row, cid)
-			}
+	} else {
+		customers := buildCustomers(w, ix, asns)
+		cones := parallel.Map(s.workers, len(s.peerIDs), func(k int) []int32 {
+			return coneOf(customers, s.peerIDs[k], n)
+		})
+		for k, id := range s.peerIDs {
+			s.cones[id] = cones[k]
 		}
-		customers[id] = row
-	}
-	cones := parallel.Map(s.workers, len(s.peerIDs), func(k int) []int32 {
-		return coneOf(customers, s.peerIDs[k], n)
-	})
-	for k, id := range s.peerIDs {
-		s.cones[id] = cones[k]
 	}
 
 	s.computeTop10Selective()

@@ -11,15 +11,29 @@ import (
 )
 
 func TestWorkersResolution(t *testing.T) {
-	if got := Workers(3); got != 3 {
-		t.Errorf("Workers(3) = %d", got)
+	p := runtime.GOMAXPROCS(0)
+	// Positive counts are a bound, clamped to the available CPUs: the
+	// pools run CPU-bound shards, so oversubscription is never useful.
+	want3 := 3
+	if p < 3 {
+		want3 = p
 	}
-	want := runtime.GOMAXPROCS(0)
-	if got := Workers(0); got != want {
-		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	if got := Workers(3); got != want3 {
+		t.Errorf("Workers(3) = %d, want min(3, GOMAXPROCS) = %d", got, want3)
 	}
-	if got := Workers(-5); got != want {
-		t.Errorf("Workers(-5) = %d, want GOMAXPROCS %d", got, want)
+	if got := Workers(p + 7); got != p {
+		t.Errorf("Workers(GOMAXPROCS+7) = %d, want clamp to %d", got, p)
+	}
+	if got := Workers(0); got != p {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, p)
+	}
+	if got := Workers(-5); got != p {
+		t.Errorf("Workers(-5) = %d, want GOMAXPROCS %d", got, p)
+	}
+	if p > 1 {
+		if got := Workers(1); got != 1 {
+			t.Errorf("Workers(1) = %d, want 1", got)
+		}
 	}
 }
 

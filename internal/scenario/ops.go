@@ -45,12 +45,91 @@ type state struct {
 	src *stats.Source
 }
 
+// StageMask marks pipeline stages an op invalidates. The grid runner
+// re-runs exactly the dirty stages of a cell (plus their downstream
+// closure) and reuses the baseline cell's immutable artifacts for the
+// clean ones; the reuse-equivalence tests pin that a reusing cell is
+// byte-identical to a full rerun, which is what makes each op's declared
+// mask part of its correctness contract, not a hint.
+type StageMask uint8
+
+const (
+	// StageWorld marks structural change to the AS graph or the ASN
+	// universe itself. No current op sets it (membership ops leave the
+	// graph untouched); an op that grows or rewires the graph must, and
+	// it implies every other stage.
+	StageWorld StageMask = 1 << iota
+	// StageSpread invalidates the Section 3 measurement campaign.
+	StageSpread
+	// StageTraffic invalidates the Section 4.1 dataset collection.
+	StageTraffic
+	// StageOffload invalidates the Section 4 offload analysis.
+	StageOffload
+	// StageEcon invalidates the Section 5 economic verdict.
+	StageEcon
+
+	// StageAll is every stage — the mask of a full rerun.
+	StageAll = StageWorld | StageSpread | StageTraffic | StageOffload | StageEcon
+)
+
+// String renders the mask as "world|spread|traffic|offload|econ" terms.
+func (m StageMask) String() string {
+	if m == 0 {
+		return "none"
+	}
+	names := []struct {
+		bit  StageMask
+		name string
+	}{
+		{StageWorld, "world"}, {StageSpread, "spread"}, {StageTraffic, "traffic"},
+		{StageOffload, "offload"}, {StageEcon, "econ"},
+	}
+	var parts []string
+	for _, n := range names {
+		if m&n.bit != 0 {
+			parts = append(parts, n.name)
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
 // Op is one serializable perturbation. The set is closed — the unexported
-// apply method keeps external packages from adding ops, so every op a grid
-// can contain round-trips through ParseOp/String.
+// methods keep external packages from adding ops, so every op a grid can
+// contain round-trips through ParseOp/String and carries a vetted
+// dirty-stage mask.
 type Op interface {
 	fmt.Stringer
 	apply(st *state) error
+	// stages reports which pipeline stages the op directly invalidates;
+	// the runner adds the downstream closure (world ⇒ everything,
+	// traffic ⇒ offload ⇒ econ).
+	stages() StageMask
+	// dirtySims reports which studied-IXP simulations the op invalidates:
+	// all of them (a global-physics change), or a list of acronyms (a
+	// membership change at specific exchanges). Ops whose stages exclude
+	// StageSpread return (false, nil).
+	dirtySims() (all bool, ixps []string)
+}
+
+// OpStages returns the dirty-stage mask of op, including the downstream
+// closure the runner applies — the introspection hook the property tests
+// (and curious callers) use.
+func OpStages(op Op) StageMask {
+	return closeStages(op.stages())
+}
+
+// closeStages adds the downstream closure to a direct dirty mask.
+func closeStages(m StageMask) StageMask {
+	if m&StageWorld != 0 {
+		m |= StageAll
+	}
+	if m&StageTraffic != 0 {
+		m |= StageOffload
+	}
+	if m&StageOffload != 0 {
+		m |= StageEcon
+	}
+	return m
 }
 
 // Distance bands for LatencyShift, matching Figure 3's classes.
@@ -75,6 +154,12 @@ type IXPOutage struct {
 
 // String implements Op.
 func (o IXPOutage) String() string { return "outage:" + o.IXP }
+
+// stages: an outage moves probe targets and offload coverage; the AS
+// graph and the traffic dataset (which keys on graph paths alone) stay.
+func (o IXPOutage) stages() StageMask { return StageSpread | StageOffload }
+
+func (o IXPOutage) dirtySims() (bool, []string) { return false, []string{o.IXP} }
 
 func (o IXPOutage) apply(st *state) error {
 	_, xi, err := st.World.IXPByAcronym(o.IXP)
@@ -101,6 +186,13 @@ type LatencyShift struct {
 func (o LatencyShift) String() string {
 	return "latency:" + bandName(o.Band) + ":" + formatFloat(o.DeltaMs)
 }
+
+// stages: pseudowire delays are measurement physics — only the campaign
+// sees them (and every IXP hosting remote members does, so all sims are
+// invalidated).
+func (o LatencyShift) stages() StageMask { return StageSpread }
+
+func (o LatencyShift) dirtySims() (bool, []string) { return true, nil }
 
 func (o LatencyShift) apply(st *state) error {
 	if o.Band < BandAll || o.Band > BandIntercontinental {
@@ -130,6 +222,12 @@ type MemberChurn struct {
 func (o MemberChurn) String() string {
 	return fmt.Sprintf("churn:%s:%d:%d", o.IXP, o.Join, o.Leave)
 }
+
+// stages: churn rewires memberships at one exchange — probe targets and
+// offload coverage move; the AS graph and the traffic dataset stay.
+func (o MemberChurn) stages() StageMask { return StageSpread | StageOffload }
+
+func (o MemberChurn) dirtySims() (bool, []string) { return false, []string{o.IXP} }
 
 func (o MemberChurn) apply(st *state) error {
 	if o.Join < 0 || o.Leave < 0 {
@@ -195,6 +293,12 @@ type TrafficScale struct {
 // String implements Op.
 func (o TrafficScale) String() string { return "traffic:" + formatFloat(o.Factor) }
 
+// stages: the traffic regime feeds the dataset; offload and econ follow
+// through the closure.
+func (o TrafficScale) stages() StageMask { return StageTraffic }
+
+func (o TrafficScale) dirtySims() (bool, []string) { return false, nil }
+
 func (o TrafficScale) apply(st *state) error {
 	if o.Factor <= 0 {
 		return fmt.Errorf("scenario: non-positive traffic scale %v", o.Factor)
@@ -221,6 +325,11 @@ type DiurnalShift struct {
 // String implements Op.
 func (o DiurnalShift) String() string { return "diurnal:" + formatFloat(o.Hours) }
 
+// stages: the phase rotates the series profile inside the dataset.
+func (o DiurnalShift) stages() StageMask { return StageTraffic }
+
+func (o DiurnalShift) dirtySims() (bool, []string) { return false, nil }
+
 func (o DiurnalShift) apply(st *state) error {
 	st.Traffic.PhaseHours += o.Hours
 	return nil
@@ -239,6 +348,11 @@ type PortPrice struct {
 
 // String implements Op.
 func (o PortPrice) String() string { return "portprice:" + formatFloat(o.Factor) }
+
+// stages: prices touch only the Section 5 verdict.
+func (o PortPrice) stages() StageMask { return StageEcon }
+
+func (o PortPrice) dirtySims() (bool, []string) { return false, nil }
 
 func (o PortPrice) apply(st *state) error {
 	if o.Factor <= 0 {
@@ -259,6 +373,11 @@ type RemotePrice struct {
 
 // String implements Op.
 func (o RemotePrice) String() string { return "remoteprice:" + formatFloat(o.Factor) }
+
+// stages: prices touch only the Section 5 verdict.
+func (o RemotePrice) stages() StageMask { return StageEcon }
+
+func (o RemotePrice) dirtySims() (bool, []string) { return false, nil }
 
 func (o RemotePrice) apply(st *state) error {
 	if o.Factor <= 0 {

@@ -71,6 +71,11 @@ type Options struct {
 	// Econ is the base Section 5 price vector (zero value = the
 	// reference parameterisation); price ops rescale it per cell.
 	Econ econ.Params
+	// NoReuse forces every cell through the full clone-and-rerun
+	// pipeline, ignoring the ops' dirty-stage masks. The report is
+	// byte-identical either way — the flag exists for the equivalence
+	// tests that prove it, and as an escape hatch.
+	NoReuse bool
 }
 
 func (o Options) withDefaults() Options {
@@ -220,16 +225,29 @@ func Run(w *worldgen.World, grid Grid, opts Options) (*Report, error) {
 	// concurrent Clone calls only ever read it.
 	w.Graph.ASNs()
 
-	results, err := parallel.MapErr(opts.Workers, len(cells), func(i int) (Metrics, error) {
-		m, err := runCell(w, cells[i], opts)
+	// The baseline runs first, alone, with the grid's worker budget fanned
+	// into its inner stages (each stage is worker-count-invariant, so this
+	// changes wall time, never results). Its artifacts — the unperturbed
+	// clone, per-IXP observation streams, dataset, cone cache — are what
+	// the scenario cells reuse for every stage their ops leave clean.
+	cones := offload.NewConeCache()
+	base, err := evalCell(w, cells[0], opts, nil, cones, opts.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q (seed offset %d): %w", cells[0].scn.Name, cells[0].off, err)
+	}
+	results := make([]Metrics, len(cells))
+	results[0] = base.m
+	rest, err := parallel.MapErr(opts.Workers, len(cells)-1, func(i int) (Metrics, error) {
+		art, err := evalCell(w, cells[i+1], opts, base, cones, 1)
 		if err != nil {
-			return Metrics{}, fmt.Errorf("scenario %q (seed offset %d): %w", cells[i].scn.Name, cells[i].off, err)
+			return Metrics{}, fmt.Errorf("scenario %q (seed offset %d): %w", cells[i+1].scn.Name, cells[i+1].off, err)
 		}
-		return m, nil
+		return art.m, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	copy(results[1:], rest)
 
 	rep := &Report{
 		Baseline:     results[0],
@@ -247,30 +265,80 @@ func Run(w *worldgen.World, grid Grid, opts Options) (*Report, error) {
 	return rep, nil
 }
 
-// runCell evaluates one cell: clone, perturb, and re-run the full
-// pipeline. The inner stages run with Workers=1 — the grid is the
-// parallelism axis — which is byte-identical to any other inner worker
-// count by the determinism invariant those stages already hold.
-func runCell(w *worldgen.World, spec cellSpec, opts Options) (Metrics, error) {
+// cellArtifacts is one evaluated cell plus the immutable artifacts a
+// later cell can reuse for clean stages. Only the baseline cell's
+// artifacts are retained by Run; for scenario cells the struct is just a
+// return vehicle for the metrics.
+type cellArtifacts struct {
+	world  *worldgen.World
+	spread *spread.Result
+	ds     *netflow.Dataset
+	m      Metrics
+}
+
+// evalCell evaluates one cell. With base == nil (the baseline, or
+// NoReuse) every stage runs; otherwise the cell's ops' dirty-stage masks
+// (plus seed offsets, which dirty both seeded stages) decide which stages
+// re-run and which reuse the baseline's artifacts. Stage determinism
+// makes the two paths byte-identical — pinned by the reuse-equivalence
+// suite — and innerWorkers only re-shards work inside stages, never
+// changing results.
+func evalCell(w *worldgen.World, spec cellSpec, opts Options, base *cellArtifacts, cones *offload.ConeCache, innerWorkers int) (*cellArtifacts, error) {
+	// Combined dirty mask of the cell. graphClean tracks the ops' direct
+	// world-dirtiness alone: it stays true for the baseline and for
+	// seed-offset cells (whose forced full reruns leave the AS graph
+	// untouched), which is what lets every cell of the grid share one
+	// customer-cone cache.
+	var direct StageMask
+	dirtyAllSims := false
+	var dirtySimList []string
+	for _, op := range spec.scn.Ops {
+		direct |= op.stages()
+		all, list := op.dirtySims()
+		dirtyAllSims = dirtyAllSims || all
+		dirtySimList = append(dirtySimList, list...)
+	}
+	graphClean := direct&StageWorld == 0
+	if spec.off != 0 {
+		// Seed offsets re-seed both measured stages.
+		direct |= StageSpread | StageTraffic
+		dirtyAllSims = true
+	}
+	if base == nil || opts.NoReuse {
+		direct = StageAll
+		dirtyAllSims = true
+	}
+	mask := closeStages(direct)
+
+	// Ops that touch the world (structure, memberships, physics) need
+	// their own clone; config-only cells read the baseline's clone.
+	needClone := base == nil || direct&(StageWorld|StageSpread|StageOffload) != 0
 	st := &state{
-		World: w.Clone(),
 		Traffic: netflow.Config{
 			Seed:      opts.TrafficSeed + spec.off,
 			Intervals: opts.Intervals,
-			Workers:   1,
+			Workers:   innerWorkers,
 		},
 		Spread: spread.Options{
 			Seed:     opts.MeasureSeed + spec.off,
-			Workers:  1,
+			Workers:  innerWorkers,
 			Campaign: opts.Campaign,
 			Detector: opts.Detector,
+			// Only the baseline's per-IXP streams are ever spliced, so
+			// only it pays the retention memory.
+			Retain: base == nil && !opts.NoReuse,
 		},
 		Econ: opts.Econ,
 		src:  spec.src,
 	}
+	if needClone {
+		st.World = w.Clone()
+	} else {
+		st.World = base.world
+	}
 	for _, op := range spec.scn.Ops {
 		if err := op.apply(st); err != nil {
-			return Metrics{}, err
+			return nil, err
 		}
 	}
 	// Membership-level ops keep the ASN universe intact and share the
@@ -280,104 +348,161 @@ func runCell(w *worldgen.World, spec cellSpec, opts Options) (Metrics, error) {
 		st.World.RefreshIndex()
 	}
 
-	// A dark IXP has nothing to probe: schedule only the (possibly
-	// opts-restricted) studied IXPs that still expose registry-listed
-	// targets. In the baseline this is the full selection, so the
-	// explicit list matches the unrestricted campaign.
-	wanted := opts.IXPs
-	if len(wanted) == 0 {
-		wanted = make([]int, st.World.NumStudied())
-		for i := range wanted {
-			wanted[i] = i
+	art := &cellArtifacts{world: st.World}
+	m := &art.m
+
+	// --- Section 3: the spread campaign ---
+	if mask&StageSpread == 0 {
+		art.spread = base.spread
+		m.Observations = base.m.Observations
+		m.AnalyzedIfaces = base.m.AnalyzedIfaces
+		m.DetectedRemote = base.m.DetectedRemote
+		m.BandCounts = base.m.BandCounts
+	} else {
+		// A dark IXP has nothing to probe: schedule only the (possibly
+		// opts-restricted) studied IXPs that still expose registry-listed
+		// targets. In the baseline this is the full selection, so the
+		// explicit list matches the unrestricted campaign.
+		wanted := opts.IXPs
+		if len(wanted) == 0 {
+			wanted = make([]int, st.World.NumStudied())
+			for i := range wanted {
+				wanted[i] = i
+			}
+		}
+		hasTargets := make([]bool, st.World.NumStudied())
+		for _, rec := range st.World.Ifaces {
+			hasTargets[rec.IXPIndex] = true
+		}
+		live := make([]int, 0, len(wanted))
+		for _, i := range wanted {
+			if i < 0 || i >= len(hasTargets) {
+				return nil, fmt.Errorf("scenario: IXP index %d is not a studied IXP", i)
+			}
+			if hasTargets[i] {
+				live = append(live, i)
+			}
+		}
+		if len(live) == 0 {
+			return nil, fmt.Errorf("scenario: every selected studied IXP is dark")
+		}
+		st.Spread.IXPs = live
+		if base != nil && !dirtyAllSims {
+			// Membership ops name the exchanges they touched; every other
+			// IXP's simulation inputs are identical to the baseline's, so
+			// its observation stream is spliced instead of re-simulated
+			// (the detector still re-runs over the merged streams).
+			dirty := make(map[int]bool, len(dirtySimList))
+			for _, acr := range dirtySimList {
+				if _, xi, err := st.World.IXPByAcronym(acr); err == nil {
+					dirty[xi] = true
+				}
+			}
+			st.Spread.Reuse = &spread.Reuse{
+				From:  base.spread,
+				Dirty: func(idx int) bool { return dirty[idx] },
+			}
+		}
+
+		sp, err := spread.Run(st.World, st.Spread)
+		if err != nil {
+			return nil, err
+		}
+		art.spread = sp
+		m.Observations = sp.Observations
+		m.AnalyzedIfaces = len(sp.Report.Analyzed())
+		for _, row := range sp.Report.Table1() {
+			m.DetectedRemote += row.Remote
+		}
+		for _, row := range sp.Report.Figure3() {
+			m.BandCounts[0] += row.Counts[1]
+			m.BandCounts[1] += row.Counts[2]
+			m.BandCounts[2] += row.Counts[3]
 		}
 	}
-	hasTargets := make([]bool, st.World.NumStudied())
-	for _, rec := range st.World.Ifaces {
-		hasTargets[rec.IXPIndex] = true
-	}
-	live := make([]int, 0, len(wanted))
-	for _, i := range wanted {
-		if i < 0 || i >= len(hasTargets) {
-			return Metrics{}, fmt.Errorf("scenario: IXP index %d is not a studied IXP", i)
+
+	// --- Section 4.1: the traffic dataset ---
+	if mask&StageTraffic == 0 {
+		art.ds = base.ds
+	} else {
+		ds, err := netflow.Collect(st.World, st.Traffic)
+		if err != nil {
+			return nil, err
 		}
-		if hasTargets[i] {
-			live = append(live, i)
+		art.ds = ds
+	}
+
+	// --- Section 4: the offload analysis ---
+	if mask&StageOffload == 0 {
+		m.PotentialPeers = base.m.PotentialPeers
+		m.CoveredNets = base.m.CoveredNets
+		m.OffloadedFrac = base.m.OffloadedFrac
+		m.FittedB = base.m.FittedB
+	} else {
+		offOpts := offload.Options{Workers: innerWorkers}
+		if graphClean && !opts.NoReuse {
+			// Membership ops leave the AS graph untouched, so every
+			// cell's customer cones are identical — the baseline seeds
+			// the shared cache with the grid's full worker budget and
+			// scenario cells hit it. NoReuse bypasses the cache so the
+			// full-rerun reference stays entirely independent of it.
+			offOpts.Cones = cones
 		}
-	}
-	if len(live) == 0 {
-		return Metrics{}, fmt.Errorf("scenario: every selected studied IXP is dark")
-	}
-	st.Spread.IXPs = live
+		study, err := offload.NewStudyOptions(st.World, art.ds, offOpts)
+		if err != nil {
+			return nil, err
+		}
+		m.PotentialPeers = study.PotentialPeerCount()
 
-	var m Metrics
+		in, out := art.ds.TransitTotals()
+		total := in + out
+		depth := opts.GreedyIXPs
+		if depth < opts.CoverageIXPs {
+			depth = opts.CoverageIXPs
+		}
+		// One greedy expansion serves both metrics: the step sequence is
+		// prefix-stable in the depth, so step k is the coverage point and
+		// the full curve feeds the decay fit.
+		steps := study.Greedy(offload.GroupAll, depth)
+		if len(steps) == 0 {
+			return nil, fmt.Errorf("scenario: empty greedy expansion")
+		}
+		k := opts.CoverageIXPs
+		if k > len(steps) {
+			k = len(steps)
+		}
+		at := steps[k-1]
+		if total > 0 {
+			m.OffloadedFrac = (at.OffloadedInBps + at.OffloadedOutBps) / total
+		}
+		chosen := make([]int, k)
+		for i := 0; i < k; i++ {
+			chosen[i] = steps[i].IXPIndex
+		}
+		m.CoveredNets = study.CoveredSet(chosen, offload.GroupAll).Count()
 
-	sp, err := spread.Run(st.World, st.Spread)
-	if err != nil {
-		return Metrics{}, err
-	}
-	m.Observations = sp.Observations
-	m.AnalyzedIfaces = len(sp.Report.Analyzed())
-	for _, row := range sp.Report.Table1() {
-		m.DetectedRemote += row.Remote
-	}
-	for _, row := range sp.Report.Figure3() {
-		m.BandCounts[0] += row.Counts[1]
-		m.BandCounts[1] += row.Counts[2]
-		m.BandCounts[2] += row.Counts[3]
+		fitSteps := steps
+		if opts.GreedyIXPs < len(fitSteps) {
+			fitSteps = fitSteps[:opts.GreedyIXPs]
+		}
+		remaining := make([]float64, len(fitSteps))
+		for i, s := range fitSteps {
+			remaining[i] = s.Remaining()
+		}
+		fit, err := econ.FitBFromRemaining(remaining, total)
+		if err != nil {
+			return nil, fmt.Errorf("decay fit: %w", err)
+		}
+		m.FittedB = fit.B
 	}
 
-	ds, err := netflow.Collect(st.World, st.Traffic)
-	if err != nil {
-		return Metrics{}, err
+	// --- Section 5: the economic verdict ---
+	if mask&StageEcon == 0 {
+		m.Viable = base.m.Viable
+	} else {
+		params := st.Econ
+		params.B = m.FittedB
+		m.Viable = params.RemoteViable()
 	}
-	study, err := offload.NewStudyOptions(st.World, ds, offload.Options{Workers: 1})
-	if err != nil {
-		return Metrics{}, err
-	}
-	m.PotentialPeers = study.PotentialPeerCount()
-
-	in, out := ds.TransitTotals()
-	total := in + out
-	depth := opts.GreedyIXPs
-	if depth < opts.CoverageIXPs {
-		depth = opts.CoverageIXPs
-	}
-	// One greedy expansion serves both metrics: the step sequence is
-	// prefix-stable in the depth, so step k is the coverage point and the
-	// full curve feeds the decay fit.
-	steps := study.Greedy(offload.GroupAll, depth)
-	if len(steps) == 0 {
-		return Metrics{}, fmt.Errorf("scenario: empty greedy expansion")
-	}
-	k := opts.CoverageIXPs
-	if k > len(steps) {
-		k = len(steps)
-	}
-	at := steps[k-1]
-	if total > 0 {
-		m.OffloadedFrac = (at.OffloadedInBps + at.OffloadedOutBps) / total
-	}
-	chosen := make([]int, k)
-	for i := 0; i < k; i++ {
-		chosen[i] = steps[i].IXPIndex
-	}
-	m.CoveredNets = study.CoveredSet(chosen, offload.GroupAll).Count()
-
-	fitSteps := steps
-	if opts.GreedyIXPs < len(fitSteps) {
-		fitSteps = fitSteps[:opts.GreedyIXPs]
-	}
-	remaining := make([]float64, len(fitSteps))
-	for i, s := range fitSteps {
-		remaining[i] = s.Remaining()
-	}
-	fit, err := econ.FitBFromRemaining(remaining, total)
-	if err != nil {
-		return Metrics{}, fmt.Errorf("decay fit: %w", err)
-	}
-	m.FittedB = fit.B
-	params := st.Econ
-	params.B = fit.B
-	m.Viable = params.RemoteViable()
-	return m, nil
+	return art, nil
 }

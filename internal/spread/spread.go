@@ -10,6 +10,7 @@ package spread
 import (
 	"fmt"
 	"net/netip"
+	"sort"
 	"time"
 
 	"remotepeering/internal/core"
@@ -40,6 +41,36 @@ type Options struct {
 	// paper's: 10 ms threshold, 8 replies per LG, 4-reply consistency,
 	// 5 ms / 10% windows, TTLs {64, 255}).
 	Detector core.Config
+	// Reuse, when set, lets Run skip the discrete-event simulation of
+	// IXPs whose inputs are unchanged since a prior campaign and splice
+	// that campaign's raw per-IXP observation streams in instead. The
+	// detector always re-runs over the merged observations (its registry
+	// view is global, so a membership change anywhere can move
+	// cross-IXP aggregates). See Reuse for the caller's obligations.
+	Reuse *Reuse
+	// Retain keeps the per-IXP observation segments alive on the Result
+	// so a later Run can splice them through Reuse. It roughly doubles
+	// the campaign's observation memory (the segments duplicate Raw), so
+	// only reuse sources — the scenario grid's baseline cell — set it.
+	Retain bool
+}
+
+// Reuse points Run at a prior Result whose per-IXP observation streams
+// may be spliced into a new campaign. The caller asserts that for every
+// IXP the Dirty predicate clears, the simulation inputs are identical to
+// From's: same measurement seed, same campaign config, and a world whose
+// IXP-scoped state (members, interface records, inter-site layout) and
+// global physics (pseudowire delay shifts) are unchanged. Because each
+// IXP simulates in its own engine with RNG streams keyed by (seed, IXP
+// index) alone, an unchanged IXP reproduces its observation stream
+// byte-for-byte — splicing is a pure cost optimisation, pinned by the
+// scenario engine's reuse-equivalence tests.
+type Reuse struct {
+	// From is the prior campaign.
+	From *Result
+	// Dirty reports whether the IXP with the given studied index must be
+	// re-simulated. A nil predicate marks every IXP clean.
+	Dirty func(ixpIndex int) bool
 }
 
 // Result bundles the outcome of a Section 3 measurement campaign.
@@ -61,6 +92,13 @@ type Result struct {
 	Truth func(ixpIndex int, ip netip.Addr) bool
 	// Campaign is the effective campaign configuration.
 	Campaign lg.Config
+
+	// perIXP retains each simulated (or spliced) IXP's raw observation
+	// stream (only when Options.Retain was set) and sims the ground-truth
+	// simulators, so a later Run can splice clean IXPs through
+	// Options.Reuse.
+	perIXP map[int][]lg.Observation
+	sims   map[int]*ixpsim.SimIXP
 }
 
 // Reanalyze re-runs the detector over the campaign's raw observations with
@@ -110,6 +148,14 @@ func Run(w *worldgen.World, opts Options) (*Result, error) {
 	}
 	runs, err := parallel.MapErr(opts.Workers, len(ixps), func(k int) (ixpRun, error) {
 		idx := ixps[k]
+		if r := opts.Reuse; r != nil && r.From != nil && (r.Dirty == nil || !r.Dirty(idx)) {
+			if obs, ok := r.From.perIXP[idx]; ok {
+				// Unchanged IXP: splice the prior campaign's raw stream
+				// (and its ground-truth simulator) instead of re-running
+				// the discrete-event simulation.
+				return ixpRun{sim: r.From.sims[idx], obs: obs}, nil
+			}
+		}
 		var e netsim.Engine
 		camp := lg.NewCampaign(campaignCfg)
 		sim, err := ixpsim.Build(&e, w, idx, campaignCfg.Duration, simSrcs[k])
@@ -122,22 +168,53 @@ func Run(w *worldgen.World, opts Options) (*Result, error) {
 		if err := e.Run(); err != nil {
 			return ixpRun{}, fmt.Errorf("spread: campaign IXP %d: %w", idx, err)
 		}
-		// Raw (engine-order) streams: the single stable sort after the
-		// merge below produces the canonical order, so sorting per IXP
-		// here would be redundant work.
-		return ixpRun{sim: sim, obs: camp.Raw()}, nil
+		// Canonicalise each stream inside its own worker: the merge below
+		// concatenates segments in ascending IXP order, and because the
+		// canonical sort's leading key is the IXP index, per-segment
+		// stable sorts compose into exactly the sequence one global
+		// stable sort would produce — cheaper (smaller sorts, in
+		// parallel), and spliced streams arrive pre-sorted for free.
+		obs := camp.Raw()
+		lg.Sort(obs)
+		return ixpRun{sim: sim, obs: obs}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	var obs []lg.Observation
 	sims := make(map[int]*ixpsim.SimIXP, len(ixps))
+	var perIXP map[int][]lg.Observation
+	if opts.Retain {
+		perIXP = make(map[int][]lg.Observation, len(ixps))
+	}
+	total := 0
 	for k, r := range runs {
 		sims[ixps[k]] = r.sim
-		obs = append(obs, r.obs...)
+		if perIXP != nil {
+			perIXP[ixps[k]] = r.obs
+		}
+		total += len(r.obs)
 	}
-	lg.Sort(obs)
+	order := make([]int, len(ixps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ixps[order[a]] < ixps[order[b]] })
+	obs := make([]lg.Observation, 0, total)
+	dup := false
+	for i := 1; i < len(order); i++ {
+		if ixps[order[i]] == ixps[order[i-1]] {
+			dup = true
+		}
+	}
+	for _, k := range order {
+		obs = append(obs, runs[k].obs...)
+	}
+	if dup {
+		// A duplicated IXP selection interleaves segments under the
+		// canonical order; fall back to the global sort.
+		lg.Sort(obs)
+	}
 	reg := registry.FromWorld(w)
 	report, err := core.Analyze(obs, reg, campaignCfg.Duration, opts.Detector)
 	if err != nil {
@@ -154,5 +231,7 @@ func Run(w *worldgen.World, opts Options) (*Result, error) {
 		Raw:          obs,
 		Truth:        truth,
 		Campaign:     campaignCfg,
+		perIXP:       perIXP,
+		sims:         sims,
 	}, nil
 }

@@ -292,17 +292,34 @@ func (f ExpFit) Eval(x float64) float64 { return f.A * math.Exp(-f.B*x) }
 // Source is a deterministic RNG handle. Every stochastic component of the
 // reproduction receives one, derived from a single top-level seed, so that
 // the whole pipeline is reproducible bit-for-bit.
+//
+// The generator state materialises lazily, on the first draw: a large
+// share of Sources exist only as namespaces — split to derive labelled
+// children, never drawn from — and the seeded lagged-Fibonacci state
+// behind a live generator is ~4.9 KB, which made eager seeding the
+// dominant allocator of whole-campaign profiles. Laziness is invisible
+// to determinism: the seed fully determines the stream whenever (and
+// whether) it is first needed.
 type Source struct {
 	rng       *rand.Rand
+	seed      int64
 	splitSeed uint64
 }
 
 // NewSource creates a Source from a seed.
 func NewSource(seed int64) *Source {
 	return &Source{
-		rng:       rand.New(rand.NewSource(seed)),
+		seed:      seed,
 		splitSeed: uint64(seed)*2862933555777941757 + 3037000493,
 	}
+}
+
+// r returns the underlying generator, materialising it on first use.
+func (s *Source) r() *rand.Rand {
+	if s.rng == nil {
+		s.rng = rand.New(newRandSource(s.seed))
+	}
+	return s.rng
 }
 
 // Split derives an independent child Source labelled by name. The same
@@ -319,40 +336,39 @@ func (s *Source) Split(label string) *Source {
 		h ^= uint64(label[i])
 		h *= prime64
 	}
-	seed := int64(h ^ s.splitSeed)
 	return &Source{
-		rng:       rand.New(rand.NewSource(seed)),
+		seed:      int64(h ^ s.splitSeed),
 		splitSeed: h*2862933555777941757 + s.splitSeed,
 	}
 }
 
 // Float64 returns a uniform value in [0,1).
-func (s *Source) Float64() float64 { return s.rng.Float64() }
+func (s *Source) Float64() float64 { return s.r().Float64() }
 
 // Intn returns a uniform int in [0,n).
-func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+func (s *Source) Intn(n int) int { return s.r().Intn(n) }
 
 // Int63n returns a uniform int64 in [0,n).
-func (s *Source) Int63n(n int64) int64 { return s.rng.Int63n(n) }
+func (s *Source) Int63n(n int64) int64 { return s.r().Int63n(n) }
 
 // NormFloat64 returns a standard normal deviate.
-func (s *Source) NormFloat64() float64 { return s.rng.NormFloat64() }
+func (s *Source) NormFloat64() float64 { return s.r().NormFloat64() }
 
 // ExpFloat64 returns an exponentially distributed value with rate 1.
-func (s *Source) ExpFloat64() float64 { return s.rng.ExpFloat64() }
+func (s *Source) ExpFloat64() float64 { return s.r().ExpFloat64() }
 
 // Perm returns a random permutation of [0,n).
-func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+func (s *Source) Perm(n int) []int { return s.r().Perm(n) }
 
 // Shuffle pseudo-randomizes the order of n elements using swap.
-func (s *Source) Shuffle(n int, swap func(i, j int)) { s.rng.Shuffle(n, swap) }
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.r().Shuffle(n, swap) }
 
 // Pareto returns a Pareto-distributed value with scale xm and shape alpha.
 // Heavy-tailed traffic contributions in the netflow generator use this.
 func (s *Source) Pareto(xm, alpha float64) float64 {
-	u := s.rng.Float64()
+	u := s.r().Float64()
 	for u == 0 {
-		u = s.rng.Float64()
+		u = s.r().Float64()
 	}
 	return xm / math.Pow(u, 1/alpha)
 }
@@ -360,5 +376,5 @@ func (s *Source) Pareto(xm, alpha float64) float64 {
 // LogNormal returns a log-normally distributed value with the given
 // parameters of the underlying normal.
 func (s *Source) LogNormal(mu, sigma float64) float64 {
-	return math.Exp(mu + sigma*s.rng.NormFloat64())
+	return math.Exp(mu + sigma*s.r().NormFloat64())
 }

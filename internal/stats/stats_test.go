@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -416,5 +417,53 @@ func TestSourceUniformHelpers(t *testing.T) {
 	}
 	if sum != 15 {
 		t.Errorf("Shuffle lost elements: %v", xs)
+	}
+}
+
+// TestFastSourceMatchesMathRand pins the replicated lagged-Fibonacci
+// source against math/rand across seeds and derived distributions: the
+// Split determinism contract depends on the streams being identical.
+func TestFastSourceMatchesMathRand(t *testing.T) {
+	if !fastSourceOK {
+		t.Skip("fast source disabled on this toolchain; Sources fall back to math/rand itself")
+	}
+	for _, seed := range []int64{0, 1, -1, 42, 987654321, -87654321, 1 << 62, -(1 << 55)} {
+		want := rand.New(rand.NewSource(seed))
+		got := rand.New(newRandSource(seed))
+		for i := 0; i < 200; i++ {
+			if w, g := want.Uint64(), got.Uint64(); w != g {
+				t.Fatalf("seed %d step %d: Uint64 %d != %d", seed, i, g, w)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			if w, g := want.Float64(), got.Float64(); w != g {
+				t.Fatalf("seed %d: Float64 %v != %v", seed, g, w)
+			}
+			if w, g := want.NormFloat64(), got.NormFloat64(); w != g {
+				t.Fatalf("seed %d: NormFloat64 %v != %v", seed, g, w)
+			}
+			if w, g := want.ExpFloat64(), got.ExpFloat64(); w != g {
+				t.Fatalf("seed %d: ExpFloat64 %v != %v", seed, g, w)
+			}
+			if w, g := want.Intn(1000), got.Intn(1000); w != g {
+				t.Fatalf("seed %d: Intn %d != %d", seed, g, w)
+			}
+		}
+	}
+}
+
+// TestFastSourceCacheHitIdentical re-requests a seed already in the state
+// cache and checks the stream is identical to a cold seeding.
+func TestFastSourceCacheHitIdentical(t *testing.T) {
+	if !fastSourceOK {
+		t.Skip("fast source disabled")
+	}
+	const seed = 192837465
+	cold := newRandSource(seed) // populates cache
+	warm := newRandSource(seed) // cache hit
+	for i := 0; i < 2000; i++ {
+		if c, w := cold.Uint64(), warm.Uint64(); c != w {
+			t.Fatalf("step %d: cold %d != warm %d", i, c, w)
+		}
 	}
 }

@@ -1,0 +1,50 @@
+//go:build amd64
+
+package vecmath
+
+// hasKernels reports whether the AVX2+FMA row kernels may run on this
+// CPU. FMA support is load-bearing twice over: the kernels replicate the
+// FMA instruction sequence of math.Exp's amd64 assembly, which that code
+// only takes when the CPU has AVX and FMA — so requiring both keeps the
+// vector and scalar paths on the *same* exp algorithm.
+var hasKernels = detectKernels()
+
+func detectKernels() bool {
+	// CPUID leaf 1: ECX bit 12 = FMA, bit 27 = OSXSAVE, bit 28 = AVX.
+	_, _, ecx1, _ := cpuid(1, 0)
+	const fma, osxsave, avx = 1 << 12, 1 << 27, 1 << 28
+	if ecx1&fma == 0 || ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1-2: the OS saves XMM and YMM state across context
+	// switches (without this, AVX registers are unusable in practice).
+	if xgetbv0()&0x6 != 0x6 {
+		return false
+	}
+	// CPUID leaf 7: EBX bit 5 = AVX2.
+	_, ebx7, _, _ := cpuid(7, 0)
+	return ebx7&(1<<5) != 0
+}
+
+// cpuid executes the CPUID instruction (implemented in assembly).
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register XCR0.
+func xgetbv0() uint64
+
+// jitterRow4 computes j[i] = Jitter(base, t0+i) for i in [0, n) with
+// n a positive multiple of 4. Lanes whose uniform value falls outside
+// the Acklam central branch are zeroed and their indices appended to
+// spill (which must have room for n entries); the return value is the
+// number of spilled lanes.
+func jitterRow4(j *float64, n int, base uint64, t0 int, spill *int32) int
+
+// accumRow4 performs acc[i] += (avg*prof[i])*j[i] for i in [0, n) with
+// n a positive multiple of 4.
+func accumRow4(acc, prof, j *float64, n int, avg float64)
+
+// jitterAccumRow4 fuses jitterRow4 and accumRow4 for the serial fold:
+// acc[i] += (avg*prof[i])*Jitter(base, t0+i) for central lanes, +0.0 for
+// spilled lanes (recorded in spill for the caller to patch). n must be a
+// positive multiple of 4.
+func jitterAccumRow4(acc, prof *float64, avg float64, n int, base uint64, t0 int, spill *int32) int

@@ -1,0 +1,145 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+)
+
+// TestJitterRowMatchesScalar is the package's load-bearing test: the SIMD
+// row kernel must reproduce the scalar chain bit-for-bit — including the
+// ~5% of lanes that fall into the Acklam tail branches and are spilled
+// back to scalar — across many streams and row offsets.
+func TestJitterRowMatchesScalar(t *testing.T) {
+	if !SIMDEnabled() {
+		t.Skip("no SIMD kernels on this machine; scalar path is the reference itself")
+	}
+	lengths := []int{1, 2, 3, 4, 5, 7, 8, 63, 64, 288, 1021, 8064}
+	bases := []uint64{0, 1, 0xDEADBEEF, 0x9E3779B97F4A7C15, 1 << 63, ^uint64(0)}
+	for _, n := range lengths {
+		for _, base := range bases {
+			for _, t0 := range []int{0, 1, 17, 8000} {
+				simd := make([]float64, n)
+				JitterRow(simd, base, t0)
+				for i := range simd {
+					want := Jitter(base, t0+i)
+					if math.Float64bits(simd[i]) != math.Float64bits(want) {
+						t.Fatalf("JitterRow(n=%d, base=%#x, t0=%d)[%d] = %x, scalar %x",
+							n, base, t0, i, simd[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestJitterRowManyStreams sweeps enough streams to hit every branch
+// combination within quads (all-central, mixed, all-tail is vanishingly
+// rare but the spill machinery is per-lane anyway).
+func TestJitterRowManyStreams(t *testing.T) {
+	if !SIMDEnabled() {
+		t.Skip("no SIMD kernels on this machine")
+	}
+	const n = 512
+	simd := make([]float64, n)
+	for s := 0; s < 400; s++ {
+		base := uint64(s)*0x9E3779B97F4A7C15 + 12345
+		JitterRow(simd, base, 0)
+		for i := range simd {
+			want := Jitter(base, i)
+			if math.Float64bits(simd[i]) != math.Float64bits(want) {
+				t.Fatalf("stream %d lane %d: simd %x scalar %x", s, i, simd[i], want)
+			}
+		}
+	}
+}
+
+// TestAccumRowMatchesScalar pins the accumulate kernel against the scalar
+// fold expression at every length and alignment.
+func TestAccumRowMatchesScalar(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 5, 16, 127, 288} {
+		prof := make([]float64, n)
+		j := make([]float64, n)
+		accSIMD := make([]float64, n)
+		accScalar := make([]float64, n)
+		for i := range prof {
+			prof[i] = 0.5 + float64(i%7)/13
+			j[i] = 0.9 + float64(i%11)/29
+			accSIMD[i] = float64(i) * 1e6
+			accScalar[i] = accSIMD[i]
+		}
+		avg := 3.75e8
+		AccumRow(accSIMD, prof, j, avg)
+		for i := range accScalar {
+			accScalar[i] += (avg * prof[i]) * j[i]
+		}
+		for i := range accSIMD {
+			if math.Float64bits(accSIMD[i]) != math.Float64bits(accScalar[i]) {
+				t.Fatalf("n=%d lane %d: simd %x scalar %x", n, i, accSIMD[i], accScalar[i])
+			}
+		}
+	}
+}
+
+// TestSetSIMDToggle checks the test knob: with SIMD forced off the row
+// kernel must still produce the same bits (it is the scalar loop then).
+func TestSetSIMDToggle(t *testing.T) {
+	was := SIMDEnabled()
+	defer SetSIMD(was)
+	const n = 288
+	base := uint64(0xABCDEF123456)
+	on := make([]float64, n)
+	JitterRow(on, base, 5)
+	SetSIMD(false)
+	if SIMDEnabled() {
+		t.Fatal("SetSIMD(false) left SIMD enabled")
+	}
+	off := make([]float64, n)
+	JitterRow(off, base, 5)
+	for i := range on {
+		if math.Float64bits(on[i]) != math.Float64bits(off[i]) {
+			t.Fatalf("lane %d: simd %x scalar %x", i, on[i], off[i])
+		}
+	}
+}
+
+// TestJitterAgainstMathExp pins the scalar chain itself against the
+// spelled-out composition, guarding accidental drift in Jitter.
+func TestJitterAgainstMathExp(t *testing.T) {
+	for i := 0; i < 10000; i++ {
+		base := uint64(i) * 0x9E3779B97F4A7C15
+		got := Jitter(base, i)
+		want := math.Exp(0.3 * NormFromUniform(Hash01(base, i)))
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("i=%d: %x vs %x", i, got, want)
+		}
+	}
+}
+
+// TestJitterAccumRowMatchesScalar pins the fused kernel against the
+// spelled-out scalar fold at many lengths, streams, and accumulator
+// states — including the spilled-lane patch ordering.
+func TestJitterAccumRowMatchesScalar(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 7, 64, 288, 1021} {
+		for s := 0; s < 40; s++ {
+			base := uint64(s)*0x9E3779B97F4A7C15 + 777
+			prof := make([]float64, n)
+			got := make([]float64, n)
+			want := make([]float64, n)
+			for i := range prof {
+				prof[i] = 0.5 + float64(i%9)/17
+				got[i] = float64(i) * 1e5
+				want[i] = got[i]
+			}
+			avg := 2.5e8
+			JitterAccumRow(got, prof, avg, base, 3)
+			for i := range want {
+				want[i] += (avg * prof[i]) * Jitter(base, 3+i)
+			}
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("n=%d stream=%d lane %d: fused %x scalar %x", n, s, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

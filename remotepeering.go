@@ -262,6 +262,29 @@ const (
 	BandIntercontinental = scenario.BandIntercontinental
 )
 
+// ScenarioStageMask marks the pipeline stages a scenario op invalidates;
+// the grid runner re-runs exactly the dirty stages of each cell and
+// reuses the baseline's artifacts for the clean ones (byte-identically —
+// set ScenarioOptions.NoReuse to force full reruns and see for yourself).
+type ScenarioStageMask = scenario.StageMask
+
+// Scenario pipeline stages.
+const (
+	ScenarioStageWorld   = scenario.StageWorld
+	ScenarioStageSpread  = scenario.StageSpread
+	ScenarioStageTraffic = scenario.StageTraffic
+	ScenarioStageOffload = scenario.StageOffload
+	ScenarioStageEcon    = scenario.StageEcon
+	ScenarioStageAll     = scenario.StageAll
+)
+
+// ScenarioOpStages reports the dirty-stage mask of an op, downstream
+// closure included — e.g. a TrafficScale dirties traffic, offload, and
+// econ, while a PortPrice cell skips straight to the economic verdict.
+func ScenarioOpStages(op ScenarioOp) ScenarioStageMask {
+	return scenario.OpStages(op)
+}
+
 // RunScenarios evaluates a what-if grid over the world: every cell clones
 // the world, applies its scenario's ops, re-runs the full pipeline (spread
 // study, traffic collection, offload analysis, economic model), and is

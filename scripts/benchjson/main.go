@@ -1,8 +1,13 @@
 // Command benchjson converts `go test -bench` output on stdin into the
 // BENCH_<n>.json schema of scripts/bench.sh: one record per benchmark
-// measurement with its name, iteration count, and every reported metric
-// (ns/op, B/op, allocs/op, and the b.ReportMetric custom units that carry
-// the reproduction's headline numbers).
+// name with its iteration count and every reported metric (ns/op, B/op,
+// allocs/op, and the b.ReportMetric custom units that carry the
+// reproduction's headline numbers).
+//
+// Repeated measurements of the same benchmark (a `-count` run) collapse
+// to the one with the smallest ns/op — the minimum is the standard
+// noise-floor estimator on shared machines, where interference only
+// ever adds time.
 package main
 
 import (
@@ -24,21 +29,28 @@ type record struct {
 
 // output is the BENCH_<n>.json document.
 type output struct {
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	CPU       string   `json:"cpu,omitempty"`
-	Benches   []record `json:"benchmarks"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	CPU       string `json:"cpu,omitempty"`
+	// GOMAXPROCS records the recording machine's parallelism: the
+	// Workers knobs clamp to it, so workers=N variants above it measure
+	// the clamped pool (scalecheck uses this to tell a real scaling
+	// check from a vacuous one).
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benches    []record `json:"benchmarks"`
 }
 
 func main() {
 	out := output{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	indexOf := map[string]int{}
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
@@ -67,9 +79,17 @@ func main() {
 			}
 			rec.Metrics[fields[i+1]] = v
 		}
-		if ok {
-			out.Benches = append(out.Benches, rec)
+		if !ok {
+			continue
 		}
+		if j, seen := indexOf[rec.Name]; seen {
+			if rec.Metrics["ns/op"] < out.Benches[j].Metrics["ns/op"] {
+				out.Benches[j] = rec
+			}
+			continue
+		}
+		indexOf[rec.Name] = len(out.Benches)
+		out.Benches = append(out.Benches, rec)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson: read:", err)

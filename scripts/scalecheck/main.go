@@ -1,0 +1,107 @@
+// Command scalecheck guards the parallel series kernels against the
+// inverse-scaling failure mode BENCH_2 caught: BenchmarkCollectTraffic
+// at workers=4 running *slower* than workers=2 because every worker
+// re-streamed the full entry slice per interval shard. It reads a
+// BENCH_<n>.json snapshot (scripts/bench.sh), groups benchmarks named
+// `<base>/workers=<n>`, and fails when workers=4 ns/op exceeds
+// workers=1 ns/op by more than the allowed ratio.
+//
+// Usage:
+//
+//	scalecheck [-max-ratio 1.10] [-require base1,base2] BENCH_3.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type benchFile struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Benches    []struct {
+		Name    string             `json:"name"`
+		Metrics map[string]float64 `json:"metrics"`
+	} `json:"benchmarks"`
+}
+
+func main() {
+	maxRatio := flag.Float64("max-ratio", 1.10, "maximum allowed workers=4 / workers=1 ns/op ratio")
+	require := flag.String("require", "", "comma-separated benchmark bases that must be present")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "scalecheck: usage: scalecheck [flags] BENCH_<n>.json")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scalecheck:", err)
+		os.Exit(2)
+	}
+	var bf benchFile
+	if err := json.Unmarshal(raw, &bf); err != nil {
+		fmt.Fprintln(os.Stderr, "scalecheck:", err)
+		os.Exit(2)
+	}
+
+	// nsop[base][workers] = ns/op
+	nsop := map[string]map[string]float64{}
+	for _, b := range bf.Benches {
+		base, workers, ok := strings.Cut(b.Name, "/workers=")
+		if !ok {
+			continue
+		}
+		// On GOMAXPROCS>1 machines go test suffixes benchmark names with
+		// "-<procs>" ("workers=4-8"); strip it so the workers key is the
+		// variant alone.
+		if i := strings.IndexByte(workers, '-'); i >= 0 {
+			workers = workers[:i]
+		}
+		if nsop[base] == nil {
+			nsop[base] = map[string]float64{}
+		}
+		nsop[base][workers] = b.Metrics["ns/op"]
+	}
+
+	if bf.GOMAXPROCS > 0 && bf.GOMAXPROCS < 4 {
+		// The Workers knobs clamp to GOMAXPROCS, so on a machine with
+		// fewer than 4 CPUs the workers=4 variant runs a clamped pool
+		// and the ratio below degenerates toward 1 — the check still
+		// guards against gross regressions (scheduling pathologies,
+		// accidental serialisation penalties) but cannot observe real
+		// 4-way scaling. Note it so a green run is read correctly.
+		fmt.Printf("note: snapshot recorded with GOMAXPROCS=%d; workers=4 ran a clamped pool\n", bf.GOMAXPROCS)
+	}
+	failed := false
+	checked := map[string]bool{}
+	for base, ws := range nsop {
+		w1, ok1 := ws["1"]
+		w4, ok4 := ws["4"]
+		if !ok1 || !ok4 || w1 <= 0 {
+			continue
+		}
+		checked[base] = true
+		ratio := w4 / w1
+		status := "ok"
+		if ratio > *maxRatio {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%-40s workers=1 %14.0f ns/op  workers=4 %14.0f ns/op  ratio %.3f  %s\n",
+			base, w1, w4, ratio, status)
+	}
+	if *require != "" {
+		for _, base := range strings.Split(*require, ",") {
+			if base = strings.TrimSpace(base); base != "" && !checked[base] {
+				fmt.Printf("%-40s missing workers=1/workers=4 measurements  FAIL\n", base)
+				failed = true
+			}
+		}
+	}
+	if failed {
+		fmt.Println("scalecheck: workers=4 must not run slower than workers=1 (the entry-major kernel keeps scaling monotonic)")
+		os.Exit(1)
+	}
+}
