@@ -12,7 +12,10 @@ package remotepeering
 // paper-vs-measured comparison.
 
 import (
+	"bytes"
 	"fmt"
+	"io"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"testing"
@@ -628,4 +631,90 @@ func BenchmarkCampaignSingleIXP(b *testing.B) {
 
 func durationMs(ms float64) time.Duration {
 	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// BenchmarkSnapshotRoundTrip measures the snapshot codec over the
+// paper-scale world and traffic dataset: one full Save (encode + CRC +
+// digest) and Load (verify + decode + rehydrate derived tables) per
+// iteration. The reported bytes metric is the file size — the cost of
+// feeding rpserve one warm start.
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	w, _, ds, _ := fixtures(b)
+	var size int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, &Snapshot{World: w, Dataset: ds}); err != nil {
+			b.Fatal(err)
+		}
+		size = buf.Len()
+		loaded, err := ReadSnapshot(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if loaded.World.Graph.Len() != w.Graph.Len() {
+			b.Fatal("loaded world lost networks")
+		}
+	}
+	b.ReportMetric(float64(size), "snapshot_bytes")
+}
+
+// BenchmarkServeWhatifCached measures the warm path of the query service:
+// an identical /v1/whatif query answered from the LRU result cache. The
+// cold evaluation is timed once during setup and reported alongside, so
+// the benchmark records the cache's speedup (the acceptance bar is ≥10×;
+// in practice it is three to four orders of magnitude).
+func BenchmarkServeWhatifCached(b *testing.B) {
+	w, err := GenerateWorld(WorldConfig{Seed: 1, LeafNetworks: 3000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, &Snapshot{World: w}); err != nil {
+		b.Fatal(err)
+	}
+	snap, err := ReadSnapshot(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewServer(ServeConfig{Snapshot: snap})
+	if err != nil {
+		b.Fatal(err)
+	}
+	handler := srv.Handler()
+	const url = "/v1/whatif?scenarios=cheap%3Dremoteprice%3A0.5%3Bsurge%3Dtraffic%3A1.4&days=6&intervals=96&k=3&greedy=8"
+	query := func() (string, int) {
+		req := httptest.NewRequest("GET", url, nil)
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		res := rec.Result()
+		body, _ := io.ReadAll(res.Body)
+		if res.StatusCode != 200 {
+			b.Fatalf("status %d: %s", res.StatusCode, body)
+		}
+		return res.Header.Get("X-Cache"), len(body)
+	}
+
+	coldStart := time.Now()
+	if cache, _ := query(); cache != "miss" {
+		b.Fatalf("first query X-Cache = %q, want miss", cache)
+	}
+	cold := time.Since(coldStart)
+
+	warmStart := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cache, _ := query(); cache != "hit" {
+			b.Fatalf("warm query X-Cache = %q, want hit", cache)
+		}
+	}
+	b.StopTimer()
+	warm := time.Since(warmStart) / time.Duration(b.N)
+	speedup := float64(cold) / float64(warm)
+	b.ReportMetric(float64(cold.Milliseconds()), "cold_ms")
+	b.ReportMetric(speedup, "speedup_x")
+	if speedup < 10 {
+		b.Errorf("cached query only %.1f× faster than cold (%v vs %v) — acceptance bar is 10×", speedup, warm, cold)
+	}
 }

@@ -22,6 +22,7 @@ var fatal = cli.Fataler("rpecon")
 
 func main() {
 	common := cli.CommonFlags()
+	snapFlags := cli.SnapshotFlags()
 	trafficSeed := flag.Int64("traffic-seed", 2, "traffic generation seed")
 	pP := flag.Float64("p", 1.0, "normalised transit price p")
 	pG := flag.Float64("g", 0.08, "direct peering per-IXP cost g")
@@ -35,18 +36,35 @@ func main() {
 	}
 	defer stopProfiles()
 
-	w, err := remotepeering.GenerateWorld(common.WorldConfig())
+	w, snap, err := snapFlags.ResolveWorld(common)
 	if err != nil {
 		fatal(err)
 	}
-	ds, err := remotepeering.CollectTraffic(w, remotepeering.TrafficConfig{Seed: *trafficSeed, Intervals: 288, Workers: *common.Workers})
+	var ds *remotepeering.TrafficDataset
+	if cli.DatasetMatches(snap, *trafficSeed, 288) {
+		ds = snap.Dataset
+	} else {
+		ds, err = remotepeering.CollectTraffic(w, remotepeering.TrafficConfig{Seed: *trafficSeed, Intervals: 288, Workers: *common.Workers})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	cones := remotepeering.NewConeCache()
+	if snap != nil && snap.Cones != nil {
+		cones = snap.Cones
+	}
+	study, err := remotepeering.NewOffloadStudyOptions(w, ds, remotepeering.OffloadOptions{Workers: *common.Workers, Cones: cones})
 	if err != nil {
 		fatal(err)
 	}
-	study, err := remotepeering.NewOffloadStudyOptions(w, ds, remotepeering.OffloadOptions{Workers: *common.Workers})
-	if err != nil {
-		fatal(err)
-	}
+	defer func() {
+		out := cli.MergeSnapshot(snap, w)
+		out.Dataset = ds
+		out.Cones = cones
+		if err := snapFlags.SaveSnapshot(out); err != nil {
+			fatal(err)
+		}
+	}()
 
 	fmt.Println("# Section 5 — economic viability of remote peering")
 	fmt.Println()

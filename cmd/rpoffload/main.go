@@ -20,6 +20,7 @@ var fatal = cli.Fataler("rpoffload")
 
 func main() {
 	common := cli.CommonFlags()
+	snapFlags := cli.SnapshotFlags()
 	trafficSeed := flag.Int64("traffic-seed", 2, "traffic generation seed")
 	intervals := flag.Int("intervals", 0, "5-minute intervals (0 = full month)")
 	only := flag.String("only", "", "comma-separated subset: fig5a,fig5b,fig6,fig7,fig8,fig9,fig10")
@@ -32,18 +33,37 @@ func main() {
 	show := cli.Selector(*only)
 
 	start := time.Now()
-	w, err := remotepeering.GenerateWorld(common.WorldConfig())
+	w, snap, err := snapFlags.ResolveWorld(common)
 	if err != nil {
 		fatal(err)
 	}
-	ds, err := remotepeering.CollectTraffic(w, remotepeering.TrafficConfig{Seed: *trafficSeed, Intervals: *intervals, Workers: *common.Workers})
+	var ds *remotepeering.TrafficDataset
+	if cli.DatasetMatches(snap, *trafficSeed, *intervals) {
+		// The snapshot carries this exact dataset (and possibly its
+		// synthesised series cache): skip the month of collection.
+		ds = snap.Dataset
+	} else {
+		ds, err = remotepeering.CollectTraffic(w, remotepeering.TrafficConfig{Seed: *trafficSeed, Intervals: *intervals, Workers: *common.Workers})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	cones := remotepeering.NewConeCache()
+	if snap != nil && snap.Cones != nil {
+		cones = snap.Cones
+	}
+	study, err := remotepeering.NewOffloadStudyOptions(w, ds, remotepeering.OffloadOptions{Workers: *common.Workers, Cones: cones})
 	if err != nil {
 		fatal(err)
 	}
-	study, err := remotepeering.NewOffloadStudyOptions(w, ds, remotepeering.OffloadOptions{Workers: *common.Workers})
-	if err != nil {
-		fatal(err)
-	}
+	defer func() {
+		out := cli.MergeSnapshot(snap, w)
+		out.Dataset = ds
+		out.Cones = cones
+		if err := snapFlags.SaveSnapshot(out); err != nil {
+			fatal(err)
+		}
+	}()
 	in, out := ds.TransitTotals()
 	fmt.Printf("# offload study: %d transit networks, %.2f Gbps in / %.2f Gbps out, %d potential peers (%.1fs)\n\n",
 		len(ds.TransitEntries()), in/1e9, out/1e9, study.PotentialPeerCount(), time.Since(start).Seconds())

@@ -1,0 +1,95 @@
+// Command rpserve is the long-lived query side of the reproduction: it
+// loads a snapshot (built with rpworld/rpoffload/rpspread -save) once and
+// serves the /v1 JSON API — world summary, spread study, offload
+// analysis, and concurrent what-if scenario grids with request
+// deduplication and an LRU result cache — until SIGTERM/SIGINT, then
+// shuts down gracefully.
+//
+// Usage:
+//
+//	rpworld -seed 1 -save world.rpsnap
+//	rpserve -snapshot world.rpsnap -listen :8080 &
+//	curl 'localhost:8080/v1/world'
+//	curl 'localhost:8080/v1/whatif?scenarios=ams-outage%3Doutage%3AAMS-IX'
+//
+// Endpoints:
+//
+//	GET  /v1/world         snapshot summary (digest, sizes, layers)
+//	GET  /v1/spread        Section 3 campaign summary  [seed, days]
+//	GET  /v1/offload       Section 4 analysis          [group, k, greedy, traffic-seed, intervals]
+//	GET  /v1/whatif        scenario grid (also POST with a JSON body)
+//	                       [scenarios, seeds, measure-seed, traffic-seed, k, greedy, intervals, days]
+//	GET  /v1/report/{id}   a previously computed response by content id
+//
+// Identical queries against the same snapshot are answered from the
+// result cache in microseconds; identical *concurrent* queries coalesce
+// onto one computation. Abandoned requests cancel their evaluation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"remotepeering"
+	"remotepeering/internal/cli"
+	"remotepeering/internal/serve"
+)
+
+var fatal = cli.Fataler("rpserve")
+
+func main() {
+	listen := flag.String("listen", ":8080", "listen address")
+	snapPath := flag.String("snapshot", "", "snapshot file to serve (required; build with rpworld -save)")
+	maxInflight := flag.Int("max-inflight", 4, "maximum concurrently evaluating requests (others queue)")
+	cacheMB := flag.Int("cache-mb", 64, "result-cache budget in MiB (negative disables)")
+	workers := flag.Int("workers", 0, "worker bound per evaluation (0 = one per CPU; results identical for any value)")
+	flag.Parse()
+	if *snapPath == "" {
+		fatal(fmt.Errorf("missing -snapshot (build one with: rpworld -save world.rpsnap)"))
+	}
+
+	start := time.Now()
+	snap, err := remotepeering.LoadSnapshot(*snapPath)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := serve.New(serve.Config{
+		Snapshot:    snap,
+		MaxInflight: *maxInflight,
+		CacheMB:     *cacheMB,
+		Workers:     *workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "rpserve: loaded %s in %.2fs (digest %s, %d networks, dataset=%v spread=%v)\n",
+		*snapPath, time.Since(start).Seconds(), snap.Digest[:12],
+		snap.World.Graph.Len(), snap.Dataset != nil, snap.Spread != nil)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "rpserve: listening on %s\n", *listen)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "rpserve: shutting down (draining in-flight requests)")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "rpserve: bye")
+	}
+}

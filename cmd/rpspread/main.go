@@ -23,6 +23,7 @@ var fatal = cli.Fataler("rpspread")
 
 func main() {
 	common := cli.CommonFlags()
+	snapFlags := cli.SnapshotFlags()
 	measureSeed := flag.Int64("measure-seed", 2, "measurement-side seed")
 	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig3,fig4a,fig4b,validate")
 	flag.Parse()
@@ -34,12 +35,24 @@ func main() {
 	show := cli.Selector(*only)
 
 	start := time.Now()
-	w, err := remotepeering.GenerateWorld(common.WorldConfig())
+	w, snap, err := snapFlags.ResolveWorld(common)
 	if err != nil {
 		fatal(err)
 	}
-	res, err := remotepeering.RunSpreadStudy(w, remotepeering.SpreadOptions{Seed: *measureSeed, Workers: *common.Workers})
-	if err != nil {
+	var res *remotepeering.SpreadResult
+	if snap != nil && snap.Spread != nil && snap.Spread.Seed == *measureSeed {
+		// The snapshot carries this exact campaign: the rehydrated report
+		// is byte-identical to a re-run, minus the four-month simulation.
+		res = snap.Spread
+	} else {
+		res, err = remotepeering.RunSpreadStudy(w, remotepeering.SpreadOptions{Seed: *measureSeed, Workers: *common.Workers})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	out := cli.MergeSnapshot(snap, w)
+	out.Spread = res
+	if err := snapFlags.SaveSnapshot(out); err != nil {
 		fatal(err)
 	}
 	rep := res.Report

@@ -8,7 +8,12 @@
 //
 //	rpwhatif [-seed N] [-leaves N] [-workers N] \
 //	         [-scenarios "name=op,op;name=op"] [-seeds 0,1] \
-//	         [-k N] [-greedy N] [-days N] [-intervals N] [-csv]
+//	         [-k N] [-greedy N] [-days N] [-intervals N] [-csv] [-json] \
+//	         [-load world.rpsnap] [-save world.rpsnap]
+//
+// -json emits the same stable rendering rpserve's /v1/whatif embeds, so a
+// batch run and a server response diff cleanly. -load evaluates the grid
+// over a snapshot world instead of regenerating.
 //
 // Ops: outage:<IXP>, latency:<all|city|country|continent>:<deltaMs>,
 // churn:<IXP>:<join>:<leave>, traffic:<factor>, diurnal:<hours>,
@@ -48,6 +53,8 @@ func main() {
 	days := flag.Int("days", 0, "campaign length in days (0 = world default)")
 	intervals := flag.Int("intervals", 0, "5-minute traffic intervals per cell (0 = full month)")
 	csvOut := flag.Bool("csv", false, "emit CSV instead of the text table")
+	jsonOut := flag.Bool("json", false, "emit the stable JSON rendering (shared with rpserve /v1/whatif)")
+	snapFlags := cli.SnapshotFlags()
 	flag.Parse()
 	stopProfiles, err := common.StartProfiles()
 	if err != nil {
@@ -64,7 +71,7 @@ func main() {
 	}
 
 	start := time.Now()
-	w, err := remotepeering.GenerateWorld(common.WorldConfig())
+	w, snap, err := snapFlags.ResolveWorld(common)
 	if err != nil {
 		fatal(err)
 	}
@@ -79,17 +86,28 @@ func main() {
 	if *days > 0 {
 		opts.Campaign.Duration = time.Duration(*days) * 24 * time.Hour
 	}
+	if snap != nil && snap.Cones != nil {
+		opts.Cones = snap.Cones
+	}
 	report, err := remotepeering.RunScenarios(w, grid, opts)
 	if err != nil {
 		fatal(err)
 	}
+	if err := snapFlags.SaveSnapshot(cli.MergeSnapshot(snap, w)); err != nil {
+		fatal(err)
+	}
 
-	if *csvOut {
+	switch {
+	case *csvOut:
 		if err := report.WriteCSV(os.Stdout); err != nil {
 			fatal(err)
 		}
-		return
+	case *jsonOut:
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Print(report.Text())
+		fmt.Printf("\n%d cells in %.1fs\n", len(report.Cells), time.Since(start).Seconds())
 	}
-	fmt.Print(report.Text())
-	fmt.Printf("\n%d cells in %.1fs\n", len(report.Cells), time.Since(start).Seconds())
 }

@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	rpworld [-seed N] [-leaves N] [-ixp ACRONYM]
+//	rpworld [-seed N] [-leaves N] [-ixp ACRONYM] [-save world.rpsnap] [-load world.rpsnap]
+//
+// -save persists the generated world as a snapshot for rpserve and the
+// other tools' -load flags; -load inspects an existing snapshot instead
+// of regenerating.
 package main
 
 import (
@@ -19,6 +23,7 @@ var fatal = cli.Fataler("rpworld")
 
 func main() {
 	common := cli.CommonFlags()
+	snapFlags := cli.SnapshotFlags()
 	ixp := flag.String("ixp", "", "show membership detail for one IXP acronym")
 	flag.Parse()
 	stopProfiles, err := common.StartProfiles()
@@ -27,8 +32,11 @@ func main() {
 	}
 	defer stopProfiles()
 
-	w, err := remotepeering.GenerateWorld(common.WorldConfig())
+	w, _, err := snapFlags.ResolveWorld(common)
 	if err != nil {
+		fatal(err)
+	}
+	if err := snapFlags.SaveSnapshot(&remotepeering.Snapshot{World: w}); err != nil {
 		fatal(err)
 	}
 

@@ -13,6 +13,8 @@ import (
 	"strconv"
 	"strings"
 
+	"remotepeering/internal/netflow"
+	"remotepeering/internal/snapshot"
 	"remotepeering/internal/worldgen"
 )
 
@@ -92,6 +94,88 @@ func (c Common) StartProfiles() (stop func(), err error) {
 // GenerateWorld directly.
 func (c Common) WorldConfig() worldgen.Config {
 	return worldgen.Config{Seed: *c.Seed, LeafNetworks: *c.Leaves, Workers: *c.Workers}
+}
+
+// Snapshot holds the -save/-load flags every rp* tool shares: -load
+// rehydrates the world (and whatever heavier artifacts the file carries)
+// instead of regenerating, -save persists the run's artifacts for rpserve
+// and later runs.
+type Snapshot struct {
+	Save *string
+	Load *string
+}
+
+// SnapshotFlags registers -save and -load on the default flag set.
+func SnapshotFlags() Snapshot {
+	return Snapshot{
+		Save: flag.String("save", "", "write a snapshot of this run's artifacts to the given path"),
+		Load: flag.String("load", "", "load the world (and any heavier artifacts) from a snapshot instead of regenerating"),
+	}
+}
+
+// ResolveWorld returns the tool's world: the snapshot's when -load was
+// given (alongside the full snapshot, so tools can reuse its dataset or
+// campaign), a freshly generated one otherwise. When loading, the
+// world-shape flags (-seed, -leaves) are ignored — the snapshot is the
+// source of truth — and a note goes to stderr if they were set to
+// non-defaults, so a surprising combination is at least visible.
+func (s Snapshot) ResolveWorld(c Common) (*worldgen.World, *snapshot.Snapshot, error) {
+	if *s.Load == "" {
+		w, err := worldgen.Generate(c.WorldConfig())
+		return w, nil, err
+	}
+	snap, err := snapshot.LoadFile(*s.Load)
+	if err != nil {
+		return nil, nil, err
+	}
+	if *c.Seed != 1 || *c.Leaves != 0 {
+		fmt.Fprintf(os.Stderr, "note: -load given; ignoring -seed/-leaves (snapshot world has seed %d, %d leaves)\n",
+			snap.World.Cfg.Seed, snap.World.Cfg.LeafNetworks)
+	}
+	return snap.World, snap, nil
+}
+
+// DatasetMatches reports whether a loaded snapshot carries a dataset that
+// satisfies a request for (trafficSeed, intervals) — with intervals 0
+// meaning the full paper month, exactly as the tools' -intervals flags
+// document. Centralising the predicate keeps "0 = full month" from
+// silently accepting a short-run dataset in one tool but not another.
+func DatasetMatches(snap *snapshot.Snapshot, trafficSeed int64, intervals int) bool {
+	if snap == nil || snap.Dataset == nil {
+		return false
+	}
+	if intervals == 0 {
+		intervals = netflow.DefaultIntervals
+	}
+	return snap.Dataset.Cfg.Seed == trafficSeed && snap.Dataset.Cfg.Intervals == intervals
+}
+
+// MergeSnapshot starts a -save payload from the loaded snapshot's layers
+// — so `-load x -save x` never silently strips artifacts a previous tool
+// paid for — and the caller overlays whatever this run (re)computed. The
+// loaded layers are kept only when the world being saved is the loaded
+// world itself (they describe no other world).
+func MergeSnapshot(loaded *snapshot.Snapshot, w *worldgen.World) *snapshot.Snapshot {
+	out := &snapshot.Snapshot{World: w}
+	if loaded != nil && loaded.World == w {
+		out.Dataset = loaded.Dataset
+		out.Spread = loaded.Spread
+		out.Cones = loaded.Cones
+	}
+	return out
+}
+
+// SaveSnapshot writes the snapshot if -save was given, reporting the path
+// and digest to stderr so pipelines can log provenance.
+func (s Snapshot) SaveSnapshot(snap *snapshot.Snapshot) error {
+	if *s.Save == "" {
+		return nil
+	}
+	if err := snapshot.SaveFile(*s.Save, snap); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "snapshot: wrote %s (digest %s)\n", *s.Save, snap.Digest)
+	return nil
 }
 
 // Fataler returns the tool's fatal-error reporter: it prints

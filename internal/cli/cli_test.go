@@ -3,6 +3,11 @@ package cli
 import (
 	"reflect"
 	"testing"
+
+	"remotepeering/internal/netflow"
+	"remotepeering/internal/offload"
+	"remotepeering/internal/snapshot"
+	"remotepeering/internal/worldgen"
 )
 
 func TestSelector(t *testing.T) {
@@ -38,5 +43,53 @@ func TestWorldConfig(t *testing.T) {
 	cfg := c.WorldConfig()
 	if cfg.Seed != 9 || cfg.LeafNetworks != 1234 || cfg.Workers != 4 {
 		t.Fatalf("unexpected config %+v", cfg)
+	}
+}
+
+// TestDatasetMatches pins the "-intervals 0 means the full paper month"
+// semantics of snapshot reuse: a short-run dataset must never satisfy a
+// full-month request, and vice versa.
+func TestDatasetMatches(t *testing.T) {
+	mk := func(seed int64, intervals int) *snapshot.Snapshot {
+		return &snapshot.Snapshot{Dataset: &netflow.Dataset{Cfg: netflow.Config{Seed: seed, Intervals: intervals}}}
+	}
+	if DatasetMatches(nil, 2, 0) || DatasetMatches(&snapshot.Snapshot{}, 2, 0) {
+		t.Error("empty snapshots must not match")
+	}
+	if DatasetMatches(mk(2, 288), 2, 0) {
+		t.Error("a 288-interval dataset must not satisfy the full-month default")
+	}
+	if !DatasetMatches(mk(2, netflow.DefaultIntervals), 2, 0) {
+		t.Error("a full-month dataset must satisfy the full-month default")
+	}
+	if !DatasetMatches(mk(2, 288), 2, 288) {
+		t.Error("an exact intervals match must succeed")
+	}
+	if DatasetMatches(mk(3, 288), 2, 288) {
+		t.Error("a seed mismatch must fail")
+	}
+}
+
+// TestMergeSnapshot pins that -load x -save x keeps the loaded layers
+// (for the same world) instead of silently stripping them, and drops
+// them when the world being saved is not the loaded one.
+func TestMergeSnapshot(t *testing.T) {
+	w := &worldgen.World{}
+	loaded := &snapshot.Snapshot{
+		World:   w,
+		Dataset: &netflow.Dataset{},
+		Cones:   offload.NewConeCache(),
+	}
+	out := MergeSnapshot(loaded, w)
+	if out.Dataset != loaded.Dataset || out.Cones != loaded.Cones {
+		t.Error("merge over the loaded world must keep its layers")
+	}
+	other := &worldgen.World{}
+	out = MergeSnapshot(loaded, other)
+	if out.Dataset != nil || out.Cones != nil {
+		t.Error("merge over a different world must not carry foreign layers")
+	}
+	if out = MergeSnapshot(nil, w); out.World != w || out.Dataset != nil {
+		t.Error("merge without a loaded snapshot is world-only")
 	}
 }

@@ -50,6 +50,13 @@ type SimIXP struct {
 // IsRemote returns the ground truth for a target address.
 func (s *SimIXP) IsRemote(ip netip.Addr) bool { return s.truth[ip] }
 
+// TruthMap exposes the simulation's ground-truth table (target IP →
+// remoteness). The campaign layer retains it after the simulation engine
+// is gone — it is the only part of a SimIXP that outlives the run — so
+// validation and snapshot persistence need the table, not the simulator.
+// Callers must treat the map as read-only.
+func (s *SimIXP) TruthMap() map[netip.Addr]bool { return s.truth }
+
 // MemberNode returns the node answering for a target address (for the
 // misdirected hazard this is the far host, not a LAN member). Nil when the
 // address is unknown.

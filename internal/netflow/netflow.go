@@ -19,6 +19,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"remotepeering/internal/asindex"
@@ -62,9 +63,15 @@ const (
 	DefaultOutboundBps = 4.5e9
 )
 
+// DefaultIntervals is the full paper month (28 days × 288 five-minute
+// samples) that a zero Config.Intervals resolves to. Exported so snapshot
+// consumers can decide whether a persisted dataset satisfies an
+// "intervals 0 = full month" request.
+const DefaultIntervals = 8064
+
 func (c Config) withDefaults() Config {
 	if c.Intervals == 0 {
-		c.Intervals = 8064
+		c.Intervals = DefaultIntervals
 	}
 	if c.IntervalLength == 0 {
 		c.IntervalLength = 5 * time.Minute
@@ -129,9 +136,13 @@ type Dataset struct {
 	// allSeriesOnce/allInCache/allOutCache hold the full-transit series —
 	// synthesised at most once per dataset (the dataset is immutable, so
 	// the cache is never invalidated); Series* calls hand out copies.
-	allSeriesOnce sync.Once
-	allInCache    []float64
-	allOutCache   []float64
+	// allSeriesReady flips (atomically, after the caches are filled) so
+	// the snapshot layer can ask "is the month cached?" without running
+	// the synthesis itself.
+	allSeriesOnce  sync.Once
+	allSeriesReady atomic.Bool
+	allInCache     []float64
+	allOutCache    []float64
 	// memoMu/seriesMemo is the bounded memo of set-query series, FIFO
 	// evicted; hits cost two copies instead of a month of synthesis.
 	memoMu     sync.Mutex
@@ -245,15 +256,22 @@ func Collect(w *worldgen.World, cfg Config) (*Dataset, error) {
 		ds.Entries[i].AvgOutBps *= outScale
 	}
 
-	// Transient accounting for Figure 6: every AS strictly inside a path
-	// carries that flow as an intermediary. The accumulation merges
-	// per-block partial maps in fixed block order, so the floating-point
-	// sums are bit-identical for every worker count.
+	ds.buildTransient(cfg.Workers)
+	return ds, nil
+}
+
+// buildTransient fills the Figure 6 transient accounting from the entry
+// table: every AS strictly inside a path carries that flow as an
+// intermediary. The accumulation merges per-block partial maps in fixed
+// block order, so the floating-point sums are bit-identical for every
+// worker count — and for a rehydrated dataset, bit-identical to the ones
+// Collect computed before the snapshot was written.
+func (ds *Dataset) buildTransient(workers int) {
 	type transientMaps struct {
 		total, in, out map[topo.ASN]float64
 	}
 	blocks := parallel.Blocks(len(ds.Entries), 512)
-	parts := parallel.Map(cfg.Workers, len(blocks), func(bi int) transientMaps {
+	parts := parallel.Map(workers, len(blocks), func(bi int) transientMaps {
 		r := blocks[bi]
 		p := transientMaps{
 			total: make(map[topo.ASN]float64),
@@ -280,7 +298,73 @@ func Collect(w *worldgen.World, cfg Config) (*Dataset, error) {
 			ds.transOut[a] += v
 		}
 	}
+}
+
+// Rehydrate rebuilds a Dataset around its persisted core — the effective
+// collection config and the entry table — without re-running Collect's
+// candidate ranking or RIB computation. The derived tables (ASN lookup,
+// transient accounting) are recomputed with the same fold order Collect
+// uses, so every query over the rehydrated dataset is byte-identical to
+// the same query over the original. The entry slice is adopted, not
+// copied; the caller must not mutate it afterwards.
+func Rehydrate(w *worldgen.World, cfg Config, entries []Entry) (*Dataset, error) {
+	if w == nil {
+		return nil, fmt.Errorf("netflow: nil world")
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("netflow: negative Workers %d (use 0 for one per CPU)", cfg.Workers)
+	}
+	cfg = cfg.withDefaults()
+	ix := w.Index
+	if ix == nil {
+		ix = asindex.New(w.Graph.ASNs())
+	}
+	ds := &Dataset{
+		Cfg:         cfg,
+		Entries:     entries,
+		byASN:       make(map[topo.ASN]int, len(entries)),
+		transient:   make(map[topo.ASN]float64),
+		transientIn: make(map[topo.ASN]float64),
+		transOut:    make(map[topo.ASN]float64),
+		seed:        cfg.Seed,
+		ix:          ix,
+	}
+	for i, e := range entries {
+		if _, ok := ix.ID(e.ASN); !ok {
+			return nil, fmt.Errorf("netflow: entry ASN %d not in world index", e.ASN)
+		}
+		ds.byASN[e.ASN] = i
+	}
+	ds.buildTransient(cfg.Workers)
 	return ds, nil
+}
+
+// AllTransitSeriesCached returns copies of the all-transit series if this
+// dataset has already synthesised them, without triggering the synthesis
+// — the save-side hook of the snapshot layer (persist the month only when
+// it has been paid for).
+func (d *Dataset) AllTransitSeriesCached() (in, out []float64, ok bool) {
+	if !d.allSeriesReady.Load() {
+		return nil, nil, false
+	}
+	return copySeries(d.allInCache), copySeries(d.allOutCache), true
+}
+
+// PrimeAllTransitSeries installs a previously synthesised all-transit
+// series into the per-dataset cache — the load-side hook of the snapshot
+// layer. It is a no-op when the cache is already warm (the synthesised
+// series wins; the two are bit-identical by the snapshot's round-trip
+// guarantee). Series length must match the dataset's month.
+func (d *Dataset) PrimeAllTransitSeries(in, out []float64) error {
+	if len(in) != d.Cfg.Intervals || len(out) != d.Cfg.Intervals {
+		return fmt.Errorf("netflow: series length %d/%d does not match %d intervals", len(in), len(out), d.Cfg.Intervals)
+	}
+	d.allSeriesOnce.Do(func() {
+		d.allInCache = copySeries(in)
+		d.allOutCache = copySeries(out)
+		d.allSeriesReady.Store(true)
+	})
+	return nil
 }
 
 // contributionWeight ranks networks for contribution assignment: content
@@ -555,6 +639,7 @@ func (d *Dataset) transitIdx() []int32 {
 func (d *Dataset) seriesAll() (in, out []float64) {
 	d.allSeriesOnce.Do(func() {
 		d.allInCache, d.allOutCache = d.seriesOver(d.transitIdx())
+		d.allSeriesReady.Store(true)
 	})
 	return copySeries(d.allInCache), copySeries(d.allOutCache)
 }

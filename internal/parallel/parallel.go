@@ -23,6 +23,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -78,6 +79,76 @@ func ForEach(workers, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done,
+// workers stop picking up new indices and the call returns ctx.Err()
+// after every in-flight fn returns (so there are no goroutine leaks and
+// no fn still running when the caller resumes). A nil return still
+// guarantees every index ran exactly once; a non-nil return means the
+// results are partial and must be discarded — which is what MapErrCtx
+// does on the caller's behalf.
+//
+// The long-lived query service is the motivating caller: an abandoned
+// HTTP request cancels its context and the grid cells it was burning stop
+// promptly instead of running the campaign to completion.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	done := ctx.Done()
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// MapErrCtx is MapErr with cooperative cancellation. On cancellation it
+// returns ctx.Err(); otherwise shards report as in MapErr (the error at
+// the smallest index wins, independent of scheduling).
+func MapErrCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	if err := ForEachCtx(ctx, workers, n, func(i int) { out[i], errs[i] = fn(i) }); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // Map computes fn(i) for every i in [0,n) and returns the results in index

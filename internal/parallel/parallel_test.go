@@ -1,11 +1,14 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
 	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"remotepeering/internal/stats"
 )
@@ -203,5 +206,65 @@ func TestPerShardSeedingConsumptionIndependent(t *testing.T) {
 	c := split(stats.NewSource(42))
 	if c[0].Float64() == c[1].Float64() {
 		t.Error("adjacent shards produced identical first draws")
+	}
+}
+
+// TestForEachCtxCancellation pins the service-facing contract: a context
+// cancelled mid-fan-out makes ForEachCtx return ctx.Err() promptly, with
+// every in-flight shard finished and no goroutine left behind.
+func TestForEachCtxCancellation(t *testing.T) {
+	const n = 1_000_000
+	ctx, cancel := context.WithCancel(context.Background())
+	var started, finished atomic.Int64
+	baseline := runtime.NumGoroutine()
+	err := ForEachCtx(ctx, 4, n, func(i int) {
+		if started.Add(1) == 8 {
+			cancel() // fire after a handful of cells
+		}
+		finished.Add(1)
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := finished.Load(); got != started.Load() {
+		t.Errorf("%d shards started but only %d finished before return", started.Load(), got)
+	}
+	if got := started.Load(); got >= n {
+		t.Errorf("cancellation did not stop the fan-out early (ran all %d cells)", got)
+	}
+	// The pool must not leak workers: poll briefly for the goroutine count
+	// to settle back to the pre-call level.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > baseline {
+		t.Errorf("goroutines leaked: %d running, baseline %d", got, baseline)
+	}
+}
+
+// TestForEachCtxCompletesWithoutCancel pins that a never-cancelled context
+// changes nothing: all indices run exactly once and the error is nil.
+func TestForEachCtxCompletesWithoutCancel(t *testing.T) {
+	const n = 500
+	hits := make([]atomic.Int32, n)
+	if err := ForEachCtx(context.Background(), 3, n, func(i int) { hits[i].Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d ran %d times", i, hits[i].Load())
+		}
+	}
+}
+
+// TestMapErrCtxCancelled pins that MapErrCtx surfaces the context error
+// rather than a shard error once cancelled.
+func TestMapErrCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := MapErrCtx(ctx, 2, 64, func(i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

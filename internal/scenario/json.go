@@ -1,0 +1,128 @@
+package scenario
+
+// The stable JSON rendering of a Report: the third output format next to
+// Text and WriteCSV, shared verbatim by cmd/rpwhatif's -json flag and the
+// query service's /v1/whatif endpoint — which is what lets CI diff a
+// server response against a batch run byte-for-byte. The schema is a
+// fixed-field mirror of Metrics/Delta (never a map), so equal reports
+// produce equal bytes, and the golden test pins the encoding.
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// MetricsJSON is the stable JSON shape of one cell's absolute numbers.
+type MetricsJSON struct {
+	Observations   int     `json:"observations"`
+	AnalyzedIfaces int     `json:"analyzed_ifaces"`
+	DetectedRemote int     `json:"detected_remote"`
+	Band1020       int     `json:"band_10_20ms"`
+	Band2050       int     `json:"band_20_50ms"`
+	Band50         int     `json:"band_50ms"`
+	PotentialPeers int     `json:"potential_peers"`
+	CoveredNets    int     `json:"covered_nets"`
+	OffloadedFrac  float64 `json:"offloaded_frac"`
+	FittedB        float64 `json:"fitted_b"`
+	Viable         bool    `json:"viable"`
+}
+
+// DeltaJSON is the stable JSON shape of a cell's movement vs baseline.
+type DeltaJSON struct {
+	DetectedRemote int     `json:"detected_remote"`
+	Band1020       int     `json:"band_10_20ms"`
+	Band2050       int     `json:"band_20_50ms"`
+	Band50         int     `json:"band_50ms"`
+	CoveredNets    int     `json:"covered_nets"`
+	OffloadedFrac  float64 `json:"offloaded_frac"`
+	FittedB        float64 `json:"fitted_b"`
+	ViableFlipped  bool    `json:"viable_flipped"`
+}
+
+// CellJSON is one grid cell with its baseline delta.
+type CellJSON struct {
+	Scenario   string      `json:"scenario"`
+	SeedOffset int64       `json:"seed_offset"`
+	Ops        string      `json:"ops,omitempty"`
+	Metrics    MetricsJSON `json:"metrics"`
+	Delta      DeltaJSON   `json:"delta"`
+}
+
+// ReportJSON is the full stable JSON shape of a grid run.
+type ReportJSON struct {
+	CoverageIXPs int         `json:"coverage_ixps"`
+	GreedyIXPs   int         `json:"greedy_ixps"`
+	Baseline     MetricsJSON `json:"baseline"`
+	Cells        []CellJSON  `json:"cells"`
+}
+
+func metricsJSON(m Metrics) MetricsJSON {
+	return MetricsJSON{
+		Observations:   m.Observations,
+		AnalyzedIfaces: m.AnalyzedIfaces,
+		DetectedRemote: m.DetectedRemote,
+		Band1020:       m.BandCounts[0],
+		Band2050:       m.BandCounts[1],
+		Band50:         m.BandCounts[2],
+		PotentialPeers: m.PotentialPeers,
+		CoveredNets:    m.CoveredNets,
+		OffloadedFrac:  m.OffloadedFrac,
+		FittedB:        m.FittedB,
+		Viable:         m.Viable,
+	}
+}
+
+func deltaJSON(d Delta) DeltaJSON {
+	return DeltaJSON{
+		DetectedRemote: d.DetectedRemote,
+		Band1020:       d.BandCounts[0],
+		Band2050:       d.BandCounts[1],
+		Band50:         d.BandCounts[2],
+		CoveredNets:    d.CoveredNets,
+		OffloadedFrac:  d.OffloadedFrac,
+		FittedB:        d.FittedB,
+		ViableFlipped:  d.ViableFlipped,
+	}
+}
+
+// JSONReport converts the report to its stable JSON shape. Callers that
+// embed the report inside a larger response (the serve layer) marshal
+// this; callers that want bytes use JSON or WriteJSON.
+func (r *Report) JSONReport() ReportJSON {
+	out := ReportJSON{
+		CoverageIXPs: r.CoverageIXPs,
+		GreedyIXPs:   r.GreedyIXPs,
+		Baseline:     metricsJSON(r.Baseline),
+		Cells:        make([]CellJSON, 0, len(r.Cells)),
+	}
+	for _, c := range r.Cells {
+		out.Cells = append(out.Cells, CellJSON{
+			Scenario:   c.Scenario,
+			SeedOffset: c.SeedOffset,
+			Ops:        c.Ops,
+			Metrics:    metricsJSON(c.Metrics),
+			Delta:      deltaJSON(c.Diff(r.Baseline)),
+		})
+	}
+	return out
+}
+
+// JSON returns the indented stable rendering with a trailing newline —
+// the exact bytes cmd/rpwhatif -json prints and the golden test pins.
+func (r *Report) JSON() ([]byte, error) {
+	buf, err := json.MarshalIndent(r.JSONReport(), "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// WriteJSON writes the stable rendering to w.
+func (r *Report) WriteJSON(w io.Writer) error {
+	buf, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}

@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"remotepeering/internal/core"
@@ -76,6 +78,14 @@ type Options struct {
 	// byte-identical either way — the flag exists for the equivalence
 	// tests that prove it, and as an escape hatch.
 	NoReuse bool
+	// Cones, when set, shares customer-cone tables with the caller — the
+	// long-lived query service passes its snapshot-primed cache here so
+	// successive grid runs over the same world stop recomputing cones.
+	// When nil, the runner uses a private per-run cache as before. Cone
+	// contents are a pure function of the graph, so sharing changes only
+	// cost, never results; a cache bound to a different index is ignored
+	// by the offload layer.
+	Cones *offload.ConeCache
 }
 
 func (o Options) withDefaults() Options {
@@ -180,6 +190,20 @@ type cellSpec struct {
 // world clone with RNG streams derived from the scenario index and seed
 // offset alone, and the cell results merge in grid order.
 func Run(w *worldgen.World, grid Grid, opts Options) (*Report, error) {
+	return RunCtx(context.Background(), w, grid, opts)
+}
+
+// RunCtx is Run with cooperative cancellation: once ctx is done, no new
+// grid cell starts and no new pipeline stage starts inside a running
+// cell; the call returns ctx.Err() promptly. The long-lived query service
+// passes each HTTP request's context here, so an abandoned what-if stops
+// burning grid cells instead of running the campaign to completion. A nil
+// error still means every cell ran — cancellation never yields a partial
+// report.
+func RunCtx(ctx context.Context, w *worldgen.World, grid Grid, opts Options) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if w == nil {
 		return nil, fmt.Errorf("scenario: nil world")
 	}
@@ -230,17 +254,20 @@ func Run(w *worldgen.World, grid Grid, opts Options) (*Report, error) {
 	// changes wall time, never results). Its artifacts — the unperturbed
 	// clone, per-IXP observation streams, dataset, cone cache — are what
 	// the scenario cells reuse for every stage their ops leave clean.
-	cones := offload.NewConeCache()
-	base, err := evalCell(w, cells[0], opts, nil, cones, opts.Workers)
+	cones := opts.Cones
+	if cones == nil {
+		cones = offload.NewConeCache()
+	}
+	base, err := evalCell(ctx, w, cells[0], opts, nil, cones, opts.Workers)
 	if err != nil {
-		return nil, fmt.Errorf("scenario %q (seed offset %d): %w", cells[0].scn.Name, cells[0].off, err)
+		return nil, wrapCellErr(ctx, cells[0], err)
 	}
 	results := make([]Metrics, len(cells))
 	results[0] = base.m
-	rest, err := parallel.MapErr(opts.Workers, len(cells)-1, func(i int) (Metrics, error) {
-		art, err := evalCell(w, cells[i+1], opts, base, cones, 1)
+	rest, err := parallel.MapErrCtx(ctx, opts.Workers, len(cells)-1, func(i int) (Metrics, error) {
+		art, err := evalCell(ctx, w, cells[i+1], opts, base, cones, 1)
 		if err != nil {
-			return Metrics{}, fmt.Errorf("scenario %q (seed offset %d): %w", cells[i+1].scn.Name, cells[i+1].off, err)
+			return Metrics{}, wrapCellErr(ctx, cells[i+1], err)
 		}
 		return art.m, nil
 	})
@@ -265,6 +292,16 @@ func Run(w *worldgen.World, grid Grid, opts Options) (*Report, error) {
 	return rep, nil
 }
 
+// wrapCellErr labels a cell failure with its grid coordinates; the
+// context's own cancellation error passes through bare so callers match
+// it directly with errors.Is.
+func wrapCellErr(ctx context.Context, spec cellSpec, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+		return err
+	}
+	return fmt.Errorf("scenario %q (seed offset %d): %w", spec.scn.Name, spec.off, err)
+}
+
 // cellArtifacts is one evaluated cell plus the immutable artifacts a
 // later cell can reuse for clean stages. Only the baseline cell's
 // artifacts are retained by Run; for scenario cells the struct is just a
@@ -283,7 +320,10 @@ type cellArtifacts struct {
 // makes the two paths byte-identical — pinned by the reuse-equivalence
 // suite — and innerWorkers only re-shards work inside stages, never
 // changing results.
-func evalCell(w *worldgen.World, spec cellSpec, opts Options, base *cellArtifacts, cones *offload.ConeCache, innerWorkers int) (*cellArtifacts, error) {
+func evalCell(ctx context.Context, w *worldgen.World, spec cellSpec, opts Options, base *cellArtifacts, cones *offload.ConeCache, innerWorkers int) (*cellArtifacts, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Combined dirty mask of the cell. graphClean tracks the ops' direct
 	// world-dirtiness alone: it stays true for the baseline and for
 	// seed-offset cells (whose forced full reruns leave the AS graph
@@ -352,6 +392,12 @@ func evalCell(w *worldgen.World, spec cellSpec, opts Options, base *cellArtifact
 	m := &art.m
 
 	// --- Section 3: the spread campaign ---
+	// Stage boundaries are the cell's cancellation points: each stage is
+	// seconds of work at paper scale, so an abandoned request stops within
+	// one stage rather than one whole cell.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if mask&StageSpread == 0 {
 		art.spread = base.spread
 		m.Observations = base.m.Observations
@@ -404,7 +450,7 @@ func evalCell(w *worldgen.World, spec cellSpec, opts Options, base *cellArtifact
 			}
 		}
 
-		sp, err := spread.Run(st.World, st.Spread)
+		sp, err := spread.RunCtx(ctx, st.World, st.Spread)
 		if err != nil {
 			return nil, err
 		}
@@ -422,6 +468,9 @@ func evalCell(w *worldgen.World, spec cellSpec, opts Options, base *cellArtifact
 	}
 
 	// --- Section 4.1: the traffic dataset ---
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if mask&StageTraffic == 0 {
 		art.ds = base.ds
 	} else {
@@ -433,6 +482,9 @@ func evalCell(w *worldgen.World, spec cellSpec, opts Options, base *cellArtifact
 	}
 
 	// --- Section 4: the offload analysis ---
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if mask&StageOffload == 0 {
 		m.PotentialPeers = base.m.PotentialPeers
 		m.CoveredNets = base.m.CoveredNets

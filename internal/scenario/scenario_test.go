@@ -2,7 +2,13 @@ package scenario
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
 	"reflect"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -13,6 +19,8 @@ import (
 	"remotepeering/internal/stats"
 	"remotepeering/internal/worldgen"
 )
+
+var updateJSONGolden = flag.Bool("update-json-golden", false, "rewrite testdata/report_golden.json from the current encoder")
 
 // testWorld is one reduced world shared by the package tests.
 var (
@@ -243,5 +251,116 @@ func TestReportRendering(t *testing.T) {
 	d := rep.Cells[1].Diff(rep.Baseline)
 	if d.DetectedRemote != -3 || !d.ViableFlipped {
 		t.Fatalf("Diff = %+v", d)
+	}
+}
+
+// TestReportJSONGolden pins the stable JSON encoding on a hand-built
+// report against a committed golden: the serve layer and cmd/rpwhatif
+// -json share this encoder, and CI diffs their outputs byte-for-byte, so
+// the encoding itself is part of the public contract. Regenerate with
+// -update-json-golden only when the schema intentionally changes.
+func TestReportJSONGolden(t *testing.T) {
+	rep := &Report{
+		Baseline: Metrics{
+			Observations: 123456, AnalyzedIfaces: 100, DetectedRemote: 10,
+			BandCounts: [3]int{4, 3, 3}, PotentialPeers: 2192, CoveredNets: 900,
+			OffloadedFrac: 0.25, FittedB: 0.3021, Viable: true,
+		},
+		CoverageIXPs: 5,
+		GreedyIXPs:   30,
+		Cells: []CellResult{
+			{Scenario: "baseline", SeedOffset: 0,
+				Metrics: Metrics{
+					Observations: 123456, AnalyzedIfaces: 100, DetectedRemote: 10,
+					BandCounts: [3]int{4, 3, 3}, PotentialPeers: 2192, CoveredNets: 900,
+					OffloadedFrac: 0.25, FittedB: 0.3021, Viable: true,
+				}},
+			{Scenario: "outage", Ops: "outage:AMS-IX", SeedOffset: 1,
+				Metrics: Metrics{
+					Observations: 120000, AnalyzedIfaces: 90, DetectedRemote: 7,
+					BandCounts: [3]int{3, 2, 2}, PotentialPeers: 2100, CoveredNets: 850,
+					OffloadedFrac: 0.2, FittedB: 0.3521, Viable: false,
+				}},
+		},
+	}
+	got, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const path = "testdata/report_golden.json"
+	if *updateJSONGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("recorded %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-json-golden once): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("JSON encoding drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+	// The encoding must also survive a decode into the same shape (the
+	// CI smoke diffs a server response against this output after a jq
+	// normalisation pass, which requires valid JSON).
+	var back ReportJSON
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatalf("rendering is not valid JSON: %v", err)
+	}
+	if !reflect.DeepEqual(back, rep.JSONReport()) {
+		t.Error("JSON round trip changed the report shape")
+	}
+}
+
+// TestRunCtxCancellation pins the service-facing contract: a cancelled
+// context stops the grid run with ctx.Err() instead of a report.
+func TestRunCtxCancellation(t *testing.T) {
+	w := testWorld(t)
+	grid := Grid{Scenarios: []Scenario{{Name: "x", Ops: []Op{TrafficScale{Factor: 2}}}}}
+
+	// Pre-cancelled: the runner must notice before evaluating anything.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunCtx(ctx, w, grid, Options{Intervals: 96}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled RunCtx err = %v, want context.Canceled", err)
+	}
+
+	// Mid-run: cancel shortly after launch; the run must return the
+	// context error long before a full grid would have finished, with no
+	// worker goroutines left behind.
+	big := Grid{Seeds: []int64{0, 1, 2, 3}}
+	for _, name := range []string{"a", "b", "c", "d", "e", "f"} {
+		big.Scenarios = append(big.Scenarios, Scenario{Name: name, Ops: []Op{TrafficScale{Factor: 1.5}}})
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel2()
+	}()
+	baseline := runtime.NumGoroutine()
+	start := time.Now()
+	_, err := RunCtx(ctx2, w, big, Options{Intervals: 288})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run RunCtx err = %v, want context.Canceled", err)
+	}
+	// A full 25-cell grid at this scale takes many seconds (minutes
+	// under the race detector); a cancelled run stops at the next cell,
+	// stage, or per-IXP boundary — one in-flight IXP simulation of slack,
+	// generously bounded below even for race-instrumented CI runs.
+	if elapsed > 20*time.Second {
+		t.Errorf("cancelled run took %v — cancellation is not prompt", elapsed)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > baseline {
+		t.Errorf("goroutines leaked after cancellation: %d running, baseline %d", got, baseline)
 	}
 }

@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is the byte-budgeted result cache: rendered JSON responses
+// keyed by content id (snapshot digest + canonicalized query). Eviction
+// is least-recently-used by byte size, so one burst of distinct grids
+// cannot grow the server without bound while hot queries stay resident.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int64 // byte budget; <= 0 disables caching
+	size  int64
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+func newLRUCache(maxBytes int64) *lruCache {
+	return &lruCache{max: maxBytes, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached bytes for key, marking them most recently used.
+// The returned slice is shared and must be treated as read-only.
+func (c *lruCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Put inserts (or refreshes) key, evicting from the cold end until the
+// budget holds. A value larger than the whole budget is not cached.
+func (c *lruCache) Put(key string, val []byte) {
+	if c.max <= 0 || int64(len(val)) > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.size += int64(len(val)) - int64(len(el.Value.(*lruEntry).val))
+		el.Value.(*lruEntry).val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+		c.size += int64(len(val))
+	}
+	for c.size > c.max {
+		el := c.ll.Back()
+		if el == nil {
+			break
+		}
+		ent := el.Value.(*lruEntry)
+		c.ll.Remove(el)
+		delete(c.items, ent.key)
+		c.size -= int64(len(ent.val))
+	}
+}
+
+// Len returns the number of resident entries (for tests and /v1/world).
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

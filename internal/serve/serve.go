@@ -1,0 +1,680 @@
+// Package serve is the long-lived query side of the reproduction: an HTTP
+// JSON service that loads a snapshot once and answers "given this world
+// and this dataset, what does scenario X change?" in milliseconds where
+// the batch CLIs pay seconds of regeneration per invocation.
+//
+// The request path is built for a shared, concurrent workload:
+//
+//   - every expensive evaluation runs through a bounded scheduler (at most
+//     MaxInflight computations at once; excess requests queue),
+//   - identical in-flight queries coalesce onto one computation (the
+//     leader runs, followers wait for its bytes),
+//   - finished responses land in a byte-budgeted LRU keyed by (snapshot
+//     digest, canonicalized query), so a repeated what-if costs a map
+//     lookup,
+//   - abandoned requests cancel their computation — through
+//     scenario.RunCtx down to the grid cells — once no waiter remains.
+//
+// Determinism makes the cache semantics trivial: a query's result is a
+// pure function of (snapshot digest, canonical query), so cached bytes
+// never go stale while the process lives.
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"remotepeering/internal/econ"
+	"remotepeering/internal/netflow"
+	"remotepeering/internal/offload"
+	"remotepeering/internal/scenario"
+	"remotepeering/internal/snapshot"
+	"remotepeering/internal/spread"
+	"remotepeering/internal/worldgen"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// Snapshot is the loaded world (and optional dataset/spread/cones)
+	// the server answers queries over. Required.
+	Snapshot *snapshot.Snapshot
+	// MaxInflight bounds how many expensive evaluations run at once;
+	// further requests queue (respecting their contexts). Default 4.
+	MaxInflight int
+	// CacheMB is the LRU result-cache budget in mebibytes. Default 64;
+	// negative disables caching.
+	CacheMB int
+	// Workers bounds the worker pool of each evaluation (0 = one per
+	// CPU). Results are byte-identical for every value.
+	Workers int
+}
+
+// Server answers the /v1 API over one immutable snapshot.
+type Server struct {
+	world  *worldgen.World
+	ds     *netflow.Dataset
+	spread *spread.Result
+	cones  *offload.ConeCache
+	digest string
+
+	workers  int
+	sem      chan struct{}
+	cache    *lruCache
+	mu       sync.Mutex
+	inflight map[string]*call
+
+	// evals counts leader computations — the observability hook the
+	// dedup and cache tests (and /v1/world) read.
+	evals atomic.Int64
+}
+
+// call is one in-flight computation: the leader evaluates, followers wait
+// on done. waiters tracks interested requests; when the last one leaves
+// before completion, the computation's context is cancelled.
+type call struct {
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int
+	val     []byte
+	err     error
+}
+
+// New builds a Server over a loaded snapshot. The snapshot's lazy caches
+// are materialised here, once, so concurrent requests only ever read.
+func New(cfg Config) (*Server, error) {
+	if cfg.Snapshot == nil || cfg.Snapshot.World == nil {
+		return nil, fmt.Errorf("serve: nil snapshot or world")
+	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = 4
+	}
+	if cfg.MaxInflight < 0 {
+		return nil, fmt.Errorf("serve: negative MaxInflight %d", cfg.MaxInflight)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("serve: negative Workers %d (use 0 for one per CPU)", cfg.Workers)
+	}
+	cacheMB := cfg.CacheMB
+	if cacheMB == 0 {
+		cacheMB = 64
+	}
+	s := &Server{
+		world:    cfg.Snapshot.World,
+		ds:       cfg.Snapshot.Dataset,
+		spread:   cfg.Snapshot.Spread,
+		cones:    cfg.Snapshot.Cones,
+		digest:   cfg.Snapshot.Digest,
+		workers:  cfg.Workers,
+		sem:      make(chan struct{}, cfg.MaxInflight),
+		cache:    newLRUCache(int64(cacheMB) << 20),
+		inflight: make(map[string]*call),
+	}
+	if s.cones == nil {
+		// No persisted cones: share one cache across all requests anyway —
+		// the first evaluation fills it for every later one.
+		s.cones = offload.NewConeCache()
+	}
+	// Materialise every lazily-built structure concurrent readers would
+	// otherwise race to initialise.
+	s.world.Graph.ASNs()
+	if s.ds != nil {
+		s.ds.TransitEntries()
+	}
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving the /v1 API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/world", s.handleWorld)
+	mux.HandleFunc("GET /v1/spread", s.handleSpread)
+	mux.HandleFunc("GET /v1/offload", s.handleOffload)
+	mux.HandleFunc("GET /v1/whatif", s.handleWhatif)
+	mux.HandleFunc("POST /v1/whatif", s.handleWhatif)
+	mux.HandleFunc("GET /v1/report/{id}", s.handleReport)
+	return mux
+}
+
+// Evaluations returns the number of leader computations performed — the
+// dedup/caching observability counter.
+func (s *Server) Evaluations() int64 { return s.evals.Load() }
+
+// --- scheduling: cache → dedup → bounded evaluation ---
+
+// do returns the response bytes for the canonical query key, going
+// through the cache, the in-flight dedup table, and the bounded scheduler
+// in that order. fn computes the response under the computation context,
+// which is cancelled once every requester has gone away.
+func (s *Server) do(ctx context.Context, id string, fn func(context.Context) ([]byte, error)) (val []byte, hit bool, err error) {
+	for attempt := 0; ; attempt++ {
+		if v, ok := s.cache.Get(id); ok {
+			return v, true, nil
+		}
+
+		s.mu.Lock()
+		c, joined := s.inflight[id]
+		if !joined {
+			compCtx, cancel := context.WithCancel(context.Background())
+			c = &call{done: make(chan struct{}), cancel: cancel}
+			s.inflight[id] = c
+			go s.lead(compCtx, id, c, fn)
+		}
+		c.waiters++
+		s.mu.Unlock()
+
+		var cVal []byte
+		var cErr error
+		select {
+		case <-c.done:
+			cVal, cErr = c.val, c.err
+		case <-ctx.Done():
+			s.leave(c)
+			return nil, false, ctx.Err()
+		}
+		s.leave(c)
+		if cErr != nil && errors.Is(cErr, context.Canceled) && ctx.Err() == nil && attempt < 3 {
+			// The computation this request joined was cancelled by its
+			// *other* waiters leaving (a dying leader it latched onto).
+			// This request is still alive, so start over as its own
+			// leader rather than surfacing someone else's cancellation.
+			continue
+		}
+		_ = joined // joins are reported as misses; dedup shows in Evaluations
+		return cVal, false, cErr
+	}
+}
+
+// lead runs the computation for a call: it takes a scheduler slot
+// (respecting the computation context, so a fully-abandoned queued query
+// never starts), evaluates, publishes, and caches.
+func (s *Server) lead(ctx context.Context, id string, c *call, fn func(context.Context) ([]byte, error)) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, id)
+		s.mu.Unlock()
+		close(c.done)
+	}()
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		c.err = ctx.Err()
+		return
+	}
+	defer func() { <-s.sem }()
+	s.evals.Add(1)
+	c.val, c.err = fn(ctx)
+	if c.err == nil {
+		s.cache.Put(id, c.val)
+	}
+}
+
+// leave drops one waiter; the last one out cancels the computation's
+// context — stopping it mid-grid if it is still running (abandoned
+// requests must not keep burning cells), or merely releasing the
+// context's resources if it already finished.
+func (s *Server) leave(c *call) {
+	s.mu.Lock()
+	c.waiters--
+	last := c.waiters == 0
+	s.mu.Unlock()
+	if last {
+		c.cancel()
+	}
+}
+
+// queryID derives the content address of a canonical query: the cache
+// key, the dedup key, and the public report id are all this value.
+func (s *Server) queryID(canonical string) string {
+	sum := sha256.Sum256([]byte(s.digest + "\n" + canonical))
+	return hex.EncodeToString(sum[:16])
+}
+
+// --- handlers ---
+
+type worldResponse struct {
+	Digest       string `json:"digest"`
+	Networks     int    `json:"networks"`
+	IXPs         int    `json:"ixps"`
+	StudiedIXPs  int    `json:"studied_ixps"`
+	ProbeTargets int    `json:"probe_targets"`
+	HasDataset   bool   `json:"has_dataset"`
+	HasSpread    bool   `json:"has_spread"`
+	HasCones     bool   `json:"has_cones"`
+	Evaluations  int64  `json:"evaluations"`
+	CachedBodies int    `json:"cached_bodies"`
+}
+
+func (s *Server) handleWorld(w http.ResponseWriter, r *http.Request) {
+	coneIDs, _ := s.cones.Export()
+	writeJSON(w, http.StatusOK, worldResponse{
+		Digest:       s.digest,
+		Networks:     s.world.Graph.Len(),
+		IXPs:         len(s.world.IXPs),
+		StudiedIXPs:  s.world.NumStudied(),
+		ProbeTargets: len(s.world.Ifaces),
+		HasDataset:   s.ds != nil,
+		HasSpread:    s.spread != nil,
+		HasCones:     len(coneIDs) > 0,
+		Evaluations:  s.evals.Load(),
+		CachedBodies: s.cache.Len(),
+	})
+}
+
+type spreadResponse struct {
+	ID             string  `json:"id"`
+	Digest         string  `json:"digest"`
+	Seed           int64   `json:"seed"`
+	Observations   int     `json:"observations"`
+	AnalyzedIfaces int     `json:"analyzed_ifaces"`
+	DetectedRemote int     `json:"detected_remote"`
+	TruePositives  int     `json:"true_positives"`
+	FalsePositives int     `json:"false_positives"`
+	TrueNegatives  int     `json:"true_negatives"`
+	FalseNegatives int     `json:"false_negatives"`
+	Precision      float64 `json:"precision"`
+	Recall         float64 `json:"recall"`
+}
+
+func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	seed, err := intParam(q.Get("seed"), s.spreadSeed())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad seed: %v", err)
+		return
+	}
+	days, err := intParam(q.Get("days"), 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad days: %v", err)
+		return
+	}
+	canonical := fmt.Sprintf("spread|seed=%d|days=%d", seed, days)
+	id := s.queryID(canonical)
+	body, hit, err := s.do(r.Context(), id, func(ctx context.Context) ([]byte, error) {
+		res := s.spread
+		// The persisted campaign serves queries that match its recorded
+		// seed and duration; anything else re-runs the study over the
+		// snapshot world.
+		usable := res != nil && seed == res.Seed &&
+			(days == 0 || time.Duration(days)*24*time.Hour == res.Campaign.Duration)
+		if !usable {
+			opts := spread.Options{Seed: seed, Workers: s.workers}
+			if days > 0 {
+				opts.Campaign.Duration = time.Duration(days) * 24 * time.Hour
+			}
+			fresh, runErr := spread.RunCtx(ctx, s.world, opts)
+			if runErr != nil {
+				return nil, runErr
+			}
+			res = fresh
+		}
+		detected := 0
+		for _, row := range res.Report.Table1() {
+			detected += row.Remote
+		}
+		v := res.Validation
+		return marshalBody(spreadResponse{
+			ID: id, Digest: s.digest, Seed: seed,
+			Observations:   res.Observations,
+			AnalyzedIfaces: len(res.Report.Analyzed()),
+			DetectedRemote: detected,
+			TruePositives:  v.TruePositives,
+			FalsePositives: v.FalsePositives,
+			TrueNegatives:  v.TrueNegatives,
+			FalseNegatives: v.FalseNegatives,
+			Precision:      v.Precision(),
+			Recall:         v.Recall(),
+		})
+	})
+	finish(w, r, body, hit, err)
+}
+
+type offloadStep struct {
+	IXP       string  `json:"ixp"`
+	Offloaded float64 `json:"offloaded_bps"`
+	Remaining float64 `json:"remaining_bps"`
+}
+
+type offloadResponse struct {
+	ID     string `json:"id"`
+	Digest string `json:"digest"`
+	Group  int    `json:"group"`
+	// TrafficSeed and Intervals echo the dataset actually analyzed —
+	// with no intervals parameter the server uses the snapshot's dataset
+	// as-is, so the echoed length is how a caller tells a short-run
+	// snapshot from the full paper month.
+	TrafficSeed int64 `json:"traffic_seed"`
+	Intervals   int   `json:"intervals"`
+	PotentialPeers int           `json:"potential_peers"`
+	TransitInBps   float64       `json:"transit_in_bps"`
+	TransitOutBps  float64       `json:"transit_out_bps"`
+	Steps          []offloadStep `json:"steps"`
+	CoveredNets    int           `json:"covered_nets"`
+	OffloadedFrac  float64       `json:"offloaded_frac"`
+	FittedB        float64       `json:"fitted_b"`
+}
+
+func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	group, err := intParam(q.Get("group"), int64(offload.GroupAll))
+	if err != nil || group < 1 || group > 4 {
+		httpError(w, http.StatusBadRequest, "bad group (want 1-4)")
+		return
+	}
+	k, err := intParam(q.Get("k"), 5)
+	if err != nil || k < 1 {
+		httpError(w, http.StatusBadRequest, "bad k")
+		return
+	}
+	depth, err := intParam(q.Get("greedy"), 30)
+	if err != nil || depth < 1 {
+		httpError(w, http.StatusBadRequest, "bad greedy")
+		return
+	}
+	trafficSeed, err := intParam(q.Get("traffic-seed"), s.datasetSeed())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad traffic-seed: %v", err)
+		return
+	}
+	intervals, err := intParam(q.Get("intervals"), 0)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad intervals: %v", err)
+		return
+	}
+	canonical := fmt.Sprintf("offload|group=%d|k=%d|greedy=%d|tseed=%d|intervals=%d",
+		group, k, depth, trafficSeed, intervals)
+	id := s.queryID(canonical)
+	body, hit, err := s.do(r.Context(), id, func(ctx context.Context) ([]byte, error) {
+		ds := s.ds
+		if ds == nil || trafficSeed != s.datasetSeed() || (intervals != 0 && int(intervals) != ds.Cfg.Intervals) {
+			var err error
+			ds, err = netflow.Collect(s.world, netflow.Config{
+				Seed: trafficSeed, Intervals: int(intervals), Workers: s.workers,
+			})
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		study, err := offload.NewStudyOptions(s.world, ds, offload.Options{Workers: s.workers, Cones: s.cones})
+		if err != nil {
+			return nil, err
+		}
+		g := offload.PeerGroup(group)
+		d := int(depth)
+		if d < int(k) {
+			d = int(k)
+		}
+		steps := study.Greedy(g, d)
+		if len(steps) == 0 {
+			return nil, fmt.Errorf("empty greedy expansion")
+		}
+		in, out := ds.TransitTotals()
+		resp := offloadResponse{
+			ID: id, Digest: s.digest, Group: int(group),
+			TrafficSeed: trafficSeed, Intervals: ds.Cfg.Intervals,
+			PotentialPeers: study.PotentialPeerCount(),
+			TransitInBps:   in,
+			TransitOutBps:  out,
+		}
+		for _, st := range steps {
+			resp.Steps = append(resp.Steps, offloadStep{
+				IXP:       st.Acronym,
+				Offloaded: st.OffloadedInBps + st.OffloadedOutBps,
+				Remaining: st.Remaining(),
+			})
+		}
+		at := steps[min(int(k), len(steps))-1]
+		if total := in + out; total > 0 {
+			resp.OffloadedFrac = (at.OffloadedInBps + at.OffloadedOutBps) / total
+		}
+		chosen := make([]int, 0, k)
+		for i := 0; i < int(k) && i < len(steps); i++ {
+			chosen = append(chosen, steps[i].IXPIndex)
+		}
+		resp.CoveredNets = study.CoveredSet(chosen, g).Count()
+		remaining := make([]float64, len(steps))
+		for i, st := range steps {
+			remaining[i] = st.Remaining()
+		}
+		if fit, err := fitB(remaining, in+out); err == nil {
+			resp.FittedB = fit
+		}
+		return marshalBody(resp)
+	})
+	finish(w, r, body, hit, err)
+}
+
+// whatifRequest is the /v1/whatif query: the same knobs cmd/rpwhatif
+// exposes, accepted as GET query parameters or a POST JSON body.
+type whatifRequest struct {
+	Scenarios   string  `json:"scenarios"`
+	Seeds       []int64 `json:"seeds,omitempty"`
+	MeasureSeed int64   `json:"measure_seed,omitempty"`
+	TrafficSeed int64   `json:"traffic_seed,omitempty"`
+	K           int     `json:"k,omitempty"`
+	Greedy      int     `json:"greedy,omitempty"`
+	Intervals   int     `json:"intervals,omitempty"`
+	Days        int     `json:"days,omitempty"`
+}
+
+// canonical renders the request in a normalized, field-ordered form so
+// equivalent queries (GET vs POST, defaulted vs explicit) share one cache
+// slot and one computation.
+func (wr whatifRequest) canonical() string {
+	seeds := wr.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{0}
+	}
+	parts := make([]string, len(seeds))
+	for i, s := range seeds {
+		parts[i] = strconv.FormatInt(s, 10)
+	}
+	return fmt.Sprintf("whatif|scenarios=%s|seeds=%s|mseed=%d|tseed=%d|k=%d|greedy=%d|intervals=%d|days=%d",
+		wr.Scenarios, strings.Join(parts, ","), wr.MeasureSeed, wr.TrafficSeed,
+		wr.K, wr.Greedy, wr.Intervals, wr.Days)
+}
+
+func (wr *whatifRequest) applyDefaults() {
+	if wr.MeasureSeed == 0 {
+		wr.MeasureSeed = 2
+	}
+	if wr.TrafficSeed == 0 {
+		wr.TrafficSeed = 3
+	}
+	if wr.K == 0 {
+		wr.K = 5
+	}
+	if wr.Greedy == 0 {
+		wr.Greedy = 30
+	}
+}
+
+type whatifResponse struct {
+	ID     string              `json:"id"`
+	Digest string              `json:"digest"`
+	Report scenario.ReportJSON `json:"report"`
+}
+
+func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
+	var req whatifRequest
+	switch r.Method {
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+			return
+		}
+	default:
+		q := r.URL.Query()
+		req.Scenarios = q.Get("scenarios")
+		if v := q.Get("seeds"); v != "" {
+			for _, part := range strings.Split(v, ",") {
+				n, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+				if err != nil {
+					httpError(w, http.StatusBadRequest, "bad seeds: %v", err)
+					return
+				}
+				req.Seeds = append(req.Seeds, n)
+			}
+		}
+		var err error
+		for _, p := range []struct {
+			name string
+			dst  *int
+		}{{"k", &req.K}, {"greedy", &req.Greedy}, {"intervals", &req.Intervals}, {"days", &req.Days}} {
+			var v int64
+			if v, err = intParam(q.Get(p.name), int64(*p.dst)); err != nil {
+				httpError(w, http.StatusBadRequest, "bad %s: %v", p.name, err)
+				return
+			}
+			*p.dst = int(v)
+		}
+		if req.MeasureSeed, err = intParam(q.Get("measure-seed"), 0); err != nil {
+			httpError(w, http.StatusBadRequest, "bad measure-seed: %v", err)
+			return
+		}
+		if req.TrafficSeed, err = intParam(q.Get("traffic-seed"), 0); err != nil {
+			httpError(w, http.StatusBadRequest, "bad traffic-seed: %v", err)
+			return
+		}
+	}
+	if req.Scenarios == "" {
+		httpError(w, http.StatusBadRequest, "missing scenarios (e.g. ?scenarios=ams-outage=outage:AMS-IX)")
+		return
+	}
+	req.applyDefaults()
+
+	grid, err := scenario.ParseGrid(req.Scenarios)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	grid.Seeds = req.Seeds
+
+	id := s.queryID(req.canonical())
+	body, hit, err := s.do(r.Context(), id, func(ctx context.Context) ([]byte, error) {
+		opts := scenario.Options{
+			MeasureSeed:  req.MeasureSeed,
+			TrafficSeed:  req.TrafficSeed,
+			Workers:      s.workers,
+			CoverageIXPs: req.K,
+			GreedyIXPs:   req.Greedy,
+			Intervals:    req.Intervals,
+			Cones:        s.cones,
+		}
+		if req.Days > 0 {
+			opts.Campaign.Duration = time.Duration(req.Days) * 24 * time.Hour
+		}
+		rep, err := scenario.RunCtx(ctx, s.world, grid, opts)
+		if err != nil {
+			return nil, err
+		}
+		return marshalBody(whatifResponse{ID: id, Digest: s.digest, Report: rep.JSONReport()})
+	})
+	finish(w, r, body, hit, err)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, ok := s.cache.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no cached report %q (evicted, or never computed)", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", "hit")
+	w.Write(body)
+}
+
+// --- helpers ---
+
+// datasetSeed is the persisted dataset's traffic seed, or the CLI default
+// when the snapshot carries no dataset.
+func (s *Server) datasetSeed() int64 {
+	if s.ds != nil {
+		return s.ds.Cfg.Seed
+	}
+	return 2
+}
+
+// spreadSeed is the persisted campaign's measurement seed, or the CLI
+// default when the snapshot carries no campaign.
+func (s *Server) spreadSeed() int64 {
+	if s.spread != nil {
+		return s.spread.Seed
+	}
+	return 2
+}
+
+func intParam(v string, def int64) (int64, error) {
+	if v == "" {
+		return def, nil
+	}
+	return strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+}
+
+func marshalBody(v any) ([]byte, error) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := marshalBody(v)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "encode: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// finish writes a computed (or cached) body, mapping cancellation to 499
+// (the de-facto "client closed request" status) and evaluation failures
+// to 500.
+func finish(w http.ResponseWriter, r *http.Request, body []byte, hit bool, err error) {
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/json")
+		if hit {
+			w.Header().Set("X-Cache", "hit")
+		} else {
+			w.Header().Set("X-Cache", "miss")
+		}
+		w.Write(body)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The client is usually gone; the status is for logs and tests.
+		httpError(w, 499, "request cancelled: %v", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// fitB isolates the decaying component of a greedy remaining curve —
+// the same bridge from Section 4's measurements to Section 5's model the
+// facade's FitDecayFromGreedy uses.
+func fitB(remaining []float64, totalBps float64) (float64, error) {
+	fit, err := econ.FitBFromRemaining(remaining, totalBps)
+	if err != nil {
+		return 0, err
+	}
+	return fit.B, nil
+}

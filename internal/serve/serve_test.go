@@ -1,0 +1,323 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"remotepeering/internal/lg"
+	"remotepeering/internal/netflow"
+	"remotepeering/internal/scenario"
+	"remotepeering/internal/snapshot"
+	"remotepeering/internal/spread"
+	"remotepeering/internal/worldgen"
+)
+
+// testServer builds a server over a reduced-scale snapshot shared by the
+// package tests: world + dataset + a short persisted campaign.
+var (
+	testSrvOnce sync.Once
+	testSrvVal  *Server
+	testSrvErr  error
+)
+
+func testServer(t testing.TB) *Server {
+	t.Helper()
+	testSrvOnce.Do(func() {
+		w, err := worldgen.Generate(worldgen.Config{Seed: 3, LeafNetworks: 1500})
+		if err != nil {
+			testSrvErr = err
+			return
+		}
+		ds, err := netflow.Collect(w, netflow.Config{Seed: 5, Intervals: 288})
+		if err != nil {
+			testSrvErr = err
+			return
+		}
+		sp, err := spread.Run(w, spread.Options{
+			Seed: 7,
+			IXPs: []int{0, 1},
+			Campaign: lg.Config{
+				// Rounds × pings must clear the detector's 8-replies-per-LG
+				// sample-size floor (PCH 3×5, RIPE 3×3).
+				Duration:  8 * 24 * time.Hour,
+				PCHRounds: 3, RIPERounds: 3,
+			},
+		})
+		if err != nil {
+			testSrvErr = err
+			return
+		}
+		// Round-trip through the codec so the tests exercise exactly what
+		// a production server sees: rehydrated artifacts, a real digest.
+		var buf bytes.Buffer
+		if err := snapshot.Save(&buf, &snapshot.Snapshot{World: w, Dataset: ds, Spread: sp}); err != nil {
+			testSrvErr = err
+			return
+		}
+		snap, err := snapshot.Load(&buf)
+		if err != nil {
+			testSrvErr = err
+			return
+		}
+		testSrvVal, testSrvErr = New(Config{Snapshot: snap, MaxInflight: 2, CacheMB: 8})
+	})
+	if testSrvErr != nil {
+		t.Fatal(testSrvErr)
+	}
+	return testSrvVal
+}
+
+func get(t testing.TB, h http.Handler, url string) (int, http.Header, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.StatusCode, res.Header, body
+}
+
+func TestWorldEndpoint(t *testing.T) {
+	s := testServer(t)
+	status, _, body := get(t, s.Handler(), "/v1/world")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	var resp worldResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Digest == "" || resp.Networks == 0 || resp.IXPs != 65 {
+		t.Errorf("implausible world summary: %+v", resp)
+	}
+	if !resp.HasDataset || !resp.HasSpread {
+		t.Errorf("snapshot layers missing from summary: %+v", resp)
+	}
+}
+
+func TestSpreadServedFromSnapshot(t *testing.T) {
+	s := testServer(t)
+	before := s.Evaluations()
+	status, _, body := get(t, s.Handler(), "/v1/spread")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	var resp spreadResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Seed != 7 {
+		t.Errorf("default seed should be the persisted campaign's (7), got %d", resp.Seed)
+	}
+	if resp.Observations == 0 || resp.AnalyzedIfaces == 0 {
+		t.Errorf("empty spread summary: %+v", resp)
+	}
+	// The evaluation consumed a scheduler slot, but no discrete-event
+	// simulation ran (the summary came from the persisted campaign) —
+	// repeated queries now come from cache without evaluating at all.
+	mid := s.Evaluations()
+	if mid != before+1 {
+		t.Errorf("first query ran %d evaluations, want 1", mid-before)
+	}
+	status2, hdr2, body2 := get(t, s.Handler(), "/v1/spread")
+	if status2 != http.StatusOK || hdr2.Get("X-Cache") != "hit" {
+		t.Errorf("repeat query: status %d, X-Cache %q", status2, hdr2.Get("X-Cache"))
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("cached spread response differs from the computed one")
+	}
+	if got := s.Evaluations(); got != mid {
+		t.Errorf("cache hit still evaluated (%d → %d)", mid, got)
+	}
+}
+
+func TestOffloadEndpoint(t *testing.T) {
+	s := testServer(t)
+	status, _, body := get(t, s.Handler(), "/v1/offload?group=4&k=3&greedy=10")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	var resp offloadResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.PotentialPeers == 0 || len(resp.Steps) != 10 || resp.OffloadedFrac <= 0 {
+		t.Errorf("implausible offload response: peers=%d steps=%d frac=%v",
+			resp.PotentialPeers, len(resp.Steps), resp.OffloadedFrac)
+	}
+	if resp.TrafficSeed != 5 {
+		t.Errorf("default traffic seed should be the dataset's (5), got %d", resp.TrafficSeed)
+	}
+
+	if st, _, b := get(t, s.Handler(), "/v1/offload?group=9"); st != http.StatusBadRequest {
+		t.Errorf("bad group: status %d, body %s", st, b)
+	}
+}
+
+const testGrid = "cheap-remote=remoteprice:0.5;surge=traffic:1.4"
+
+func whatifURL() string {
+	return "/v1/whatif?scenarios=" + "cheap-remote%3Dremoteprice%3A0.5%3Bsurge%3Dtraffic%3A1.4" + "&k=3&greedy=8&intervals=96&days=5"
+}
+
+func TestWhatifCacheAndReport(t *testing.T) {
+	s := testServer(t)
+	status, hdr, body := get(t, s.Handler(), whatifURL())
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, body %s", status, body)
+	}
+	if hdr.Get("X-Cache") != "miss" {
+		t.Errorf("first query X-Cache = %q, want miss", hdr.Get("X-Cache"))
+	}
+	var resp whatifResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID == "" || len(resp.Report.Cells) != 3 { // baseline + 2 scenarios
+		t.Fatalf("implausible whatif response: id=%q cells=%d", resp.ID, len(resp.Report.Cells))
+	}
+
+	// Identical repeat → cache hit with identical bytes.
+	status2, hdr2, body2 := get(t, s.Handler(), whatifURL())
+	if status2 != http.StatusOK || hdr2.Get("X-Cache") != "hit" {
+		t.Errorf("repeat: status %d, X-Cache %q", status2, hdr2.Get("X-Cache"))
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("cached response differs from computed response")
+	}
+
+	// The response is retrievable by id.
+	status3, _, body3 := get(t, s.Handler(), "/v1/report/"+resp.ID)
+	if status3 != http.StatusOK {
+		t.Fatalf("report by id: status %d", status3)
+	}
+	if !bytes.Equal(body, body3) {
+		t.Error("/v1/report returned different bytes")
+	}
+	if st, _, _ := get(t, s.Handler(), "/v1/report/doesnotexist"); st != http.StatusNotFound {
+		t.Errorf("unknown report id: status %d, want 404", st)
+	}
+
+	// The embedded report must match a direct batch run over the same
+	// (rehydrated) world with the same knobs — the serve layer adds
+	// caching, never different numbers.
+	grid, err := scenario.ParseGrid(testGrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := scenario.Options{
+		MeasureSeed: 2, TrafficSeed: 3,
+		CoverageIXPs: 3, GreedyIXPs: 8, Intervals: 96,
+	}
+	opts.Campaign.Duration = 5 * 24 * time.Hour
+	batch, err := scenario.Run(s.world, grid, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchJSON, err := json.MarshalIndent(batch.JSONReport(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveJSON, err := json.MarshalIndent(resp.Report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(batchJSON, serveJSON) {
+		t.Errorf("served report differs from batch run:\n--- serve ---\n%s\n--- batch ---\n%s", serveJSON, batchJSON)
+	}
+}
+
+// TestWhatifDedup pins request coalescing: N concurrent identical cold
+// queries must produce one evaluation and N identical responses.
+func TestWhatifDedup(t *testing.T) {
+	s := testServer(t)
+	url := "/v1/whatif?scenarios=dedup%3Dremoteprice%3A0.7&k=2&greedy=6&intervals=96&days=4"
+	const n = 8
+	before := s.Evaluations()
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, _, body := get(t, s.Handler(), url)
+			if status != http.StatusOK {
+				t.Errorf("request %d: status %d", i, status)
+			}
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+	if got := s.Evaluations() - before; got != 1 {
+		t.Errorf("%d concurrent identical queries ran %d evaluations, want 1", n, got)
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("request %d got different bytes", i)
+		}
+	}
+}
+
+func TestWhatifBadRequests(t *testing.T) {
+	s := testServer(t)
+	for _, url := range []string{
+		"/v1/whatif",                          // no scenarios
+		"/v1/whatif?scenarios=bogus%3Aop",     // unknown op
+		"/v1/whatif?scenarios=x%3Dtraffic%3A1.5&seeds=abc", // bad seeds
+	} {
+		if st, _, body := get(t, s.Handler(), url); st != http.StatusBadRequest {
+			t.Errorf("%s: status %d, body %s", url, st, body)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil snapshot should fail")
+	}
+	s := testServer(t)
+	if _, err := New(Config{Snapshot: &snapshot.Snapshot{World: s.world}, MaxInflight: -1}); err == nil {
+		t.Error("negative MaxInflight should fail")
+	}
+	if _, err := New(Config{Snapshot: &snapshot.Snapshot{World: s.world}, Workers: -1}); err == nil {
+		t.Error("negative Workers should fail")
+	}
+}
+
+// TestPostWhatifEquivalentToGet pins that the POST body form shares cache
+// slots with the GET form (one canonicalization).
+func TestPostWhatifEquivalentToGet(t *testing.T) {
+	s := testServer(t)
+	url := "/v1/whatif?scenarios=pp%3Dportprice%3A0.8&k=2&greedy=6&intervals=96&days=4"
+	_, _, getBody := get(t, s.Handler(), url)
+
+	payload := `{"scenarios":"pp=portprice:0.8","k":2,"greedy":6,"intervals":96,"days":4}`
+	req := httptest.NewRequest(http.MethodPost, "/v1/whatif", bytes.NewBufferString(payload))
+	rec := httptest.NewRecorder()
+	before := s.Evaluations()
+	s.Handler().ServeHTTP(rec, req)
+	res := rec.Result()
+	postBody, _ := io.ReadAll(res.Body)
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("POST status %d: %s", res.StatusCode, postBody)
+	}
+	if res.Header.Get("X-Cache") != "hit" {
+		t.Errorf("equivalent POST missed the cache (X-Cache %q)", res.Header.Get("X-Cache"))
+	}
+	if s.Evaluations() != before {
+		t.Error("equivalent POST re-evaluated")
+	}
+	if !bytes.Equal(getBody, postBody) {
+		t.Error("POST and GET responses differ for the same canonical query")
+	}
+}
+

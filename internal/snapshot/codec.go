@@ -1,0 +1,315 @@
+// The binary codec of the snapshot format: a magic header, a format
+// version, and a sequence of named sections, each protected by its own
+// CRC-32. The encoding is deterministic — equal artifacts produce equal
+// bytes — which is what makes a snapshot's SHA-256 digest usable as a
+// content address (the serve layer keys its result cache on it).
+//
+// Integrity failures map to typed sentinel errors so callers can tell a
+// wrong file apart from a damaged one:
+//
+//	ErrBadMagic  — not a snapshot file at all
+//	ErrVersion   — a snapshot from a future (incompatible) format
+//	ErrTruncated — the file ends mid-structure
+//	ErrCorrupt   — a section's payload fails its checksum, or decodes
+//	               inconsistently after passing it
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"net/netip"
+)
+
+// Magic identifies a snapshot file. The trailing newline makes an
+// accidental text file misread fail fast.
+var magic = []byte("RPSNAP1\n")
+
+// Version is the current format version. Readers reject snapshots with a
+// larger version (the format is not forward-compatible); smaller versions
+// would be migrated here if the format ever evolves.
+const Version uint16 = 1
+
+// Typed integrity errors. Load never panics and never returns a
+// silently-wrong artifact: every malformed input lands on one of these.
+var (
+	ErrBadMagic  = errors.New("snapshot: not a snapshot file (bad magic)")
+	ErrVersion   = errors.New("snapshot: unsupported format version")
+	ErrTruncated = errors.New("snapshot: truncated file")
+	ErrCorrupt   = errors.New("snapshot: corrupt section")
+)
+
+// Section names of the current format. Unknown sections are skipped on
+// load (their CRC is still verified), so additive extensions stay
+// readable by this version's writer counterpart.
+const (
+	secWorld   = "world"
+	secDataset = "dataset"
+	secSeries  = "series"
+	secSpread  = "spread"
+	secCones   = "cones"
+)
+
+// enc is the append-only payload encoder. All integers are varint or
+// uvarint (LEB128 via encoding/binary), floats are IEEE-754 bit images,
+// and byte strings are length-prefixed.
+type enc struct {
+	buf []byte
+}
+
+func (e *enc) uvarint(v uint64)  { e.buf = binary.AppendUvarint(e.buf, v) }
+func (e *enc) varint(v int64)    { e.buf = binary.AppendVarint(e.buf, v) }
+func (e *enc) u8(v uint8)        { e.buf = append(e.buf, v) }
+func (e *enc) boolv(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *enc) f64(v float64)     { e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v)) }
+func (e *enc) bytes(b []byte)    { e.uvarint(uint64(len(b))); e.buf = append(e.buf, b...) }
+func (e *enc) str(s string)      { e.bytes([]byte(s)) }
+func (e *enc) intv(v int)        { e.varint(int64(v)) }
+func (e *enc) f64s(xs []float64) {
+	e.uvarint(uint64(len(xs)))
+	for _, x := range xs {
+		e.f64(x)
+	}
+}
+
+// addr encodes a netip.Addr via its canonical binary form, which
+// round-trips exactly for both families (every address in the generated
+// world is v4, but the codec does not rely on that).
+func (e *enc) addr(a netip.Addr) {
+	b, err := a.MarshalBinary()
+	if err != nil {
+		// netip.Addr.MarshalBinary cannot fail for valid addresses; an
+		// invalid zero Addr encodes as empty and decodes back to zero.
+		b = nil
+	}
+	e.bytes(b)
+}
+
+// prefix encodes a netip.Prefix the same way.
+func (e *enc) prefix(p netip.Prefix) {
+	b, err := p.MarshalBinary()
+	if err != nil {
+		b = nil
+	}
+	e.bytes(b)
+}
+
+// dec is the payload decoder. The first failure latches into err; every
+// subsequent read returns zero values, so decode paths read linearly and
+// check the error once. A latched failure is reported as ErrCorrupt: the
+// section's checksum already passed, so a short or malformed payload
+// means inconsistent bytes, not a short file.
+type dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: payload decode overran at offset %d", ErrCorrupt, d.off)
+	}
+}
+
+func (d *dec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *dec) u8() uint8 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) boolv() bool { return d.u8() != 0 }
+
+func (d *dec) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+func (d *dec) bytes() []byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.buf)-d.off) < n {
+		d.fail()
+		return nil
+	}
+	b := d.buf[d.off : d.off+int(n) : d.off+int(n)]
+	d.off += int(n)
+	return b
+}
+
+func (d *dec) str() string { return string(d.bytes()) }
+func (d *dec) intv() int   { return int(d.varint()) }
+
+func (d *dec) f64s() []float64 {
+	n := d.uvarint()
+	if d.err != nil || !d.fits(n, 8) {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+// fits guards count-prefixed allocations: a corrupt count that implies
+// more payload than the section holds fails decoding instead of
+// attempting a huge allocation. elemSize is the minimum encoded size of
+// one element.
+func (d *dec) fits(count uint64, elemSize int) bool {
+	if count > uint64(len(d.buf)-d.off)/uint64(elemSize) {
+		d.fail()
+		return false
+	}
+	return true
+}
+
+func (d *dec) addr() netip.Addr {
+	b := d.bytes()
+	if d.err != nil {
+		return netip.Addr{}
+	}
+	var a netip.Addr
+	if err := a.UnmarshalBinary(b); err != nil {
+		d.fail()
+		return netip.Addr{}
+	}
+	return a
+}
+
+func (d *dec) prefix() netip.Prefix {
+	b := d.bytes()
+	if d.err != nil {
+		return netip.Prefix{}
+	}
+	var p netip.Prefix
+	if err := p.UnmarshalBinary(b); err != nil {
+		d.fail()
+		return netip.Prefix{}
+	}
+	return p
+}
+
+// stringTable interns repeated strings (LG families, IXP acronyms) inside
+// a section: the table is emitted once, rows reference indices. Intern
+// order is first-appearance order, so the encoding stays deterministic.
+type stringTable struct {
+	byVal map[string]uint64
+	vals  []string
+}
+
+func (t *stringTable) ref(s string) uint64 {
+	if t.byVal == nil {
+		t.byVal = make(map[string]uint64)
+	}
+	if i, ok := t.byVal[s]; ok {
+		return i
+	}
+	i := uint64(len(t.vals))
+	t.byVal[s] = i
+	t.vals = append(t.vals, s)
+	return i
+}
+
+func (t *stringTable) encode(e *enc) {
+	e.uvarint(uint64(len(t.vals)))
+	for _, s := range t.vals {
+		e.str(s)
+	}
+}
+
+func decodeStringTable(d *dec) []string {
+	n := d.uvarint()
+	if d.err != nil || !d.fits(n, 1) {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = d.str()
+	}
+	return out
+}
+
+// section frames one named payload: name, length, payload, CRC-32 (IEEE)
+// of the payload.
+func appendSection(out []byte, name string, payload []byte) []byte {
+	var h enc
+	h.str(name)
+	h.uvarint(uint64(len(payload)))
+	out = append(out, h.buf...)
+	out = append(out, payload...)
+	return binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+}
+
+// readSection consumes one section from buf at off, verifying its CRC.
+func readSection(buf []byte, off int) (name string, payload []byte, next int, err error) {
+	d := &dec{buf: buf, off: off}
+	name = d.str()
+	n := d.uvarint()
+	if d.err != nil {
+		return "", nil, 0, fmt.Errorf("%w: section header at offset %d", ErrTruncated, off)
+	}
+	// Compare against the remainder without computing n+4: a corrupt
+	// header can declare a length near 2^64, and the addition would wrap
+	// past the guard into a panicking slice expression.
+	rem := uint64(len(buf) - d.off)
+	if n > rem || rem-n < 4 {
+		return "", nil, 0, fmt.Errorf("%w: section %q wants %d payload bytes, %d remain", ErrTruncated, name, n, rem)
+	}
+	payload = buf[d.off : d.off+int(n)]
+	sum := binary.BigEndian.Uint32(buf[d.off+int(n):])
+	if crc32.ChecksumIEEE(payload) != sum {
+		return "", nil, 0, fmt.Errorf("%w: section %q checksum mismatch", ErrCorrupt, name)
+	}
+	return name, payload, d.off + int(n) + 4, nil
+}

@@ -1,0 +1,804 @@
+// Package snapshot persists the reproduction's expensive artifacts — the
+// generated world, the collected traffic dataset, the measurement
+// campaign, the customer-cone tables, and the synthesised all-transit
+// series — to a versioned, CRC-protected binary file, and rehydrates them
+// so that every report computed from a loaded snapshot is byte-identical
+// to the one computed from the live objects.
+//
+// The guarantee rests on two facts the rest of the repo already enforces:
+// the analyses are deterministic pure functions of their inputs, and the
+// codec round-trips those inputs exactly (adjacency-list order, entry
+// order, observation order, IEEE-754 bit images). Derived state that is
+// cheap to recompute (ASN indexes, registry views, transient accounting)
+// is rebuilt on load through the owning packages' rehydration hooks
+// rather than persisted, so the file stays small and the derivations stay
+// in one place.
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"time"
+
+	"remotepeering/internal/asindex"
+	"remotepeering/internal/core"
+	"remotepeering/internal/lg"
+	"remotepeering/internal/netflow"
+	"remotepeering/internal/offload"
+	"remotepeering/internal/spread"
+	"remotepeering/internal/topo"
+	"remotepeering/internal/worldgen"
+)
+
+// Snapshot bundles the persistable artifacts. World is mandatory; the
+// rest are optional layers a caller includes when it has paid for them
+// (a world-only snapshot from rpworld, a world+dataset one from
+// rpoffload, a full one from a serve warm-up).
+type Snapshot struct {
+	// World is the generated (or perturbed) universe.
+	World *worldgen.World
+	// Dataset is the collected month of border traffic, if present.
+	Dataset *netflow.Dataset
+	// Spread is the measurement campaign, if present: raw observations,
+	// configs, and ground truth; the detector report is recomputed on
+	// load (deterministically, so byte-identically).
+	Spread *spread.Result
+	// Cones shares customer-cone tables across studies over the world's
+	// graph, if present. Save persists the rows filled so far; Load
+	// returns a cache primed with them and bound to the loaded world.
+	Cones *offload.ConeCache
+
+	// Digest is the SHA-256 of the encoded file, set by Save and Load —
+	// the content address the serve layer keys its result cache on.
+	Digest string
+}
+
+// Save encodes the snapshot to w and stamps s.Digest.
+func Save(w io.Writer, s *Snapshot) error {
+	if s == nil || s.World == nil {
+		return fmt.Errorf("snapshot: nil snapshot or world")
+	}
+	out := append([]byte(nil), magic...)
+	var vbuf [2]byte
+	vbuf[0] = byte(Version >> 8)
+	vbuf[1] = byte(Version)
+	out = append(out, vbuf[:]...)
+
+	out = appendSection(out, secWorld, encodeWorld(s.World))
+	if s.Dataset != nil {
+		out = appendSection(out, secDataset, encodeDataset(s.Dataset))
+		if in, outSeries, ok := s.Dataset.AllTransitSeriesCached(); ok {
+			out = appendSection(out, secSeries, encodeSeries(in, outSeries))
+		}
+	}
+	if s.Spread != nil {
+		out = appendSection(out, secSpread, encodeSpread(s.Spread))
+	}
+	if s.Cones != nil {
+		if ids, cones := s.Cones.Export(); len(ids) > 0 {
+			out = appendSection(out, secCones, encodeCones(ids, cones))
+		}
+	}
+
+	sum := sha256.Sum256(out)
+	s.Digest = hex.EncodeToString(sum[:])
+	_, err := w.Write(out)
+	return err
+}
+
+// Load decodes a snapshot from r, verifying the magic, the format
+// version, and every section checksum, and rehydrates the artifacts
+// against the decoded world. All failure paths return typed errors
+// (ErrBadMagic, ErrVersion, ErrTruncated, ErrCorrupt) — never a panic,
+// never a silently-wrong world.
+func Load(r io.Reader) (*Snapshot, error) {
+	buf, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: read: %w", err)
+	}
+	if len(buf) < len(magic) {
+		if string(buf) == string(magic[:len(buf)]) {
+			return nil, fmt.Errorf("%w: %d bytes is shorter than the header", ErrTruncated, len(buf))
+		}
+		return nil, ErrBadMagic
+	}
+	if string(buf[:len(magic)]) != string(magic) {
+		return nil, ErrBadMagic
+	}
+	if len(buf) < len(magic)+2 {
+		return nil, fmt.Errorf("%w: missing format version", ErrTruncated)
+	}
+	ver := uint16(buf[len(magic)])<<8 | uint16(buf[len(magic)+1])
+	if ver > Version {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads ≤ %d", ErrVersion, ver, Version)
+	}
+
+	sum := sha256.Sum256(buf)
+	s := &Snapshot{Digest: hex.EncodeToString(sum[:])}
+	var seriesIn, seriesOut []float64
+	haveSeries := false
+	for off := len(magic) + 2; off < len(buf); {
+		name, payload, next, err := readSection(buf, off)
+		if err != nil {
+			return nil, err
+		}
+		off = next
+		switch name {
+		case secWorld:
+			if s.World, err = decodeWorld(payload); err != nil {
+				return nil, err
+			}
+		case secDataset:
+			if s.World == nil {
+				return nil, fmt.Errorf("%w: dataset section before world section", ErrCorrupt)
+			}
+			if s.Dataset, err = decodeDataset(payload, s.World); err != nil {
+				return nil, err
+			}
+		case secSeries:
+			if seriesIn, seriesOut, err = decodeSeries(payload); err != nil {
+				return nil, err
+			}
+			haveSeries = true
+		case secSpread:
+			if s.World == nil {
+				return nil, fmt.Errorf("%w: spread section before world section", ErrCorrupt)
+			}
+			if s.Spread, err = decodeSpread(payload, s.World); err != nil {
+				return nil, err
+			}
+		case secCones:
+			if s.World == nil {
+				return nil, fmt.Errorf("%w: cones section before world section", ErrCorrupt)
+			}
+			if s.Cones, err = decodeCones(payload, s.World); err != nil {
+				return nil, err
+			}
+		default:
+			// Unknown section (an additive extension): checksum verified,
+			// content skipped.
+		}
+	}
+	if s.World == nil {
+		return nil, fmt.Errorf("%w: no world section", ErrTruncated)
+	}
+	if haveSeries {
+		if s.Dataset == nil {
+			return nil, fmt.Errorf("%w: series section without dataset section", ErrCorrupt)
+		}
+		if err := s.Dataset.PrimeAllTransitSeries(seriesIn, seriesOut); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+	}
+	return s, nil
+}
+
+// SaveFile writes the snapshot atomically (temp file + rename), so a
+// crash mid-save never leaves a truncated snapshot under the target path.
+func SaveFile(path string, s *Snapshot) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := Save(tmp, s); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadFile reads a snapshot from a file.
+func LoadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// --- world ---
+
+func encodeWorld(w *worldgen.World) []byte {
+	var e enc
+
+	// Config.
+	e.varint(w.Cfg.Seed)
+	e.intv(w.Cfg.LeafNetworks)
+	e.f64(w.Cfg.RegistryASNCoverage)
+	e.intv(w.Cfg.CampaignDays)
+	e.intv(w.Cfg.Workers)
+
+	// Networks, in ascending ASN order (the graph's own canonical order).
+	asns := w.Graph.ASNs()
+	e.uvarint(uint64(len(asns)))
+	for _, asn := range asns {
+		n := w.Graph.Network(asn)
+		e.uvarint(uint64(n.ASN))
+		e.str(n.Name)
+		e.u8(uint8(n.Kind))
+		e.str(n.City)
+		e.u8(uint8(n.Policy))
+		e.intv(n.SizeRank)
+		e.varint(n.IPInterfaces)
+	}
+
+	// Adjacency lists, verbatim (order is load-bearing for BFS and RIB
+	// traversals). Keys iterate in ascending ASN order for determinism;
+	// empty lists are skipped.
+	encodeAdj := func(of func(topo.ASN) []topo.ASN) {
+		count := 0
+		for _, asn := range asns {
+			if len(of(asn)) > 0 {
+				count++
+			}
+		}
+		e.uvarint(uint64(count))
+		for _, asn := range asns {
+			list := of(asn)
+			if len(list) == 0 {
+				continue
+			}
+			e.uvarint(uint64(asn))
+			e.uvarint(uint64(len(list)))
+			for _, other := range list {
+				e.uvarint(uint64(other))
+			}
+		}
+	}
+	encodeAdj(w.Graph.Providers)
+	encodeAdj(w.Graph.Customers)
+	encodeAdj(w.Graph.Peers)
+
+	// IXPs.
+	e.uvarint(uint64(len(w.IXPs)))
+	for _, x := range w.IXPs {
+		e.str(x.Acronym)
+		e.str(x.FullName)
+		e.uvarint(uint64(len(x.Cities)))
+		for _, c := range x.Cities {
+			e.str(c)
+		}
+		e.str(x.Country)
+		e.f64(x.PeakTrafficTbps)
+		e.prefix(x.Subnet)
+		e.boolv(x.HasPCHLG)
+		e.boolv(x.HasRIPELG)
+		e.uvarint(uint64(len(x.Members)))
+		for _, m := range x.Members {
+			e.uvarint(uint64(m.ASN))
+			e.boolv(m.Remote)
+			e.str(m.Provider)
+			e.str(m.AccessCity)
+			e.intv(m.Location)
+			e.addr(m.IP)
+		}
+	}
+
+	// Probe-target interface records.
+	e.uvarint(uint64(len(w.Ifaces)))
+	for i := range w.Ifaces {
+		rec := &w.Ifaces[i]
+		e.intv(rec.IXPIndex)
+		e.addr(rec.IP)
+		e.uvarint(uint64(rec.ASN))
+		e.boolv(rec.Remote)
+		e.str(rec.AccessCity)
+		e.intv(rec.Location)
+		e.u8(uint8(rec.Hazard))
+		e.u8(rec.OddTTL)
+		e.f64(rec.SwitchFrac)
+		e.uvarint(uint64(rec.ChurnASN))
+		e.boolv(rec.RegistryHasASN)
+		e.u8(rec.InitTTL)
+	}
+
+	// Physics and well-known roles.
+	for _, d := range w.PseudowireDelta {
+		e.varint(int64(d))
+	}
+	e.uvarint(uint64(w.RedIRIS))
+	e.uvarint(uint64(w.Geant))
+	e.uvarint(uint64(w.Transit1))
+	e.uvarint(uint64(w.Transit2))
+	encodeASNs := func(list []topo.ASN) {
+		e.uvarint(uint64(len(list)))
+		for _, a := range list {
+			e.uvarint(uint64(a))
+		}
+	}
+	encodeASNs(w.Tier1s)
+	encodeASNs(w.NRENs)
+	encodeASNs(w.PeeredCDNs)
+	return e.buf
+}
+
+func decodeWorld(payload []byte) (*worldgen.World, error) {
+	d := &dec{buf: payload}
+	w := &worldgen.World{}
+
+	w.Cfg.Seed = d.varint()
+	w.Cfg.LeafNetworks = d.intv()
+	w.Cfg.RegistryASNCoverage = d.f64()
+	w.Cfg.CampaignDays = d.intv()
+	w.Cfg.Workers = d.intv()
+
+	nNets := d.uvarint()
+	if d.err != nil || !d.fits(nNets, 7) {
+		return nil, d.err
+	}
+	nets := make([]*topo.Network, nNets)
+	for i := range nets {
+		n := &topo.Network{}
+		n.ASN = topo.ASN(d.uvarint())
+		n.Name = d.str()
+		n.Kind = topo.NetworkKind(d.u8())
+		n.City = d.str()
+		n.Policy = topo.PeeringPolicy(d.u8())
+		n.SizeRank = d.intv()
+		n.IPInterfaces = d.varint()
+		nets[i] = n
+	}
+
+	decodeAdj := func() map[topo.ASN][]topo.ASN {
+		count := d.uvarint()
+		if d.err != nil || !d.fits(count, 3) {
+			return nil
+		}
+		adj := make(map[topo.ASN][]topo.ASN, count)
+		for i := uint64(0); i < count; i++ {
+			asn := topo.ASN(d.uvarint())
+			n := d.uvarint()
+			if d.err != nil || !d.fits(n, 1) {
+				return nil
+			}
+			list := make([]topo.ASN, n)
+			for k := range list {
+				list[k] = topo.ASN(d.uvarint())
+			}
+			adj[asn] = list
+		}
+		return adj
+	}
+	providers := decodeAdj()
+	customers := decodeAdj()
+	peers := decodeAdj()
+	if d.err != nil {
+		return nil, d.err
+	}
+	g, err := topo.Restore(nets, providers, customers, peers)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	w.Graph = g
+
+	nIXPs := d.uvarint()
+	if d.err != nil || !d.fits(nIXPs, 10) {
+		return nil, d.err
+	}
+	w.IXPs = make([]*topo.IXP, nIXPs)
+	for i := range w.IXPs {
+		x := &topo.IXP{}
+		x.Acronym = d.str()
+		x.FullName = d.str()
+		nCities := d.uvarint()
+		if d.err != nil || !d.fits(nCities, 1) {
+			return nil, d.err
+		}
+		if nCities > 0 {
+			x.Cities = make([]string, nCities)
+		}
+		for k := range x.Cities {
+			x.Cities[k] = d.str()
+		}
+		x.Country = d.str()
+		x.PeakTrafficTbps = d.f64()
+		x.Subnet = d.prefix()
+		x.HasPCHLG = d.boolv()
+		x.HasRIPELG = d.boolv()
+		nMembers := d.uvarint()
+		if d.err != nil || !d.fits(nMembers, 6) {
+			return nil, d.err
+		}
+		if nMembers > 0 {
+			x.Members = make([]topo.Membership, nMembers)
+		}
+		for k := range x.Members {
+			m := &x.Members[k]
+			m.ASN = topo.ASN(d.uvarint())
+			m.Remote = d.boolv()
+			m.Provider = d.str()
+			m.AccessCity = d.str()
+			m.Location = d.intv()
+			m.IP = d.addr()
+		}
+		w.IXPs[i] = x
+	}
+
+	nIfaces := d.uvarint()
+	if d.err != nil || !d.fits(nIfaces, 16) {
+		return nil, d.err
+	}
+	if nIfaces > 0 {
+		w.Ifaces = make([]worldgen.IfaceRecord, nIfaces)
+	}
+	for i := range w.Ifaces {
+		rec := &w.Ifaces[i]
+		rec.IXPIndex = d.intv()
+		rec.IP = d.addr()
+		rec.ASN = topo.ASN(d.uvarint())
+		rec.Remote = d.boolv()
+		rec.AccessCity = d.str()
+		rec.Location = d.intv()
+		rec.Hazard = worldgen.HazardKind(d.u8())
+		rec.OddTTL = d.u8()
+		rec.SwitchFrac = d.f64()
+		rec.ChurnASN = topo.ASN(d.uvarint())
+		rec.RegistryHasASN = d.boolv()
+		rec.InitTTL = d.u8()
+	}
+
+	for i := range w.PseudowireDelta {
+		w.PseudowireDelta[i] = time.Duration(d.varint())
+	}
+	w.RedIRIS = topo.ASN(d.uvarint())
+	w.Geant = topo.ASN(d.uvarint())
+	w.Transit1 = topo.ASN(d.uvarint())
+	w.Transit2 = topo.ASN(d.uvarint())
+	decodeASNs := func() []topo.ASN {
+		n := d.uvarint()
+		if d.err != nil || !d.fits(n, 1) {
+			return nil
+		}
+		if n == 0 {
+			return nil
+		}
+		out := make([]topo.ASN, n)
+		for i := range out {
+			out[i] = topo.ASN(d.uvarint())
+		}
+		return out
+	}
+	w.Tier1s = decodeASNs()
+	w.NRENs = decodeASNs()
+	w.PeeredCDNs = decodeASNs()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes in world section", ErrCorrupt, len(d.buf)-d.off)
+	}
+
+	// Derived state: the dense index from the restored universe, the
+	// static spec table from the package constants.
+	w.Index = asindex.New(w.Graph.ASNs())
+	if err := w.RestoreSpecTable(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return w, nil
+}
+
+// --- dataset ---
+
+func encodeDataset(ds *netflow.Dataset) []byte {
+	var e enc
+	e.varint(ds.Cfg.Seed)
+	e.intv(ds.Cfg.Intervals)
+	e.varint(int64(ds.Cfg.IntervalLength))
+	e.f64(ds.Cfg.TotalInboundBps)
+	e.f64(ds.Cfg.TotalOutboundBps)
+	e.f64(ds.Cfg.PhaseHours)
+	e.intv(ds.Cfg.Workers)
+	e.uvarint(uint64(len(ds.Entries)))
+	for i := range ds.Entries {
+		en := &ds.Entries[i]
+		e.uvarint(uint64(en.ASN))
+		e.f64(en.AvgInBps)
+		e.f64(en.AvgOutBps)
+		e.boolv(en.Transit)
+		e.uvarint(uint64(len(en.Path)))
+		for _, hop := range en.Path {
+			e.uvarint(uint64(hop))
+		}
+	}
+	return e.buf
+}
+
+func decodeDataset(payload []byte, w *worldgen.World) (*netflow.Dataset, error) {
+	d := &dec{buf: payload}
+	var cfg netflow.Config
+	cfg.Seed = d.varint()
+	cfg.Intervals = d.intv()
+	cfg.IntervalLength = time.Duration(d.varint())
+	cfg.TotalInboundBps = d.f64()
+	cfg.TotalOutboundBps = d.f64()
+	cfg.PhaseHours = d.f64()
+	cfg.Workers = d.intv()
+	n := d.uvarint()
+	if d.err != nil || !d.fits(n, 20) {
+		return nil, d.err
+	}
+	entries := make([]netflow.Entry, n)
+	for i := range entries {
+		en := &entries[i]
+		en.ASN = topo.ASN(d.uvarint())
+		en.AvgInBps = d.f64()
+		en.AvgOutBps = d.f64()
+		en.Transit = d.boolv()
+		hops := d.uvarint()
+		if d.err != nil || !d.fits(hops, 1) {
+			return nil, d.err
+		}
+		if hops > 0 {
+			en.Path = make([]topo.ASN, hops)
+		}
+		for k := range en.Path {
+			en.Path[k] = topo.ASN(d.uvarint())
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes in dataset section", ErrCorrupt, len(d.buf)-d.off)
+	}
+	ds, err := netflow.Rehydrate(w, cfg, entries)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return ds, nil
+}
+
+// --- series cache ---
+
+func encodeSeries(in, out []float64) []byte {
+	var e enc
+	e.f64s(in)
+	e.f64s(out)
+	return e.buf
+}
+
+func decodeSeries(payload []byte) (in, out []float64, err error) {
+	d := &dec{buf: payload}
+	in = d.f64s()
+	out = d.f64s()
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes in series section", ErrCorrupt, len(d.buf)-d.off)
+	}
+	return in, out, nil
+}
+
+// --- spread campaign ---
+
+func encodeSpread(r *spread.Result) []byte {
+	var e enc
+
+	// Measurement seed + campaign config.
+	e.varint(r.Seed)
+	e.varint(int64(r.Campaign.Duration))
+	e.intv(r.Campaign.PCHRounds)
+	e.intv(r.Campaign.RIPERounds)
+	e.intv(r.Campaign.PingsPerQueryPCH)
+	e.intv(r.Campaign.PingsPerQueryRIPE)
+	e.varint(int64(r.Campaign.QuerySpacing))
+	e.varint(int64(r.Campaign.PingTimeout))
+
+	// Detector config.
+	e.varint(int64(r.Detector.RemoteThreshold))
+	e.intv(r.Detector.MinRepliesPerLG)
+	e.intv(r.Detector.MinConsistentReplies)
+	e.varint(int64(r.Detector.ConsistencyAbs))
+	e.f64(r.Detector.ConsistencyFrac)
+	e.uvarint(uint64(len(r.Detector.AcceptedTTLs)))
+	for _, t := range r.Detector.AcceptedTTLs {
+		e.u8(t)
+	}
+	disabled := make([]int, 0, len(r.Detector.Disabled))
+	for f, on := range r.Detector.Disabled {
+		if on {
+			disabled = append(disabled, int(f))
+		}
+	}
+	for i := 1; i < len(disabled); i++ { // tiny insertion sort, stable bytes
+		for j := i; j > 0 && disabled[j] < disabled[j-1]; j-- {
+			disabled[j], disabled[j-1] = disabled[j-1], disabled[j]
+		}
+	}
+	e.uvarint(uint64(len(disabled)))
+	for _, f := range disabled {
+		e.intv(f)
+	}
+
+	// Ground truth.
+	ixps, remote := r.RemoteTruth()
+	e.uvarint(uint64(len(ixps)))
+	for k, idx := range ixps {
+		e.intv(idx)
+		e.uvarint(uint64(len(remote[k])))
+		for _, ip := range remote[k] {
+			e.addr(ip)
+		}
+	}
+
+	// Raw observations, with interned acronym/family strings. The table
+	// is built in first-appearance order and emitted before the rows.
+	var table stringTable
+	var rows enc
+	for i := range r.Raw {
+		o := &r.Raw[i]
+		rows.intv(o.IXPIndex)
+		rows.uvarint(table.ref(o.Acronym))
+		rows.uvarint(table.ref(o.Family))
+		rows.addr(o.Target)
+		rows.varint(int64(o.SentAt))
+		rows.varint(int64(o.RTT))
+		rows.u8(o.TTL)
+		rows.boolv(o.TimedOut)
+	}
+	table.encode(&e)
+	e.uvarint(uint64(len(r.Raw)))
+	e.buf = append(e.buf, rows.buf...)
+	return e.buf
+}
+
+func decodeSpread(payload []byte, w *worldgen.World) (*spread.Result, error) {
+	d := &dec{buf: payload}
+
+	seed := d.varint()
+	var campaign lg.Config
+	campaign.Duration = time.Duration(d.varint())
+	campaign.PCHRounds = d.intv()
+	campaign.RIPERounds = d.intv()
+	campaign.PingsPerQueryPCH = d.intv()
+	campaign.PingsPerQueryRIPE = d.intv()
+	campaign.QuerySpacing = time.Duration(d.varint())
+	campaign.PingTimeout = time.Duration(d.varint())
+
+	var detector core.Config
+	detector.RemoteThreshold = time.Duration(d.varint())
+	detector.MinRepliesPerLG = d.intv()
+	detector.MinConsistentReplies = d.intv()
+	detector.ConsistencyAbs = time.Duration(d.varint())
+	detector.ConsistencyFrac = d.f64()
+	nTTL := d.uvarint()
+	if d.err != nil || !d.fits(nTTL, 1) {
+		return nil, d.err
+	}
+	if nTTL > 0 {
+		detector.AcceptedTTLs = make([]uint8, nTTL)
+		for i := range detector.AcceptedTTLs {
+			detector.AcceptedTTLs[i] = d.u8()
+		}
+	}
+	nDisabled := d.uvarint()
+	if d.err != nil || !d.fits(nDisabled, 1) {
+		return nil, d.err
+	}
+	if nDisabled > 0 {
+		detector.Disabled = make(map[core.Filter]bool, nDisabled)
+		for i := uint64(0); i < nDisabled; i++ {
+			detector.Disabled[core.Filter(d.intv())] = true
+		}
+	}
+
+	nIXPs := d.uvarint()
+	if d.err != nil || !d.fits(nIXPs, 2) {
+		return nil, d.err
+	}
+	ixps := make([]int, nIXPs)
+	remoteSets := make([][]netip.Addr, nIXPs)
+	for k := range ixps {
+		ixps[k] = d.intv()
+		n := d.uvarint()
+		if d.err != nil || !d.fits(n, 1) {
+			return nil, d.err
+		}
+		ips := make([]netip.Addr, n)
+		for i := range ips {
+			ips[i] = d.addr()
+		}
+		remoteSets[k] = ips
+	}
+
+	table := decodeStringTable(d)
+	nObs := d.uvarint()
+	if d.err != nil || !d.fits(nObs, 8) {
+		return nil, d.err
+	}
+	raw := make([]lg.Observation, nObs)
+	lookup := func(i uint64) string {
+		if i >= uint64(len(table)) {
+			d.fail()
+			return ""
+		}
+		return table[i]
+	}
+	for i := range raw {
+		o := &raw[i]
+		o.IXPIndex = d.intv()
+		o.Acronym = lookup(d.uvarint())
+		o.Family = lookup(d.uvarint())
+		o.Target = d.addr()
+		o.SentAt = time.Duration(d.varint())
+		o.RTT = time.Duration(d.varint())
+		o.TTL = d.u8()
+		o.TimedOut = d.boolv()
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes in spread section", ErrCorrupt, len(d.buf)-d.off)
+	}
+	res, err := spread.Rehydrate(w, seed, campaign, detector, raw, ixps, remoteSets)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return res, nil
+}
+
+// --- cone tables ---
+
+func encodeCones(ids []int32, cones [][]int32) []byte {
+	var e enc
+	e.uvarint(uint64(len(ids)))
+	for k, id := range ids {
+		e.uvarint(uint64(uint32(id)))
+		e.uvarint(uint64(len(cones[k])))
+		// Cones are sorted ascending; delta encoding keeps rows compact.
+		prev := int32(0)
+		for _, c := range cones[k] {
+			e.uvarint(uint64(uint32(c - prev)))
+			prev = c
+		}
+	}
+	return e.buf
+}
+
+func decodeCones(payload []byte, w *worldgen.World) (*offload.ConeCache, error) {
+	d := &dec{buf: payload}
+	n := d.uvarint()
+	if d.err != nil || !d.fits(n, 2) {
+		return nil, d.err
+	}
+	ids := make([]int32, n)
+	cones := make([][]int32, n)
+	for k := range ids {
+		ids[k] = int32(uint32(d.uvarint()))
+		m := d.uvarint()
+		if d.err != nil || !d.fits(m, 1) {
+			return nil, d.err
+		}
+		row := make([]int32, m)
+		prev := int32(0)
+		for i := range row {
+			prev += int32(uint32(d.uvarint()))
+			row[i] = prev
+		}
+		cones[k] = row
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes in cones section", ErrCorrupt, len(d.buf)-d.off)
+	}
+	cc := offload.NewConeCache()
+	if err := cc.Prime(w, ids, cones); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return cc, nil
+}

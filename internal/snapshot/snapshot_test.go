@@ -1,0 +1,320 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"remotepeering/internal/lg"
+	"remotepeering/internal/netflow"
+	"remotepeering/internal/offload"
+	"remotepeering/internal/spread"
+	"remotepeering/internal/worldgen"
+)
+
+// testWorld generates a reduced-scale world shared by the tests.
+func testWorld(t testing.TB) *worldgen.World {
+	t.Helper()
+	w, err := worldgen.Generate(worldgen.Config{Seed: 7, LeafNetworks: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func roundTrip(t testing.TB, s *Snapshot) *Snapshot {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Digest != s.Digest {
+		t.Errorf("digest mismatch: save %s, load %s", s.Digest, loaded.Digest)
+	}
+	return loaded
+}
+
+// TestWorldRoundTrip pins the strongest world guarantee the format can
+// give: the loaded World is deeply equal to the saved one — graph,
+// adjacency order, memberships, interface records, derived index, and the
+// restored spec table included.
+func TestWorldRoundTrip(t *testing.T) {
+	w := testWorld(t)
+	loaded := roundTrip(t, &Snapshot{World: w}).World
+
+	// Materialise the loaded graph's lazy ASN cache so the comparison
+	// sees both sides in the same (warm) state.
+	loaded.Graph.ASNs()
+	if !reflect.DeepEqual(w, loaded) {
+		t.Fatal("loaded world is not deeply equal to the saved world")
+	}
+}
+
+// TestWorldRoundTripPerturbed pins that a perturbed world (pseudowire
+// shifts, membership surgery) snapshots faithfully too — the serve layer
+// saves worlds that scenario ops have already touched.
+func TestWorldRoundTripPerturbed(t *testing.T) {
+	w := testWorld(t).Clone()
+	w.PseudowireDelta[1] = -3 * time.Millisecond
+	if err := w.RemoveIXPMembers(3); err != nil {
+		t.Fatal(err)
+	}
+	loaded := roundTrip(t, &Snapshot{World: w}).World
+	loaded.Graph.ASNs()
+	w.Graph.ASNs()
+	if !reflect.DeepEqual(w, loaded) {
+		t.Fatal("loaded perturbed world differs from the saved one")
+	}
+}
+
+// TestDatasetRoundTrip pins dataset equivalence: entries round-trip
+// exactly, derived tables rebuild bit-identically, and a persisted series
+// cache serves the same bytes the live synthesis produced.
+func TestDatasetRoundTrip(t *testing.T) {
+	w := testWorld(t)
+	ds, err := netflow.Collect(w, netflow.Config{Seed: 11, Intervals: 288})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveIn, liveOut := ds.SeriesTotal(nil) // warm the cache so Save persists it
+
+	loaded := roundTrip(t, &Snapshot{World: w, Dataset: ds})
+	lds := loaded.Dataset
+	if lds == nil {
+		t.Fatal("loaded snapshot has no dataset")
+	}
+	if !reflect.DeepEqual(ds.Entries, lds.Entries) {
+		t.Error("entries differ after round trip")
+	}
+	if !reflect.DeepEqual(ds.Cfg, lds.Cfg) {
+		t.Errorf("config differs after round trip: %+v vs %+v", ds.Cfg, lds.Cfg)
+	}
+	in1, out1 := ds.TransitTotals()
+	in2, out2 := lds.TransitTotals()
+	if in1 != in2 || out1 != out2 {
+		t.Errorf("transit totals differ: (%v,%v) vs (%v,%v)", in1, out1, in2, out2)
+	}
+	// The primed cache must hand out the exact bytes without synthesis.
+	gotIn, gotOut, ok := lds.AllTransitSeriesCached()
+	if !ok {
+		t.Fatal("loaded dataset's series cache is cold despite the series section")
+	}
+	if !reflect.DeepEqual(liveIn, gotIn) || !reflect.DeepEqual(liveOut, gotOut) {
+		t.Error("persisted series differ from the live synthesis")
+	}
+	// And the query path must agree too.
+	qIn, qOut := lds.SeriesTotal(nil)
+	if !reflect.DeepEqual(liveIn, qIn) || !reflect.DeepEqual(liveOut, qOut) {
+		t.Error("SeriesTotal over the loaded dataset differs from live")
+	}
+	// Transient accounting rebuilt in the same fold order.
+	for _, e := range ds.TransitEntries()[:50] {
+		a1, b1, c1 := ds.Transient(e.ASN)
+		a2, b2, c2 := lds.Transient(e.ASN)
+		if a1 != a2 || b1 != b2 || c1 != c2 {
+			t.Fatalf("transient accounting differs for ASN %d", e.ASN)
+		}
+	}
+}
+
+// TestSpreadRoundTrip pins campaign equivalence: the rehydrated Result
+// carries the same observations and reproduces the detector report and
+// the ground-truth validation byte-for-byte.
+func TestSpreadRoundTrip(t *testing.T) {
+	w := testWorld(t)
+	opts := spread.Options{
+		Seed: 5,
+		IXPs: []int{0, 2},
+		Campaign: lg.Config{
+			Duration:   10 * 24 * time.Hour,
+			PCHRounds:  4,
+			RIPERounds: 3,
+		},
+	}
+	res, err := spread.Run(w, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loaded := roundTrip(t, &Snapshot{World: w, Spread: res})
+	lres := loaded.Spread
+	if lres == nil {
+		t.Fatal("loaded snapshot has no spread result")
+	}
+	if !reflect.DeepEqual(res.Raw, lres.Raw) {
+		t.Error("raw observations differ after round trip")
+	}
+	if !reflect.DeepEqual(res.Report, lres.Report) {
+		t.Error("detector report differs after round trip")
+	}
+	if res.Validation != lres.Validation {
+		t.Errorf("validation differs: %+v vs %+v", res.Validation, lres.Validation)
+	}
+	if res.Observations != lres.Observations {
+		t.Errorf("observation count differs: %d vs %d", res.Observations, lres.Observations)
+	}
+	// Ground truth answers identically for every probed interface.
+	for _, o := range res.Raw {
+		if res.Truth(o.IXPIndex, o.Target) != lres.Truth(o.IXPIndex, o.Target) {
+			t.Fatalf("truth differs for IXP %d target %s", o.IXPIndex, o.Target)
+		}
+	}
+}
+
+// TestConesRoundTrip pins that persisted cone tables prime a cache that
+// yields the same analysis as freshly computed cones.
+func TestConesRoundTrip(t *testing.T) {
+	w := testWorld(t)
+	ds, err := netflow.Collect(w, netflow.Config{Seed: 11, Intervals: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cones := offload.NewConeCache()
+	study, err := offload.NewStudyOptions(w, ds, offload.Options{Cones: cones})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGreedy := study.Greedy(offload.GroupAll, 10)
+
+	loaded := roundTrip(t, &Snapshot{World: w, Dataset: ds, Cones: cones})
+	if loaded.Cones == nil {
+		t.Fatal("loaded snapshot has no cone cache")
+	}
+	study2, err := offload.NewStudyOptions(loaded.World, loaded.Dataset, offload.Options{Cones: loaded.Cones})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := study2.Greedy(offload.GroupAll, 10); !reflect.DeepEqual(wantGreedy, got) {
+		t.Error("greedy expansion differs when primed from persisted cones")
+	}
+}
+
+// TestIntegrityFailures pins the typed-error contract of Load: truncated
+// files, flipped bytes, future versions, and non-snapshot files all land
+// on the right sentinel and never panic.
+func TestIntegrityFailures(t *testing.T) {
+	w := testWorld(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, &Snapshot{World: w}); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	check := func(name string, data []byte, want error) {
+		t.Helper()
+		s, err := Load(bytes.NewReader(data))
+		if !errors.Is(err, want) {
+			t.Errorf("%s: err = %v, want %v", name, err, want)
+		}
+		if s != nil {
+			t.Errorf("%s: got a non-nil snapshot alongside the error", name)
+		}
+	}
+
+	check("empty file", nil, ErrTruncated)
+	check("half a magic", good[:4], ErrTruncated)
+	check("missing version", good[:len(magic)], ErrTruncated)
+	check("header only", good[:len(magic)+2], ErrTruncated)
+	check("mid-section cut", good[:len(good)*2/3], ErrTruncated)
+	check("last byte missing", good[:len(good)-1], ErrTruncated)
+
+	garbage := append([]byte("definitely not a snapshot file, "), good...)
+	check("text file", garbage, ErrBadMagic)
+	wrongMagic := append([]byte(nil), good...)
+	wrongMagic[0] ^= 0xFF
+	check("flipped magic byte", wrongMagic, ErrBadMagic)
+
+	future := append([]byte(nil), good...)
+	future[len(magic)] = 0xFF // version 0xFF00+
+	check("future version", future, ErrVersion)
+
+	// Flip one byte deep inside a section payload: the section CRC must
+	// catch it. Several offsets, to cover different sections/fields.
+	for _, off := range []int{len(magic) + 20, len(good) / 3, len(good) / 2, len(good) - 10} {
+		flipped := append([]byte(nil), good...)
+		flipped[off] ^= 0x40
+		s, err := Load(bytes.NewReader(flipped))
+		// Depending on where the flip lands (payload vs section framing),
+		// the loader reports corruption or truncation — but never
+		// success, never a panic.
+		if err == nil {
+			t.Errorf("flip at %d: load succeeded on corrupt data", off)
+		} else if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+			t.Errorf("flip at %d: err = %v, want ErrCorrupt or ErrTruncated", off, err)
+		}
+		if s != nil {
+			t.Errorf("flip at %d: got a non-nil snapshot alongside the error", off)
+		}
+	}
+}
+
+// TestHugeSectionLengthNoPanic pins the overflow edge of the section
+// framing: a corrupt header declaring a near-2^64 payload length must
+// land on ErrTruncated, not wrap the bounds check into a slice panic.
+func TestHugeSectionLengthNoPanic(t *testing.T) {
+	header := append([]byte(nil), magic...)
+	header = append(header, byte(Version>>8), byte(Version))
+	var e enc
+	e.str("world")
+	e.uvarint(^uint64(0)) // 2^64-1: n+4 would wrap to 3
+	evil := append(header, e.buf...)
+	evil = append(evil, []byte("some trailing bytes")...)
+	s, err := Load(bytes.NewReader(evil))
+	if !errors.Is(err, ErrTruncated) {
+		t.Errorf("huge section length: err = %v, want ErrTruncated", err)
+	}
+	if s != nil {
+		t.Error("got a non-nil snapshot alongside the error")
+	}
+}
+
+// TestUnknownSectionSkipped pins forward compatibility inside a format
+// version: an additive section this build does not know is skipped (after
+// CRC verification) rather than rejected.
+func TestUnknownSectionSkipped(t *testing.T) {
+	w := testWorld(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, &Snapshot{World: w}); err != nil {
+		t.Fatal(err)
+	}
+	extended := appendSection(buf.Bytes(), "future-extension", []byte("opaque payload"))
+	s, err := Load(bytes.NewReader(extended))
+	if err != nil {
+		t.Fatalf("load with unknown section: %v", err)
+	}
+	if s.World == nil {
+		t.Fatal("world lost while skipping unknown section")
+	}
+}
+
+// TestSaveFileAtomic pins SaveFile/LoadFile and that the digest is stable
+// across processes (same artifacts → same bytes → same digest).
+func TestSaveFileAtomic(t *testing.T) {
+	w := testWorld(t)
+	path := t.TempDir() + "/world.rpsnap"
+	s1 := &Snapshot{World: w}
+	if err := SaveFile(path, s1); err != nil {
+		t.Fatal(err)
+	}
+	s2 := &Snapshot{World: w}
+	var buf bytes.Buffer
+	if err := Save(&buf, s2); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Digest != s2.Digest {
+		t.Errorf("digest not deterministic: %s vs %s", s1.Digest, s2.Digest)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Digest != s1.Digest {
+		t.Errorf("file digest %s differs from save digest %s", loaded.Digest, s1.Digest)
+	}
+}

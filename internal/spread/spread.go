@@ -8,6 +8,7 @@
 package spread
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -64,7 +65,8 @@ type Options struct {
 // IXP simulates in its own engine with RNG streams keyed by (seed, IXP
 // index) alone, an unchanged IXP reproduces its observation stream
 // byte-for-byte — splicing is a pure cost optimisation, pinned by the
-// scenario engine's reuse-equivalence tests.
+// scenario engine's reuse-equivalence tests. A Result rehydrated from a
+// snapshot (Rehydrate) is a valid From under the same obligations.
 type Reuse struct {
 	// From is the prior campaign.
 	From *Result
@@ -92,13 +94,22 @@ type Result struct {
 	Truth func(ixpIndex int, ip netip.Addr) bool
 	// Campaign is the effective campaign configuration.
 	Campaign lg.Config
+	// Detector is the detector configuration the observations were
+	// analyzed under, and Seed the measurement seed the campaign ran
+	// with — recorded so persistence layers can both re-run the same
+	// analysis byte-identically and answer "does this stored campaign
+	// satisfy that query?".
+	Detector core.Config
+	Seed     int64
 
 	// perIXP retains each simulated (or spliced) IXP's raw observation
-	// stream (only when Options.Retain was set) and sims the ground-truth
-	// simulators, so a later Run can splice clean IXPs through
-	// Options.Reuse.
+	// stream (only when Options.Retain was set) so a later Run can splice
+	// clean IXPs through Options.Reuse. truth holds each IXP's ground-truth
+	// table (target IP → remoteness) — the one piece of the discrete-event
+	// simulation that outlives it, always retained: Validate, Reuse, and
+	// snapshot persistence all read remoteness through it.
 	perIXP map[int][]lg.Observation
-	sims   map[int]*ixpsim.SimIXP
+	truth  map[int]map[netip.Addr]bool
 }
 
 // Reanalyze re-runs the detector over the campaign's raw observations with
@@ -109,6 +120,18 @@ func (r *Result) Reanalyze(w *worldgen.World, cfg core.Config) (*core.Report, er
 
 // Run reproduces Section 3 over the given world.
 func Run(w *worldgen.World, opts Options) (*Result, error) {
+	return RunCtx(context.Background(), w, opts)
+}
+
+// RunCtx is Run with cooperative cancellation at per-IXP granularity:
+// once ctx is done, no further IXP simulation starts and the call returns
+// ctx.Err(). The scenario engine passes its cell context here so an
+// abandoned what-if stops inside the campaign — the pipeline's longest
+// stage — rather than running all studied IXPs to completion.
+func RunCtx(ctx context.Context, w *worldgen.World, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if w == nil {
 		return nil, fmt.Errorf("spread: nil world")
 	}
@@ -143,17 +166,17 @@ func Run(w *worldgen.World, opts Options) (*Result, error) {
 	}
 
 	type ixpRun struct {
-		sim *ixpsim.SimIXP
-		obs []lg.Observation
+		truth map[netip.Addr]bool
+		obs   []lg.Observation
 	}
-	runs, err := parallel.MapErr(opts.Workers, len(ixps), func(k int) (ixpRun, error) {
+	runs, err := parallel.MapErrCtx(ctx, opts.Workers, len(ixps), func(k int) (ixpRun, error) {
 		idx := ixps[k]
 		if r := opts.Reuse; r != nil && r.From != nil && (r.Dirty == nil || !r.Dirty(idx)) {
 			if obs, ok := r.From.perIXP[idx]; ok {
 				// Unchanged IXP: splice the prior campaign's raw stream
-				// (and its ground-truth simulator) instead of re-running
-				// the discrete-event simulation.
-				return ixpRun{sim: r.From.sims[idx], obs: obs}, nil
+				// (and its ground-truth table) instead of re-running the
+				// discrete-event simulation.
+				return ixpRun{truth: r.From.truth[idx], obs: obs}, nil
 			}
 		}
 		var e netsim.Engine
@@ -176,20 +199,20 @@ func Run(w *worldgen.World, opts Options) (*Result, error) {
 		// parallel), and spliced streams arrive pre-sorted for free.
 		obs := camp.Raw()
 		lg.Sort(obs)
-		return ixpRun{sim: sim, obs: obs}, nil
+		return ixpRun{truth: sim.TruthMap(), obs: obs}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	sims := make(map[int]*ixpsim.SimIXP, len(ixps))
+	truths := make(map[int]map[netip.Addr]bool, len(ixps))
 	var perIXP map[int][]lg.Observation
 	if opts.Retain {
 		perIXP = make(map[int][]lg.Observation, len(ixps))
 	}
 	total := 0
 	for k, r := range runs {
-		sims[ixps[k]] = r.sim
+		truths[ixps[k]] = r.truth
 		if perIXP != nil {
 			perIXP[ixps[k]] = r.obs
 		}
@@ -220,10 +243,7 @@ func Run(w *worldgen.World, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("spread: detector: %w", err)
 	}
-	truth := func(ixpIndex int, ip netip.Addr) bool {
-		sim, ok := sims[ixpIndex]
-		return ok && sim.IsRemote(ip)
-	}
+	truth := truthFunc(truths)
 	return &Result{
 		Report:       report,
 		Observations: len(obs),
@@ -231,7 +251,97 @@ func Run(w *worldgen.World, opts Options) (*Result, error) {
 		Raw:          obs,
 		Truth:        truth,
 		Campaign:     campaignCfg,
+		Detector:     opts.Detector,
+		Seed:         opts.Seed,
 		perIXP:       perIXP,
-		sims:         sims,
+		truth:        truths,
+	}, nil
+}
+
+// truthFunc wraps per-IXP ground-truth tables as a Result.Truth closure.
+func truthFunc(truths map[int]map[netip.Addr]bool) func(int, netip.Addr) bool {
+	return func(ixpIndex int, ip netip.Addr) bool {
+		return truths[ixpIndex][ip]
+	}
+}
+
+// RemoteTruth extracts the campaign's ground truth in persistable form:
+// for every simulated (or spliced) studied-IXP index, the sorted list of
+// probe-target addresses that are remote, plus the sorted list of indices
+// themselves — including IXPs with no remote targets, so rehydration
+// restores exactly the same key set.
+func (r *Result) RemoteTruth() (ixps []int, remote [][]netip.Addr) {
+	ixps = make([]int, 0, len(r.truth))
+	for idx := range r.truth {
+		ixps = append(ixps, idx)
+	}
+	sort.Ints(ixps)
+	remote = make([][]netip.Addr, len(ixps))
+	for k, idx := range ixps {
+		var ips []netip.Addr
+		for ip, isRemote := range r.truth[idx] {
+			if isRemote {
+				ips = append(ips, ip)
+			}
+		}
+		sort.Slice(ips, func(a, b int) bool { return ips[a].Less(ips[b]) })
+		remote[k] = ips
+	}
+	return ixps, remote
+}
+
+// Rehydrate reconstructs a campaign Result from its persisted parts: the
+// canonical raw observation stream, the effective campaign and detector
+// configurations, and the per-IXP remote-truth sets from RemoteTruth.
+// The detector re-runs over the raw stream against the world's registry
+// view — both pure functions of their inputs — so the rehydrated Report,
+// Validation, and Observations are byte-identical to the live Result's.
+// Per-IXP segments are recovered by splitting the canonical stream on its
+// leading sort key, which makes a rehydrated Result a valid splice source
+// for Options.Reuse.
+func Rehydrate(w *worldgen.World, seed int64, campaign lg.Config, detector core.Config, raw []lg.Observation, ixps []int, remote [][]netip.Addr) (*Result, error) {
+	if w == nil {
+		return nil, fmt.Errorf("spread: nil world")
+	}
+	if len(ixps) != len(remote) {
+		return nil, fmt.Errorf("spread: truth table mismatch: %d IXPs, %d remote sets", len(ixps), len(remote))
+	}
+	truths := make(map[int]map[netip.Addr]bool, len(ixps))
+	for k, idx := range ixps {
+		m := make(map[netip.Addr]bool, len(remote[k]))
+		for _, ip := range remote[k] {
+			m[ip] = true
+		}
+		truths[idx] = m
+	}
+	perIXP := make(map[int][]lg.Observation, len(ixps))
+	lo := 0
+	for lo < len(raw) {
+		hi := lo + 1
+		for hi < len(raw) && raw[hi].IXPIndex == raw[lo].IXPIndex {
+			hi++
+		}
+		if _, ok := perIXP[raw[lo].IXPIndex]; ok {
+			return nil, fmt.Errorf("spread: raw stream not in canonical order (IXP %d segments split)", raw[lo].IXPIndex)
+		}
+		perIXP[raw[lo].IXPIndex] = raw[lo:hi:hi]
+		lo = hi
+	}
+	report, err := core.Analyze(raw, registry.FromWorld(w), campaign.Duration, detector)
+	if err != nil {
+		return nil, fmt.Errorf("spread: rehydrate detector: %w", err)
+	}
+	truth := truthFunc(truths)
+	return &Result{
+		Report:       report,
+		Observations: len(raw),
+		Validation:   report.Validate(truth),
+		Raw:          raw,
+		Truth:        truth,
+		Campaign:     campaign,
+		Detector:     detector,
+		Seed:         seed,
+		perIXP:       perIXP,
+		truth:        truths,
 	}, nil
 }

@@ -183,6 +183,49 @@ func (g *Graph) Clone() *Graph {
 	return ng
 }
 
+// Restore builds a graph directly from persisted parts: the network
+// records and the three adjacency maps, adopted verbatim. Adjacency slice
+// order is load-bearing (customer-cone BFS and RIB computation iterate it),
+// so restoring the exact slices — rather than replaying AddTransit and
+// AddPeering calls, whose interleaving the maps alone cannot recover — is
+// what makes a rehydrated graph traverse identically to the original.
+// Every ASN referenced by an adjacency list must be a registered network.
+func Restore(nets []*Network, providers, customers, peers map[ASN][]ASN) (*Graph, error) {
+	g := NewGraph()
+	for _, n := range nets {
+		if err := g.AddNetwork(n); err != nil {
+			return nil, err
+		}
+	}
+	check := func(kind string, adj map[ASN][]ASN) error {
+		for asn, list := range adj {
+			if _, ok := g.nets[asn]; !ok {
+				return fmt.Errorf("topo: %s adjacency references unknown ASN %d", kind, asn)
+			}
+			for _, other := range list {
+				if _, ok := g.nets[other]; !ok {
+					return fmt.Errorf("topo: %s adjacency of ASN %d references unknown ASN %d", kind, asn, other)
+				}
+			}
+		}
+		return nil
+	}
+	if err := check("provider", providers); err != nil {
+		return nil, err
+	}
+	if err := check("customer", customers); err != nil {
+		return nil, err
+	}
+	if err := check("peer", peers); err != nil {
+		return nil, err
+	}
+	g.providers = providers
+	g.customers = customers
+	g.peers = peers
+	g.asnCache = nil
+	return g, nil
+}
+
 // AddTransit records that customer buys transit from provider.
 func (g *Graph) AddTransit(customer, provider ASN) error {
 	if _, ok := g.nets[customer]; !ok {

@@ -46,6 +46,28 @@ func (w *World) RefreshIndex() {
 	w.Index = asindex.New(w.Graph.ASNs())
 }
 
+// RestoreSpecTable reattaches the generation-time IXP spec table to a
+// world reconstructed from persisted state. The table is a pure function
+// of the static Table 1 and extra-IXP specs — no randomness touches it —
+// so restoring it from the package constants reproduces exactly what
+// Generate installed, and spec-dependent accessors (InterSiteDelay,
+// RegistryIfaceCount) answer identically on a rehydrated world. It
+// errors if the world's IXP list does not line up with the static table
+// (a snapshot from an incompatible build).
+func (w *World) RestoreSpecTable() error {
+	specs := append(append([]ixpSpec(nil), table1...), extraIXPs...)
+	if len(w.IXPs) != len(specs) {
+		return fmt.Errorf("worldgen: world has %d IXPs but the spec table describes %d", len(w.IXPs), len(specs))
+	}
+	for i, x := range w.IXPs {
+		if x != nil && x.Acronym != specs[i].Acronym {
+			return fmt.Errorf("worldgen: IXP %d is %q but the spec table says %q", i, x.Acronym, specs[i].Acronym)
+		}
+	}
+	w.specs = specs
+	return nil
+}
+
 // DistanceBand returns the Figure 3 distance band between two cities:
 // 0 intercity, 1 intercountry, 2 intercontinental, or -1 for local
 // separations and the dead zone between the bands.

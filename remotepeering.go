@@ -24,8 +24,10 @@
 package remotepeering
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net/http"
 	"net/netip"
 	"time"
 
@@ -39,6 +41,8 @@ import (
 	"remotepeering/internal/offload"
 	"remotepeering/internal/registry"
 	"remotepeering/internal/scenario"
+	"remotepeering/internal/serve"
+	"remotepeering/internal/snapshot"
 	"remotepeering/internal/spread"
 	"remotepeering/internal/stats"
 	"remotepeering/internal/worldgen"
@@ -314,6 +318,98 @@ func ParseScenarioOp(s string) (ScenarioOp, error) {
 // guarantee: analyses over the clone never write through to the parent.
 func CloneWorld(w *World) *World {
 	return w.Clone()
+}
+
+// Snapshot-store and query-service re-exports: persistent worlds/datasets
+// (internal/snapshot) and the long-lived concurrent what-if API
+// (internal/serve).
+type (
+	// Snapshot bundles the persistable artifacts: the world, and
+	// optionally the traffic dataset (plus its synthesised all-transit
+	// series), the measurement campaign, and the customer-cone tables.
+	// Reports computed from a loaded snapshot are byte-identical to
+	// reports computed from the live objects.
+	Snapshot = snapshot.Snapshot
+	// ConeCache shares customer-cone tables between offload studies (and
+	// scenario grid runs) over the same immutable AS graph.
+	ConeCache = offload.ConeCache
+	// ServeConfig parameterises the query service: the snapshot, the
+	// in-flight evaluation bound, the result-cache budget, and the
+	// per-evaluation worker bound.
+	ServeConfig = serve.Config
+	// Server is the /v1 query service over one immutable snapshot.
+	Server = serve.Server
+)
+
+// Typed snapshot integrity errors: a wrong file (ErrSnapshotBadMagic), a
+// future format (ErrSnapshotVersion), a short file (ErrSnapshotTruncated),
+// and a damaged one (ErrSnapshotCorrupt). LoadSnapshot never panics and
+// never returns a silently-wrong world.
+var (
+	ErrSnapshotBadMagic  = snapshot.ErrBadMagic
+	ErrSnapshotVersion   = snapshot.ErrVersion
+	ErrSnapshotTruncated = snapshot.ErrTruncated
+	ErrSnapshotCorrupt   = snapshot.ErrCorrupt
+)
+
+// NewConeCache returns an empty shareable customer-cone cache.
+func NewConeCache() *ConeCache { return offload.NewConeCache() }
+
+// SaveSnapshot writes the snapshot to path atomically and stamps
+// s.Digest with the file's SHA-256 content address.
+func SaveSnapshot(path string, s *Snapshot) error {
+	return snapshot.SaveFile(path, s)
+}
+
+// LoadSnapshot reads and rehydrates a snapshot. Every artifact answers
+// queries byte-identically to the live objects it was saved from.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	return snapshot.LoadFile(path)
+}
+
+// WriteSnapshot is SaveSnapshot over an arbitrary writer (pipes, network
+// transports, in-memory buffers).
+func WriteSnapshot(w io.Writer, s *Snapshot) error {
+	return snapshot.Save(w, s)
+}
+
+// ReadSnapshot is LoadSnapshot over an arbitrary reader.
+func ReadSnapshot(r io.Reader) (*Snapshot, error) {
+	return snapshot.Load(r)
+}
+
+// NewServer builds the query service over a loaded snapshot without
+// binding a listener — the embedding entry point (tests mount
+// Server.Handler on httptest, cmd/rpserve on a real listener).
+func NewServer(cfg ServeConfig) (*Server, error) {
+	return serve.New(cfg)
+}
+
+// Serve runs the query service on addr until ctx is cancelled, then
+// shuts down gracefully (in-flight requests get 10 seconds to drain).
+func Serve(ctx context.Context, addr string, cfg ServeConfig) error {
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(shutdownCtx)
+	}
+}
+
+// RunScenariosCtx is RunScenarios with cooperative cancellation: once ctx
+// is done, no new grid cell or pipeline stage starts and the call returns
+// ctx.Err() — how the query service stops abandoned what-ifs.
+func RunScenariosCtx(ctx context.Context, w *World, grid ScenarioGrid, opts ScenarioOptions) (*ScenarioReport, error) {
+	return scenario.RunCtx(ctx, w, grid, opts)
 }
 
 // P95 returns the 95th-percentile rate of a traffic series — the
