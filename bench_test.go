@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"net/http/httptest"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -658,6 +659,70 @@ func BenchmarkSnapshotRoundTrip(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(size), "snapshot_bytes")
+}
+
+// BenchmarkSnapshotAttach measures the v2 flat format's core claim: a
+// paper-scale world+dataset attaches in microseconds — header and
+// directory validation only, O(sections) not O(file) — where the v1 load
+// above pays tens of milliseconds of decoding. Like
+// BenchmarkServeWhatifCached, the acceptance bar is enforced in-bench
+// (< 1 ms and < 1,000 allocations per attach); the one-time lazy
+// materialization is timed separately and reported as a metric.
+func BenchmarkSnapshotAttach(b *testing.B) {
+	w, _, ds, _ := fixtures(b)
+	ds.SeriesTotal(nil) // warm the series cache so the flat file carries the month
+	path := filepath.Join(b.TempDir(), "bench.flat")
+	if _, err := SaveFlatSnapshot(path, &Snapshot{World: w, Dataset: ds}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := AttachSnapshot(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(a.Sections()) < 4 { // world, asn.ids, dataset, series
+			b.Fatal("attached file is missing sections")
+		}
+		if err := a.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+
+	perOp := b.Elapsed() / time.Duration(b.N)
+	if perOp >= time.Millisecond {
+		b.Errorf("attach costs %v per op, want < 1ms", perOp)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		a, err := AttachSnapshot(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a.Close()
+	})
+	if allocs >= 1000 {
+		b.Errorf("attach allocates %.0f objects, want < 1,000", allocs)
+	}
+	b.ReportMetric(allocs, "allocs/attach")
+
+	// One lazy materialization — the cost the first query pays, reported
+	// for the EXPERIMENTS trajectory but outside the attach bar. The
+	// mapping stays open: the materialized snapshot aliases it.
+	start := time.Now()
+	a, err := AttachSnapshot(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, err := a.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if snap.World.Graph.Len() != w.Graph.Len() {
+		b.Fatal("materialized world lost networks")
+	}
+	b.ReportMetric(time.Since(start).Seconds()*1e3, "materialize_ms")
 }
 
 // BenchmarkServeWhatifCached measures the warm path of the query service:

@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	rpworld -seed 1 -save world.rpsnap
+//	rpworld -seed 1 -save world.rpsnap            # v1 (canonical)
+//	rpworld -seed 1 -save-flat world.flat         # v2 (mmap attach)
 //	rpserve -snapshot world.rpsnap -listen :8080 &
 //	curl 'localhost:8080/v1/world'
 //	curl 'localhost:8080/v1/whatif?scenarios=ams-outage%3Doutage%3AAMS-IX'
@@ -30,7 +31,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -55,8 +55,26 @@ func main() {
 	}
 
 	start := time.Now()
-	snap, err := remotepeering.LoadSnapshot(*snapPath)
+	flat, err := remotepeering.SnapshotIsFlat(*snapPath)
 	if err != nil {
+		fatal(err)
+	}
+	var snap *remotepeering.Snapshot
+	if flat {
+		// Attach the flat format: microseconds to map and validate the
+		// directory, then one lazy materialization. The mapping stays live
+		// for the whole process — the snapshot's hot arrays alias it.
+		a, err := remotepeering.AttachSnapshot(*snapPath)
+		if err != nil {
+			fatal(err)
+		}
+		attached := time.Since(start)
+		if snap, err = a.Snapshot(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rpserve: attached flat snapshot in %s, materialized in %s\n",
+			attached.Round(time.Microsecond), (time.Since(start) - attached).Round(time.Millisecond))
+	} else if snap, err = remotepeering.LoadSnapshot(*snapPath); err != nil {
 		fatal(err)
 	}
 	srv, err := serve.New(serve.Config{
@@ -75,7 +93,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	hs := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	hs := serve.NewHTTPServer(*listen, srv.Handler())
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "rpserve: listening on %s\n", *listen)

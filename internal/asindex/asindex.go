@@ -9,6 +9,7 @@
 package asindex
 
 import (
+	"fmt"
 	"math/bits"
 	"sort"
 
@@ -39,6 +40,26 @@ func New(asns []topo.ASN) *Index {
 		ix.ids[a] = int32(i)
 	}
 	return ix
+}
+
+// FromSorted builds an index over an already strictly-ascending ASN list
+// without re-sorting — the attach path of the snapshot layer, where the
+// persisted dense-id plane is the sorted universe by construction. The
+// input is adopted, not copied, so it must never be mutated afterwards
+// (mmap-backed planes are read-only anyway). An unsorted or duplicated
+// input is rejected: dense-id order is load-bearing for the determinism
+// suite's floating-point addition order.
+func FromSorted(asns []topo.ASN) (*Index, error) {
+	for i := 1; i < len(asns); i++ {
+		if asns[i] <= asns[i-1] {
+			return nil, fmt.Errorf("asindex: input not strictly ascending at %d (%d after %d)", i, asns[i], asns[i-1])
+		}
+	}
+	ix := &Index{asns: asns, ids: make(map[topo.ASN]int32, len(asns))}
+	for i, a := range asns {
+		ix.ids[a] = int32(i)
+	}
+	return ix, nil
 }
 
 // Len returns the number of indexed ASNs (the id universe size).

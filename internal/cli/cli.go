@@ -101,15 +101,18 @@ func (c Common) WorldConfig() worldgen.Config {
 // instead of regenerating, -save persists the run's artifacts for rpserve
 // and later runs.
 type Snapshot struct {
-	Save *string
-	Load *string
+	Save     *string
+	SaveFlat *string
+	Load     *string
 }
 
-// SnapshotFlags registers -save and -load on the default flag set.
+// SnapshotFlags registers -save, -save-flat, and -load on the default
+// flag set.
 func SnapshotFlags() Snapshot {
 	return Snapshot{
-		Save: flag.String("save", "", "write a snapshot of this run's artifacts to the given path"),
-		Load: flag.String("load", "", "load the world (and any heavier artifacts) from a snapshot instead of regenerating"),
+		Save:     flag.String("save", "", "write a snapshot of this run's artifacts to the given path"),
+		SaveFlat: flag.String("save-flat", "", "also write the v2 flat (mmap-attachable) snapshot to the given path"),
+		Load:     flag.String("load", "", "load the world (and any heavier artifacts) from a snapshot (either format) instead of regenerating"),
 	}
 }
 
@@ -124,7 +127,10 @@ func (s Snapshot) ResolveWorld(c Common) (*worldgen.World, *snapshot.Snapshot, e
 		w, err := worldgen.Generate(c.WorldConfig())
 		return w, nil, err
 	}
-	snap, err := snapshot.LoadFile(*s.Load)
+	// OpenFile sniffs the format: v1 files load, v2 flat files attach and
+	// materialize (the mapping lives as long as the process, which is the
+	// snapshot's lifetime in every CLI tool).
+	snap, err := snapshot.OpenFile(*s.Load)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -165,16 +171,24 @@ func MergeSnapshot(loaded *snapshot.Snapshot, w *worldgen.World) *snapshot.Snaps
 	return out
 }
 
-// SaveSnapshot writes the snapshot if -save was given, reporting the path
-// and digest to stderr so pipelines can log provenance.
+// SaveSnapshot writes the snapshot if -save and/or -save-flat were given,
+// reporting each path and digest to stderr so pipelines can log
+// provenance. The two digests differ — they address different byte
+// images of the same artifacts.
 func (s Snapshot) SaveSnapshot(snap *snapshot.Snapshot) error {
-	if *s.Save == "" {
-		return nil
+	if *s.Save != "" {
+		if err := snapshot.SaveFile(*s.Save, snap); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "snapshot: wrote %s (digest %s)\n", *s.Save, snap.Digest)
 	}
-	if err := snapshot.SaveFile(*s.Save, snap); err != nil {
-		return err
+	if *s.SaveFlat != "" {
+		digest, err := snapshot.SaveFlatFile(*s.SaveFlat, snap)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "snapshot: wrote flat %s (digest %s)\n", *s.SaveFlat, digest)
 	}
-	fmt.Fprintf(os.Stderr, "snapshot: wrote %s (digest %s)\n", *s.Save, snap.Digest)
 	return nil
 }
 

@@ -367,6 +367,24 @@ func (d *Dataset) PrimeAllTransitSeries(in, out []float64) error {
 	return nil
 }
 
+// AdoptAllTransitSeries is PrimeAllTransitSeries without the defensive
+// copies: the zero-copy hook of the mmap attach path, where in and out
+// are read-only views over a mapped snapshot. The adopted slices must
+// stay valid (mapping not unmapped) and unmutated for the dataset's
+// lifetime; the cache itself only ever hands out copies, so the views
+// never escape. No-op when the cache is already warm.
+func (d *Dataset) AdoptAllTransitSeries(in, out []float64) error {
+	if len(in) != d.Cfg.Intervals || len(out) != d.Cfg.Intervals {
+		return fmt.Errorf("netflow: series length %d/%d does not match %d intervals", len(in), len(out), d.Cfg.Intervals)
+	}
+	d.allSeriesOnce.Do(func() {
+		d.allInCache = in
+		d.allOutCache = out
+		d.allSeriesReady.Store(true)
+	})
+	return nil
+}
+
 // contributionWeight ranks networks for contribution assignment: content
 // and CDNs carry the most traffic toward an NREN, followed by transit
 // wholesale, with leaf networks weighted by their regional affinity to

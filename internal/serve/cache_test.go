@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// audit recomputes the cache's byte accounting from the ground truth
+// (the resident entries) and checks it against the running counter.
+func audit(t *testing.T, c *lruCache, when string) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var want int64
+	for _, el := range c.items {
+		want += int64(len(el.Value.(*lruEntry).val))
+	}
+	if c.size != want {
+		t.Errorf("%s: size counter %d, resident bytes %d", when, c.size, want)
+	}
+	if c.size > c.max {
+		t.Errorf("%s: size %d exceeds budget %d", when, c.size, c.max)
+	}
+}
+
+// TestLRUPutRefreshAccounting pins the refresh path's byte accounting:
+// replacing a key's value — smaller, larger, or budget-bustingly larger —
+// must keep the size counter equal to the resident bytes, and a refresh
+// that overflows the budget must evict from the cold end, not corrupt the
+// counter.
+func TestLRUPutRefreshAccounting(t *testing.T) {
+	c := newLRUCache(100)
+	c.Put("a", make([]byte, 40))
+	c.Put("b", make([]byte, 40))
+	audit(t, c, "after inserts")
+
+	// Refresh with a larger value: +20 bytes, still under budget.
+	c.Put("a", make([]byte, 60))
+	audit(t, c, "after growing refresh")
+	if v, ok := c.Get("a"); !ok || len(v) != 60 {
+		t.Fatalf("Get(a) = %d bytes, %v; want 60, true", len(v), ok)
+	}
+
+	// Refresh with a smaller value: the counter must shrink too.
+	c.Put("a", make([]byte, 10))
+	audit(t, c, "after shrinking refresh")
+
+	// Refresh that overflows the budget: a (10) + b (40) = 50; growing b
+	// to 70 makes 80... then to 95 with a fresh key evicts the cold end.
+	c.Put("b", make([]byte, 70))
+	audit(t, c, "after big refresh")
+	c.Put("c", make([]byte, 25))
+	audit(t, c, "after overflow insert")
+	if c.Len() == 3 {
+		t.Error("no eviction despite exceeding the budget")
+	}
+
+	// The refreshed entry must be most recently used: grow a so b (the
+	// coldest) is evicted, not the just-refreshed entry.
+	c = newLRUCache(100)
+	c.Put("a", make([]byte, 40))
+	c.Put("b", make([]byte, 40))
+	c.Put("a", make([]byte, 55)) // refresh moves a to the front
+	c.Put("c", make([]byte, 40)) // 55+40+40 > 100: b must go
+	audit(t, c, "after refresh-then-evict")
+	if _, ok := c.Get("a"); !ok {
+		t.Error("refreshed entry was evicted instead of the cold one")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("cold entry survived eviction")
+	}
+}
+
+// TestLRUOversizeAndDisabled pins the edges: a value larger than the
+// whole budget is not cached, and a disabled cache accepts nothing.
+func TestLRUOversizeAndDisabled(t *testing.T) {
+	c := newLRUCache(50)
+	c.Put("huge", make([]byte, 51))
+	if _, ok := c.Get("huge"); ok {
+		t.Error("over-budget value was cached")
+	}
+	audit(t, c, "after oversize put")
+
+	off := newLRUCache(0)
+	off.Put("x", []byte("y"))
+	if off.Len() != 0 {
+		t.Error("disabled cache retained an entry")
+	}
+}
+
+// TestLRUConcurrent hammers Get/Put/refresh/evict from many goroutines
+// under -race: a small budget forces constant eviction while refreshes
+// resize values, and the byte accounting must balance when the dust
+// settles.
+func TestLRUConcurrent(t *testing.T) {
+	c := newLRUCache(1 << 12)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%24)
+				if i%3 == 0 {
+					c.Get(key)
+				} else {
+					c.Put(key, make([]byte, 64+(g*131+i*17)%512))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	audit(t, c, "after concurrent churn")
+	if c.Len() == 0 {
+		t.Error("cache empty after churn — eviction ate everything")
+	}
+}

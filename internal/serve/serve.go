@@ -43,6 +43,29 @@ import (
 	"remotepeering/internal/worldgen"
 )
 
+// maxWhatifBody caps the JSON body of POST /v1/whatif. A legitimate
+// request — a scenario grid, a seed list, a handful of knobs — is a few
+// hundred bytes; 1 MiB leaves three orders of magnitude of headroom.
+const maxWhatifBody = 1 << 20
+
+// NewHTTPServer wraps a handler in an http.Server with the connection
+// hygiene a long-lived public listener needs: header-read and idle
+// timeouts so one stalled or silent client cannot hold a connection (and
+// its goroutine) forever. There is deliberately no WriteTimeout — a cold
+// what-if evaluation legitimately computes for tens of seconds before the
+// first response byte, and per-request deadlines belong to the request
+// context, not the connection.
+func NewHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
+}
+
 // Config parameterises a Server.
 type Config struct {
 	// Snapshot is the loaded world (and optional dataset/spread/cones)
@@ -511,7 +534,16 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 	var req whatifRequest
 	switch r.Method {
 	case http.MethodPost:
+		// A what-if request is a few hundred bytes of JSON; anything near
+		// the cap is hostile or broken, and an uncapped decoder would let
+		// one client stream gigabytes into the heap.
+		r.Body = http.MaxBytesReader(w, r.Body, maxWhatifBody)
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
+				return
+			}
 			httpError(w, http.StatusBadRequest, "bad JSON body: %v", err)
 			return
 		}

@@ -2,10 +2,13 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -290,6 +293,115 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := New(Config{Snapshot: &snapshot.Snapshot{World: s.world}, Workers: -1}); err == nil {
 		t.Error("negative Workers should fail")
+	}
+}
+
+// TestPostWhatifBodyTooLarge pins the body cap: a POST body past
+// maxWhatifBody gets 413 with a JSON error body, not an unbounded read
+// into the heap.
+func TestPostWhatifBodyTooLarge(t *testing.T) {
+	s := testServer(t)
+	payload := `{"scenarios":"` + strings.Repeat("x", maxWhatifBody+1) + `"}`
+	req := httptest.NewRequest(http.MethodPost, "/v1/whatif", strings.NewReader(payload))
+	rec := httptest.NewRecorder()
+	before := s.Evaluations()
+	s.Handler().ServeHTTP(rec, req)
+	res := rec.Result()
+	body, _ := io.ReadAll(res.Body)
+	if res.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413 (body %.120s)", res.StatusCode, body)
+	}
+	if ct := res.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	var errBody map[string]string
+	if err := json.Unmarshal(body, &errBody); err != nil || errBody["error"] == "" {
+		t.Errorf("413 body is not a JSON error: %.120s (%v)", body, err)
+	}
+	if s.Evaluations() != before {
+		t.Error("oversized body still triggered an evaluation")
+	}
+
+	// A body exactly at the cap still parses (and fails later, on the
+	// bogus scenario grid — proving the decoder read it).
+	pad := strings.Repeat("x", maxWhatifBody-len(`{"scenarios":""}`))
+	req = httptest.NewRequest(http.MethodPost, "/v1/whatif", strings.NewReader(`{"scenarios":"`+pad+`"}`))
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Result().StatusCode != http.StatusBadRequest {
+		t.Errorf("at-cap body: status %d, want 400 (bad grid)", rec.Result().StatusCode)
+	}
+}
+
+// TestHTTPServerTimeoutsAndDrain pins the listener hygiene: NewHTTPServer
+// sets the header-read and idle timeouts (one stalled client cannot pin a
+// connection forever), deliberately leaves WriteTimeout unset (cold
+// evaluations stream late), and Shutdown drains an in-flight request to
+// completion instead of cutting it off.
+func TestHTTPServerTimeoutsAndDrain(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "drained")
+	})
+	hs := NewHTTPServer("127.0.0.1:0", h)
+	if hs.ReadHeaderTimeout <= 0 || hs.IdleTimeout <= 0 || hs.ReadTimeout <= 0 {
+		t.Fatalf("timeouts unset: header=%v read=%v idle=%v", hs.ReadHeaderTimeout, hs.ReadTimeout, hs.IdleTimeout)
+	}
+	if hs.WriteTimeout != 0 {
+		t.Fatalf("WriteTimeout = %v; long evaluations need an unbounded write side", hs.WriteTimeout)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	type result struct {
+		status int
+		body   string
+		err    error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/")
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		resc <- result{status: resp.StatusCode, body: string(body)}
+	}()
+
+	<-started
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- hs.Shutdown(ctx)
+	}()
+	// Shutdown is now waiting on the in-flight request; let it finish.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	res := <-resc
+	if res.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", res.err)
+	}
+	if res.status != http.StatusOK || res.body != "drained" {
+		t.Errorf("drained request: status %d body %q, want 200 %q", res.status, res.body, "drained")
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v, want http.ErrServerClosed", err)
 	}
 }
 

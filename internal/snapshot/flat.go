@@ -1,0 +1,472 @@
+// The v2 "flat" snapshot format: an offset-indexed, page-aligned,
+// little-endian section layout built to be mmap'd and queried in place.
+//
+// Where the v1 codec varint-packs everything into one stream that must be
+// decoded front to back, v2 puts a fixed-size directory at the front of
+// the file and lays every hot read-side artifact out as a fixed-width
+// array the reader can view through unsafe.Slice without copying:
+//
+//	offset 0      magic "RPSNAP2\n"
+//	offset 8      u16 version (=2), u16 reserved (=0)
+//	offset 12     u32 section count n
+//	offset 16     n × 48-byte directory entries:
+//	                name [24]byte (NUL-padded)
+//	                off  u64  — absolute file offset, 64-byte aligned
+//	                len  u64  — payload length in bytes
+//	                crc  u32  — CRC-32 (IEEE) of the payload
+//	                pad  u32  (=0)
+//	offset 16+48n u32 CRC-32 (IEEE) of bytes [0, 16+48n)
+//	...           zero padding to the next 4096-byte boundary
+//	payloads      each starting on a 64-byte boundary, zero-padded between
+//
+// All integers are little-endian. Array sections carry raw fixed-width
+// elements (f64 bit images, u32/i32) with no per-element framing, so a
+// page-aligned mmap of the file yields correctly-aligned slices for free.
+// The pointer-rich structures (the world graph, the dataset entry table)
+// keep the v1 varint payloads — the current codec stays the writer-side
+// canonical form — while the artifacts the query hot paths touch (the
+// dense AS-id plane, the all-transit series caches, the cone tables, the
+// spread observation and ground-truth tables) get flat sections.
+//
+// Attach (attach.go) validates only the header and directory up front;
+// each section's CRC is verified the first time the section is
+// materialized, keeping attach time independent of file size.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"time"
+	"unsafe"
+
+	"remotepeering/internal/lg"
+)
+
+// magic2 identifies a v2 flat snapshot file.
+var magic2 = []byte("RPSNAP2\n")
+
+// FlatVersion is the flat format's version. Attach rejects larger
+// versions; v1 files are a different magic entirely (use Load for those).
+const FlatVersion uint16 = 2
+
+// Flat section names. The world/dataset/spread.cfg payloads reuse the v1
+// varint encodings verbatim; the rest are fixed-width arrays.
+const (
+	flatWorld      = "world"       // v1 varint world payload
+	flatDataset    = "dataset"     // v1 varint dataset payload
+	flatASNs       = "asn.ids"     // u32[] dense-id → ASN plane, ascending
+	flatSeriesIn   = "series.in"   // f64[] all-transit inbound series
+	flatSeriesOut  = "series.out"  // f64[] all-transit outbound series
+	flatConeIDs    = "cones.ids"   // i32[] dense ids with persisted cone rows
+	flatConeOffs   = "cones.offs"  // u32[len(ids)+1] prefix offsets into cones.data
+	flatConeData   = "cones.data"  // i32[] concatenated cone rows
+	flatSpreadCfg  = "spread.cfg"  // v1 varint seed+campaign+detector config
+	flatObsStrs    = "obs.strs"    // v1 varint string table (acronyms, families)
+	flatObsRows    = "obs.rows"    // 48-byte fixed observation rows
+	flatTruthIXPs  = "truth.ixps"  // i32[] studied-IXP indices, ascending
+	flatTruthOffs  = "truth.offs"  // u32[len(ixps)+1] prefix offsets into truth.addrs
+	flatTruthAddrs = "truth.addrs" // 20-byte fixed address rows
+)
+
+const (
+	flatHeaderSize  = 16
+	flatDirEntSize  = 48
+	flatNameSize    = 24
+	flatPayloadBase = 4096 // first payload starts on a page boundary
+	flatAlign       = 64   // every payload starts on a cache-line boundary
+)
+
+// obsRowSize is the fixed width of one observation row in obs.rows:
+//
+//	offset 0   i64 sentAt (ns)
+//	offset 8   i64 rtt (ns)
+//	offset 16  [16]byte target address bytes (leading ipLen significant)
+//	offset 32  i32 ixpIndex
+//	offset 36  u32 acronym string-table index
+//	offset 40  u32 family string-table index
+//	offset 44  u8  ttl
+//	offset 45  u8  timedOut (0/1)
+//	offset 46  u8  ipLen (0, 4, or 16 — netip.Addr.MarshalBinary lengths)
+//	offset 47  u8  pad (=0)
+const obsRowSize = 48
+
+// truthRowSize is the fixed width of one ground-truth address row in
+// truth.addrs: [16]byte address, u8 ipLen, [3]byte pad.
+const truthRowSize = 20
+
+// hostLittle reports whether this host stores integers little-endian —
+// the precondition for viewing flat sections in place. Big-endian hosts
+// fall back to copying decodes; the file bytes are identical either way.
+var hostLittle = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// --- zero-copy array views ---
+//
+// Each view function interprets a section payload as a fixed-width array.
+// When the host is little-endian and the payload is suitably aligned
+// (guaranteed for mmap'd files: page-aligned base + 64-byte-aligned
+// offsets), the returned slice aliases the underlying bytes — zero copies,
+// zero allocations. Otherwise the elements are decoded into a fresh slice.
+// A payload whose length is not a multiple of the element size is corrupt.
+
+func viewF64(b []byte, section string) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("%w: section %q length %d is not a multiple of 8", ErrCorrupt, section, len(b))
+	}
+	n := len(b) / 8
+	if n == 0 {
+		return nil, nil
+	}
+	if hostLittle && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n), nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out, nil
+}
+
+func viewU32(b []byte, section string) ([]uint32, error) {
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("%w: section %q length %d is not a multiple of 4", ErrCorrupt, section, len(b))
+	}
+	n := len(b) / 4
+	if n == 0 {
+		return nil, nil
+	}
+	if hostLittle && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), n), nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	return out, nil
+}
+
+func viewI32(b []byte, section string) ([]int32, error) {
+	u, err := viewU32(b, section)
+	if err != nil || u == nil {
+		return nil, err
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&u[0])), len(u)), nil
+}
+
+// --- flat array encoders (writer side) ---
+
+func appendF64s(buf []byte, xs []float64) []byte {
+	for _, x := range xs {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(x))
+	}
+	return buf
+}
+
+func appendU32s(buf []byte, xs []uint32) []byte {
+	for _, x := range xs {
+		buf = binary.LittleEndian.AppendUint32(buf, x)
+	}
+	return buf
+}
+
+func appendI32s(buf []byte, xs []int32) []byte {
+	for _, x := range xs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(x))
+	}
+	return buf
+}
+
+// addrBytes returns a netip.Addr's canonical binary image (the same bytes
+// netip.Addr.MarshalBinary yields: empty for the zero Addr, 4 for v4, 16
+// for v6) for packing into fixed-width rows.
+func addrBytes(a netip.Addr) []byte {
+	b, err := a.MarshalBinary()
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// decodeRowAddr rebuilds a netip.Addr from a fixed-width row's address
+// field. ipLen must be one of MarshalBinary's lengths.
+func decodeRowAddr(ip []byte, ipLen uint8) (netip.Addr, error) {
+	switch ipLen {
+	case 0:
+		return netip.Addr{}, nil
+	case 4, 16:
+		var a netip.Addr
+		if err := a.UnmarshalBinary(ip[:ipLen]); err != nil {
+			return netip.Addr{}, fmt.Errorf("%w: bad address bytes: %v", ErrCorrupt, err)
+		}
+		return a, nil
+	default:
+		return netip.Addr{}, fmt.Errorf("%w: address length %d (want 0, 4, or 16)", ErrCorrupt, ipLen)
+	}
+}
+
+// encodeObsRows packs the raw observation stream into fixed-width rows,
+// interning acronym/family strings into table (first-appearance order,
+// exactly like the v1 section).
+func encodeObsRows(raw []lg.Observation, table *stringTable) []byte {
+	buf := make([]byte, len(raw)*obsRowSize)
+	for i := range raw {
+		o := &raw[i]
+		row := buf[i*obsRowSize:]
+		binary.LittleEndian.PutUint64(row[0:], uint64(o.SentAt))
+		binary.LittleEndian.PutUint64(row[8:], uint64(o.RTT))
+		ip := addrBytes(o.Target)
+		copy(row[16:32], ip)
+		binary.LittleEndian.PutUint32(row[32:], uint32(int32(o.IXPIndex)))
+		binary.LittleEndian.PutUint32(row[36:], uint32(table.ref(o.Acronym)))
+		binary.LittleEndian.PutUint32(row[40:], uint32(table.ref(o.Family)))
+		row[44] = o.TTL
+		if o.TimedOut {
+			row[45] = 1
+		}
+		row[46] = uint8(len(ip))
+	}
+	return buf
+}
+
+// decodeObsRows is encodeObsRows' inverse: one slice allocation for the
+// whole stream, strings shared from the decoded table.
+func decodeObsRows(b []byte, table []string) ([]lg.Observation, error) {
+	if len(b)%obsRowSize != 0 {
+		return nil, fmt.Errorf("%w: obs.rows length %d is not a multiple of %d", ErrCorrupt, len(b), obsRowSize)
+	}
+	raw := make([]lg.Observation, len(b)/obsRowSize)
+	for i := range raw {
+		row := b[i*obsRowSize:]
+		o := &raw[i]
+		o.SentAt = time.Duration(binary.LittleEndian.Uint64(row[0:]))
+		o.RTT = time.Duration(binary.LittleEndian.Uint64(row[8:]))
+		target, err := decodeRowAddr(row[16:32], row[46])
+		if err != nil {
+			return nil, err
+		}
+		o.Target = target
+		o.IXPIndex = int(int32(binary.LittleEndian.Uint32(row[32:])))
+		acr := binary.LittleEndian.Uint32(row[36:])
+		fam := binary.LittleEndian.Uint32(row[40:])
+		if uint64(acr) >= uint64(len(table)) || uint64(fam) >= uint64(len(table)) {
+			return nil, fmt.Errorf("%w: obs.rows row %d references string %d/%d beyond table size %d",
+				ErrCorrupt, i, acr, fam, len(table))
+		}
+		o.Acronym = table[acr]
+		o.Family = table[fam]
+		o.TTL = row[44]
+		o.TimedOut = row[45] != 0
+	}
+	return raw, nil
+}
+
+// encodeTruthAddrs packs one IXP's remote-address list into fixed rows.
+func encodeTruthAddrs(buf []byte, ips []netip.Addr) []byte {
+	for _, a := range ips {
+		row := make([]byte, truthRowSize)
+		ip := addrBytes(a)
+		copy(row[:16], ip)
+		row[16] = uint8(len(ip))
+		buf = append(buf, row...)
+	}
+	return buf
+}
+
+// decodeTruthAddrs unpacks rows [lo, hi) of truth.addrs.
+func decodeTruthAddrs(b []byte, lo, hi uint32) ([]netip.Addr, error) {
+	ips := make([]netip.Addr, 0, hi-lo)
+	for r := lo; r < hi; r++ {
+		row := b[int(r)*truthRowSize:]
+		a, err := decodeRowAddr(row[:16], row[16])
+		if err != nil {
+			return nil, err
+		}
+		ips = append(ips, a)
+	}
+	return ips, nil
+}
+
+// --- writer ---
+
+type flatSection struct {
+	name    string
+	payload []byte
+}
+
+// flatSections assembles the v2 section list for a snapshot, in the fixed
+// file order. The world and dataset payloads are the v1 encodings; the
+// hot artifacts are flattened.
+func flatSections(s *Snapshot) ([]flatSection, error) {
+	if s == nil || s.World == nil {
+		return nil, fmt.Errorf("snapshot: nil snapshot or world")
+	}
+	secs := []flatSection{{flatWorld, encodeWorld(s.World)}}
+
+	// The dense AS-id plane, u32 per id in ascending-id (= ascending ASN)
+	// order — the attach path restores the index from this instead of
+	// re-sorting the universe.
+	asns := s.World.Graph.ASNs()
+	plane := make([]byte, 0, 4*len(asns))
+	for _, a := range asns {
+		plane = binary.LittleEndian.AppendUint32(plane, uint32(a))
+	}
+	secs = append(secs, flatSection{flatASNs, plane})
+
+	if s.Dataset != nil {
+		secs = append(secs, flatSection{flatDataset, encodeDataset(s.Dataset)})
+		if in, out, ok := s.Dataset.AllTransitSeriesCached(); ok {
+			secs = append(secs,
+				flatSection{flatSeriesIn, appendF64s(make([]byte, 0, 8*len(in)), in)},
+				flatSection{flatSeriesOut, appendF64s(make([]byte, 0, 8*len(out)), out)})
+		}
+	}
+
+	if s.Cones != nil {
+		if ids, cones := s.Cones.Export(); len(ids) > 0 {
+			offs := make([]uint32, 1, len(ids)+1)
+			total := 0
+			for _, row := range cones {
+				total += len(row)
+				offs = append(offs, uint32(total))
+			}
+			data := make([]byte, 0, 4*total)
+			for _, row := range cones {
+				data = appendI32s(data, row)
+			}
+			secs = append(secs,
+				flatSection{flatConeIDs, appendI32s(make([]byte, 0, 4*len(ids)), ids)},
+				flatSection{flatConeOffs, appendU32s(make([]byte, 0, 4*len(offs)), offs)},
+				flatSection{flatConeData, data})
+		}
+	}
+
+	if s.Spread != nil {
+		var cfg enc
+		encodeSpreadCfg(&cfg, s.Spread)
+		var table stringTable
+		rows := encodeObsRows(s.Spread.Raw, &table)
+		var strs enc
+		table.encode(&strs)
+
+		ixps, remote := s.Spread.RemoteTruth()
+		tixps := make([]byte, 0, 4*len(ixps))
+		toffs := make([]uint32, 1, len(ixps)+1)
+		var taddrs []byte
+		total := 0
+		for k, idx := range ixps {
+			tixps = binary.LittleEndian.AppendUint32(tixps, uint32(int32(idx)))
+			total += len(remote[k])
+			toffs = append(toffs, uint32(total))
+			taddrs = encodeTruthAddrs(taddrs, remote[k])
+		}
+		secs = append(secs,
+			flatSection{flatSpreadCfg, cfg.buf},
+			flatSection{flatObsStrs, strs.buf},
+			flatSection{flatObsRows, rows},
+			flatSection{flatTruthIXPs, tixps},
+			flatSection{flatTruthOffs, appendU32s(make([]byte, 0, 4*len(toffs)), toffs)},
+			flatSection{flatTruthAddrs, taddrs})
+	}
+	return secs, nil
+}
+
+// alignUp rounds n up to the next multiple of a (a power of two).
+func alignUp(n, a int) int { return (n + a - 1) &^ (a - 1) }
+
+// encodeFlat renders the complete v2 file image.
+func encodeFlat(s *Snapshot) ([]byte, error) {
+	secs, err := flatSections(s)
+	if err != nil {
+		return nil, err
+	}
+	dirEnd := flatHeaderSize + len(secs)*flatDirEntSize
+	// Payloads start at the first page boundary past the directory (and
+	// its trailing CRC), each aligned to 64 bytes.
+	off := alignUp(dirEnd+4, flatPayloadBase)
+	offs := make([]int, len(secs))
+	for i, sec := range secs {
+		offs[i] = off
+		off = alignUp(off+len(sec.payload), flatAlign)
+	}
+	total := offs[len(offs)-1] + len(secs[len(secs)-1].payload)
+
+	out := make([]byte, total)
+	copy(out, magic2)
+	binary.LittleEndian.PutUint16(out[8:], FlatVersion)
+	binary.LittleEndian.PutUint32(out[12:], uint32(len(secs)))
+	for i, sec := range secs {
+		ent := out[flatHeaderSize+i*flatDirEntSize:]
+		if len(sec.name) > flatNameSize {
+			return nil, fmt.Errorf("snapshot: flat section name %q too long", sec.name)
+		}
+		copy(ent[:flatNameSize], sec.name)
+		binary.LittleEndian.PutUint64(ent[flatNameSize:], uint64(offs[i]))
+		binary.LittleEndian.PutUint64(ent[flatNameSize+8:], uint64(len(sec.payload)))
+		binary.LittleEndian.PutUint32(ent[flatNameSize+16:], crc32.ChecksumIEEE(sec.payload))
+		copy(out[offs[i]:], sec.payload)
+	}
+	binary.LittleEndian.PutUint32(out[dirEnd:], crc32.ChecksumIEEE(out[:dirEnd]))
+	return out, nil
+}
+
+// WriteFlat encodes the snapshot in the v2 flat format and returns the
+// file's SHA-256 content digest. The v1 codec (Save) remains the
+// canonical writer form; WriteFlat is the serve-tier attach artifact.
+func WriteFlat(w io.Writer, s *Snapshot) (digest string, err error) {
+	out, err := encodeFlat(s)
+	if err != nil {
+		return "", err
+	}
+	digest = digestOf(out)
+	if _, err := w.Write(out); err != nil {
+		return "", err
+	}
+	return digest, nil
+}
+
+// SaveFlatFile writes the v2 flat snapshot atomically (temp file +
+// rename) and returns its content digest.
+func SaveFlatFile(path string, s *Snapshot) (digest string, err error) {
+	out, err := encodeFlat(s)
+	if err != nil {
+		return "", err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-flat-*")
+	if err != nil {
+		return "", fmt.Errorf("snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(out); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return "", err
+	}
+	return digestOf(out), nil
+}
+
+// SniffFlat reports whether the file at path starts with the v2 flat
+// magic — the dispatch predicate for tools accepting either format.
+func SniffFlat(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	var hdr [8]byte
+	n, _ := io.ReadFull(f, hdr[:])
+	return n == len(magic2) && string(hdr[:]) == string(magic2), nil
+}

@@ -1,0 +1,359 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"remotepeering/internal/lg"
+	"remotepeering/internal/netflow"
+	"remotepeering/internal/offload"
+	"remotepeering/internal/spread"
+)
+
+// flatImage renders s in the v2 flat format.
+func flatImage(t testing.TB, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := WriteFlat(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// flatRoundTrip encodes s as a v2 image, attaches it, and materializes.
+func flatRoundTrip(t testing.TB, s *Snapshot) *Snapshot {
+	t.Helper()
+	a, err := AttachBytes(flatImage(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// refixDirCRC recomputes the directory checksum after a test mutated the
+// header or directory bytes, so the mutation under test is the one that
+// trips, not the checksum.
+func refixDirCRC(img []byte) {
+	count := int(binary.LittleEndian.Uint32(img[12:]))
+	dirEnd := flatHeaderSize + count*flatDirEntSize
+	binary.LittleEndian.PutUint32(img[dirEnd:], crc32.ChecksumIEEE(img[:dirEnd]))
+}
+
+// TestFlatWorldRoundTrip pins the strongest guarantee for the v2 path:
+// the materialized World is deeply equal to the saved one — including
+// the index rebuilt from the persisted dense-id plane.
+func TestFlatWorldRoundTrip(t *testing.T) {
+	w := testWorld(t)
+	got := flatRoundTrip(t, &Snapshot{World: w}).World
+	got.Graph.ASNs()
+	if !reflect.DeepEqual(w, got) {
+		t.Fatal("attached world is not deeply equal to the saved world")
+	}
+}
+
+// TestFlatFullRoundTrip drives every section group through the flat
+// format at once and pins the analyses byte-for-byte against the live
+// objects — the v2 counterpart of the per-artifact v1 tests.
+func TestFlatFullRoundTrip(t *testing.T) {
+	w := testWorld(t)
+	ds, err := netflow.Collect(w, netflow.Config{Seed: 11, Intervals: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveIn, liveOut := ds.SeriesTotal(nil) // warm the cache so it rides along
+	cones := offload.NewConeCache()
+	study, err := offload.NewStudyOptions(w, ds, offload.Options{Cones: cones})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantGreedy := study.Greedy(offload.GroupAll, 10)
+	res, err := spread.Run(w, spread.Options{
+		Seed: 5,
+		IXPs: []int{0, 2},
+		Campaign: lg.Config{
+			Duration:   10 * 24 * time.Hour,
+			PCHRounds:  4,
+			RIPERounds: 3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loaded := flatRoundTrip(t, &Snapshot{World: w, Dataset: ds, Cones: cones, Spread: res})
+
+	lds := loaded.Dataset
+	if lds == nil {
+		t.Fatal("attached snapshot has no dataset")
+	}
+	if !reflect.DeepEqual(ds.Entries, lds.Entries) {
+		t.Error("entries differ through the flat format")
+	}
+	gotIn, gotOut, ok := lds.AllTransitSeriesCached()
+	if !ok {
+		t.Fatal("attached dataset's series cache is cold despite the series sections")
+	}
+	if !reflect.DeepEqual(liveIn, gotIn) || !reflect.DeepEqual(liveOut, gotOut) {
+		t.Error("flat series differ from the live synthesis")
+	}
+
+	if loaded.Cones == nil {
+		t.Fatal("attached snapshot has no cone cache")
+	}
+	study2, err := offload.NewStudyOptions(loaded.World, lds, offload.Options{Cones: loaded.Cones})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := study2.Greedy(offload.GroupAll, 10); !reflect.DeepEqual(wantGreedy, got) {
+		t.Error("greedy expansion differs when primed from flat cones")
+	}
+
+	lres := loaded.Spread
+	if lres == nil {
+		t.Fatal("attached snapshot has no spread result")
+	}
+	if !reflect.DeepEqual(res.Raw, lres.Raw) {
+		t.Error("raw observations differ through the flat format")
+	}
+	if !reflect.DeepEqual(res.Report, lres.Report) {
+		t.Error("detector report differs through the flat format")
+	}
+	if res.Validation != lres.Validation {
+		t.Errorf("validation differs: %+v vs %+v", res.Validation, lres.Validation)
+	}
+	for _, o := range res.Raw[:min(500, len(res.Raw))] {
+		if res.Truth(o.IXPIndex, o.Target) != lres.Truth(o.IXPIndex, o.Target) {
+			t.Fatalf("truth differs for IXP %d target %s", o.IXPIndex, o.Target)
+		}
+	}
+}
+
+// TestFlatDigestsAgree pins the digest semantics: WriteFlat, SaveFlatFile,
+// and the materialized snapshot all name the same content digest — the
+// serve tier's cache key is format-dependent but path-independent.
+func TestFlatDigestsAgree(t *testing.T) {
+	w := testWorld(t)
+	s := &Snapshot{World: w}
+	img := flatImage(t, s)
+	var buf bytes.Buffer
+	wDigest, err := WriteFlat(&buf, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "world.flat")
+	fDigest, err := SaveFlatFile(path, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wDigest != fDigest {
+		t.Errorf("WriteFlat digest %s != SaveFlatFile digest %s", wDigest, fDigest)
+	}
+	a, err := Attach(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if a.Size() != len(img) {
+		t.Errorf("attached size %d, image size %d", a.Size(), len(img))
+	}
+	got, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest != wDigest {
+		t.Errorf("materialized digest %s != write digest %s", got.Digest, wDigest)
+	}
+
+	ok, err := SniffFlat(path)
+	if err != nil || !ok {
+		t.Errorf("SniffFlat(flat file) = %v, %v; want true", ok, err)
+	}
+	v1 := filepath.Join(t.TempDir(), "world.rpsnap")
+	if err := SaveFile(v1, s); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = SniffFlat(v1)
+	if err != nil || ok {
+		t.Errorf("SniffFlat(v1 file) = %v, %v; want false", ok, err)
+	}
+}
+
+// TestFlatIntegrityFailures pins the typed-error contract of the attach
+// path: every structural corruption lands on the right sentinel and never
+// panics, whether it is caught at attach (header/directory) or deferred
+// to materialize (payload checksums).
+func TestFlatIntegrityFailures(t *testing.T) {
+	w := testWorld(t)
+	good := flatImage(t, &Snapshot{World: w})
+
+	attachErr := func(name string, img []byte, want error) {
+		t.Helper()
+		a, err := AttachBytes(img)
+		if !errors.Is(err, want) {
+			t.Errorf("%s: attach err = %v, want %v", name, err, want)
+		}
+		if a != nil {
+			t.Errorf("%s: got a non-nil attachment alongside the error", name)
+		}
+	}
+	materializeErr := func(name string, img []byte, want error) {
+		t.Helper()
+		a, err := AttachBytes(img)
+		if err != nil {
+			t.Errorf("%s: attach failed early: %v", name, err)
+			return
+		}
+		if _, err := a.Snapshot(); !errors.Is(err, want) {
+			t.Errorf("%s: materialize err = %v, want %v", name, err, want)
+		}
+	}
+
+	attachErr("empty file", nil, ErrTruncated)
+	attachErr("half a magic", good[:4], ErrTruncated)
+	attachErr("header cut", good[:10], ErrTruncated)
+	attachErr("directory cut", good[:flatHeaderSize+10], ErrTruncated)
+
+	garbage := append([]byte("definitely not a snapshot file, "), good...)
+	attachErr("text file", garbage, ErrBadMagic)
+
+	// A v1 file handed to Attach is a version error with advice, not a
+	// magic error — and a v2 file handed to Load is a magic error.
+	var v1buf bytes.Buffer
+	if err := Save(&v1buf, &Snapshot{World: w}); err != nil {
+		t.Fatal(err)
+	}
+	attachErr("v1 file", v1buf.Bytes(), ErrVersion)
+	if _, err := Load(bytes.NewReader(good)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("Load(v2 image) err = %v, want ErrBadMagic", err)
+	}
+
+	future := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint16(future[8:], FlatVersion+1)
+	refixDirCRC(future)
+	attachErr("future version", future, ErrVersion)
+
+	dirFlip := append([]byte(nil), good...)
+	dirFlip[flatHeaderSize+1] ^= 0x40 // inside the first entry's name
+	attachErr("directory flip", dirFlip, ErrCorrupt)
+
+	misaligned := append([]byte(nil), good...)
+	off := binary.LittleEndian.Uint64(misaligned[flatHeaderSize+flatNameSize:])
+	binary.LittleEndian.PutUint64(misaligned[flatHeaderSize+flatNameSize:], off+1)
+	refixDirCRC(misaligned)
+	attachErr("misaligned offset", misaligned, ErrCorrupt)
+
+	oob := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint64(oob[flatHeaderSize+flatNameSize+8:], uint64(len(good))+1)
+	refixDirCRC(oob)
+	attachErr("section past EOF", oob, ErrTruncated)
+
+	huge := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint64(huge[flatHeaderSize+flatNameSize+8:], ^uint64(0)-8)
+	refixDirCRC(huge)
+	attachErr("near-2^64 section length", huge, ErrTruncated)
+
+	// Payload corruption is deferred: attach succeeds, materialize trips
+	// the section checksum.
+	for _, at := range []int{flatPayloadBase + 3, len(good) - 10} {
+		flipped := append([]byte(nil), good...)
+		flipped[at] ^= 0x40
+		materializeErr("payload flip", flipped, ErrCorrupt)
+	}
+
+	// Truncating mid-payload is caught at attach by the directory bounds.
+	attachErr("payload cut", good[:len(good)-1], ErrTruncated)
+}
+
+// TestFlatUnknownSectionSkipped pins forward tolerance: an extra section
+// a future writer might add is listed but ignored by materialize.
+func TestFlatUnknownSectionSkipped(t *testing.T) {
+	w := testWorld(t)
+	good := flatImage(t, &Snapshot{World: w})
+
+	// Rewrite the image with one extra unknown section appended: bump the
+	// count, splice a directory entry, shift payload offsets.
+	extra := []byte("future payload")
+	count := int(binary.LittleEndian.Uint32(good[12:]))
+	oldDirEnd := flatHeaderSize + count*flatDirEntSize
+	newDirEnd := oldDirEnd + flatDirEntSize
+	oldBase := alignUp(oldDirEnd+4, flatPayloadBase)
+	newBase := alignUp(newDirEnd+4, flatPayloadBase)
+	shift := newBase - oldBase
+
+	img := make([]byte, 0, len(good)+shift+flatAlign+len(extra))
+	img = append(img, good[:oldDirEnd]...)
+	var ent [flatDirEntSize]byte
+	copy(ent[:flatNameSize], "future.section")
+	extraOff := alignUp(len(good)+shift, flatAlign)
+	binary.LittleEndian.PutUint64(ent[flatNameSize:], uint64(extraOff))
+	binary.LittleEndian.PutUint64(ent[flatNameSize+8:], uint64(len(extra)))
+	binary.LittleEndian.PutUint32(ent[flatNameSize+16:], crc32.ChecksumIEEE(extra))
+	img = append(img, ent[:]...)
+	img = append(img, make([]byte, newBase-newDirEnd)...) // CRC slot + padding
+	img = append(img, good[oldBase:]...)
+	img = append(img, make([]byte, extraOff-(len(good)+shift))...)
+	img = append(img, extra...)
+	binary.LittleEndian.PutUint32(img[12:], uint32(count+1))
+	for i := 0; i < count; i++ {
+		entOff := flatHeaderSize + i*flatDirEntSize + flatNameSize
+		off := binary.LittleEndian.Uint64(img[entOff:])
+		binary.LittleEndian.PutUint64(img[entOff:], off+uint64(shift))
+	}
+	refixDirCRC(img)
+
+	a, err := AttachBytes(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, name := range a.Sections() {
+		if name == "future.section" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("extra section not listed")
+	}
+	got, err := a.Snapshot()
+	if err != nil {
+		t.Fatalf("materialize with unknown section: %v", err)
+	}
+	got.World.Graph.ASNs()
+	if !reflect.DeepEqual(w, got.World) {
+		t.Error("world differs when an unknown section is present")
+	}
+}
+
+// TestFlatClosedAttachment pins the use-after-close surface: materialize
+// on a closed attachment errors instead of faulting, and Close is
+// idempotent.
+func TestFlatClosedAttachment(t *testing.T) {
+	w := testWorld(t)
+	path := filepath.Join(t.TempDir(), "world.flat")
+	if _, err := SaveFlatFile(path, &Snapshot{World: w}); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Attach(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	if _, err := a.Snapshot(); err == nil {
+		t.Error("materialize after Close should fail")
+	}
+}

@@ -1,0 +1,108 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"remotepeering/internal/lg"
+	"remotepeering/internal/netflow"
+	"remotepeering/internal/offload"
+	"remotepeering/internal/spread"
+	"remotepeering/internal/worldgen"
+)
+
+// fuzzSeeds builds one small-but-complete snapshot and renders it in both
+// formats, once per process — the corpus seeds and the oracle images the
+// fuzz body mutates.
+var fuzzSeeds = sync.OnceValues(func() (v1, v2 []byte) {
+	w, err := worldgen.Generate(worldgen.Config{Seed: 13, LeafNetworks: 80})
+	if err != nil {
+		panic(err)
+	}
+	ds, err := netflow.Collect(w, netflow.Config{Seed: 17, Intervals: 24})
+	if err != nil {
+		panic(err)
+	}
+	ds.SeriesTotal(nil)
+	cones := offload.NewConeCache()
+	if _, err := offload.NewStudyOptions(w, ds, offload.Options{Cones: cones}); err != nil {
+		panic(err)
+	}
+	res, err := spread.Run(w, spread.Options{
+		Seed: 19,
+		IXPs: []int{0, 1},
+		Campaign: lg.Config{
+			Duration:   2 * 24 * time.Hour,
+			PCHRounds:  1,
+			RIPERounds: 1,
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	s := &Snapshot{World: w, Dataset: ds, Cones: cones, Spread: res}
+	var b1, b2 bytes.Buffer
+	if err := Save(&b1, s); err != nil {
+		panic(err)
+	}
+	if _, err := WriteFlat(&b2, s); err != nil {
+		panic(err)
+	}
+	return b1.Bytes(), b2.Bytes()
+})
+
+// FuzzReadSnapshot pins the decoder contract for both formats: arbitrary
+// input produces either a valid snapshot or a typed error — never a
+// panic, never an untyped error. The hand-rolled bounds checks in the v1
+// uvarint paths and the v2 directory/offset arithmetic are exactly the
+// code this exercises.
+func FuzzReadSnapshot(f *testing.F) {
+	v1, v2 := fuzzSeeds()
+	f.Add(v1)
+	f.Add(v2)
+	for _, img := range [][]byte{v1, v2} {
+		f.Add(img[:len(img)/2])
+		f.Add(img[:len(img)-1])
+		for _, at := range []int{9, 13, len(img) / 3, len(img) - 5} {
+			mut := append([]byte(nil), img...)
+			mut[at] ^= 0x40
+			f.Add(mut)
+		}
+	}
+	f.Add([]byte("RPSNAP1\n"))
+	f.Add([]byte("RPSNAP2\n"))
+	f.Add([]byte{})
+
+	typed := func(t *testing.T, err error) {
+		t.Helper()
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrVersion) &&
+			!errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+			t.Errorf("untyped decode error: %v", err)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Load(bytes.NewReader(data))
+		typed(t, err)
+		if err == nil && (s == nil || s.World == nil) {
+			t.Error("Load returned success without a world")
+		}
+
+		a, err := AttachBytes(data)
+		typed(t, err)
+		if err != nil {
+			return
+		}
+		s2, err := a.Snapshot()
+		typed(t, err)
+		if err == nil && (s2 == nil || s2.World == nil) {
+			t.Error("Attach materialized success without a world")
+		}
+	})
+}

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package snapshot
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without syscall.Mmap reads the file into memory.
+// Attach still validates lazily; only the zero-copy property is lost.
+func mapFile(f *os.File, size int) ([]byte, func() error, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

@@ -85,10 +85,17 @@ func Save(w io.Writer, s *Snapshot) error {
 		}
 	}
 
-	sum := sha256.Sum256(out)
-	s.Digest = hex.EncodeToString(sum[:])
+	s.Digest = digestOf(out)
 	_, err := w.Write(out)
 	return err
+}
+
+// digestOf is the content digest shared by both formats: the SHA-256 of
+// the complete file image, hex-encoded. It names a world in the serve
+// tier's cache keys regardless of which format carried it.
+func digestOf(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
 }
 
 // Load decodes a snapshot from r, verifying the magic, the format
@@ -118,8 +125,7 @@ func Load(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("%w: file has version %d, this build reads ≤ %d", ErrVersion, ver, Version)
 	}
 
-	sum := sha256.Sum256(buf)
-	s := &Snapshot{Digest: hex.EncodeToString(sum[:])}
+	s := &Snapshot{Digest: digestOf(buf)}
 	var seriesIn, seriesOut []float64
 	haveSeries := false
 	for off := len(magic) + 2; off < len(buf); {
@@ -324,6 +330,24 @@ func encodeWorld(w *worldgen.World) []byte {
 }
 
 func decodeWorld(payload []byte) (*worldgen.World, error) {
+	w, err := decodeWorldBody(payload)
+	if err != nil {
+		return nil, err
+	}
+	// Derived state: the dense index from the restored universe, the
+	// static spec table from the package constants.
+	w.Index = asindex.New(w.Graph.ASNs())
+	if err := w.RestoreSpecTable(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return w, nil
+}
+
+// decodeWorldBody decodes the world payload without building the derived
+// state (dense index, spec table) — shared between the v1 load path and
+// the v2 attach path, which restores the index from the persisted
+// dense-id plane instead of re-deriving it.
+func decodeWorldBody(payload []byte) (*worldgen.World, error) {
 	d := &dec{buf: payload}
 	w := &worldgen.World{}
 
@@ -478,13 +502,6 @@ func decodeWorld(payload []byte) (*worldgen.World, error) {
 	if d.off != len(d.buf) {
 		return nil, fmt.Errorf("%w: %d trailing bytes in world section", ErrCorrupt, len(d.buf)-d.off)
 	}
-
-	// Derived state: the dense index from the restored universe, the
-	// static spec table from the package constants.
-	w.Index = asindex.New(w.Graph.ASNs())
-	if err := w.RestoreSpecTable(); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
 	return w, nil
 }
 
@@ -585,7 +602,44 @@ func decodeSeries(payload []byte) (in, out []float64, err error) {
 
 func encodeSpread(r *spread.Result) []byte {
 	var e enc
+	encodeSpreadCfg(&e, r)
 
+	// Ground truth.
+	ixps, remote := r.RemoteTruth()
+	e.uvarint(uint64(len(ixps)))
+	for k, idx := range ixps {
+		e.intv(idx)
+		e.uvarint(uint64(len(remote[k])))
+		for _, ip := range remote[k] {
+			e.addr(ip)
+		}
+	}
+
+	// Raw observations, with interned acronym/family strings. The table
+	// is built in first-appearance order and emitted before the rows.
+	var table stringTable
+	var rows enc
+	for i := range r.Raw {
+		o := &r.Raw[i]
+		rows.intv(o.IXPIndex)
+		rows.uvarint(table.ref(o.Acronym))
+		rows.uvarint(table.ref(o.Family))
+		rows.addr(o.Target)
+		rows.varint(int64(o.SentAt))
+		rows.varint(int64(o.RTT))
+		rows.u8(o.TTL)
+		rows.boolv(o.TimedOut)
+	}
+	table.encode(&e)
+	e.uvarint(uint64(len(r.Raw)))
+	e.buf = append(e.buf, rows.buf...)
+	return e.buf
+}
+
+// encodeSpreadCfg emits the campaign's scalar configuration — measurement
+// seed, probing regime, detector parameters — shared by the v1 spread
+// section and the v2 spread.cfg section (identical bytes in both).
+func encodeSpreadCfg(e *enc, r *spread.Result) {
 	// Measurement seed + campaign config.
 	e.varint(r.Seed)
 	e.varint(int64(r.Campaign.Duration))
@@ -621,77 +675,13 @@ func encodeSpread(r *spread.Result) []byte {
 	for _, f := range disabled {
 		e.intv(f)
 	}
-
-	// Ground truth.
-	ixps, remote := r.RemoteTruth()
-	e.uvarint(uint64(len(ixps)))
-	for k, idx := range ixps {
-		e.intv(idx)
-		e.uvarint(uint64(len(remote[k])))
-		for _, ip := range remote[k] {
-			e.addr(ip)
-		}
-	}
-
-	// Raw observations, with interned acronym/family strings. The table
-	// is built in first-appearance order and emitted before the rows.
-	var table stringTable
-	var rows enc
-	for i := range r.Raw {
-		o := &r.Raw[i]
-		rows.intv(o.IXPIndex)
-		rows.uvarint(table.ref(o.Acronym))
-		rows.uvarint(table.ref(o.Family))
-		rows.addr(o.Target)
-		rows.varint(int64(o.SentAt))
-		rows.varint(int64(o.RTT))
-		rows.u8(o.TTL)
-		rows.boolv(o.TimedOut)
-	}
-	table.encode(&e)
-	e.uvarint(uint64(len(r.Raw)))
-	e.buf = append(e.buf, rows.buf...)
-	return e.buf
 }
 
 func decodeSpread(payload []byte, w *worldgen.World) (*spread.Result, error) {
 	d := &dec{buf: payload}
-
-	seed := d.varint()
-	var campaign lg.Config
-	campaign.Duration = time.Duration(d.varint())
-	campaign.PCHRounds = d.intv()
-	campaign.RIPERounds = d.intv()
-	campaign.PingsPerQueryPCH = d.intv()
-	campaign.PingsPerQueryRIPE = d.intv()
-	campaign.QuerySpacing = time.Duration(d.varint())
-	campaign.PingTimeout = time.Duration(d.varint())
-
-	var detector core.Config
-	detector.RemoteThreshold = time.Duration(d.varint())
-	detector.MinRepliesPerLG = d.intv()
-	detector.MinConsistentReplies = d.intv()
-	detector.ConsistencyAbs = time.Duration(d.varint())
-	detector.ConsistencyFrac = d.f64()
-	nTTL := d.uvarint()
-	if d.err != nil || !d.fits(nTTL, 1) {
-		return nil, d.err
-	}
-	if nTTL > 0 {
-		detector.AcceptedTTLs = make([]uint8, nTTL)
-		for i := range detector.AcceptedTTLs {
-			detector.AcceptedTTLs[i] = d.u8()
-		}
-	}
-	nDisabled := d.uvarint()
-	if d.err != nil || !d.fits(nDisabled, 1) {
-		return nil, d.err
-	}
-	if nDisabled > 0 {
-		detector.Disabled = make(map[core.Filter]bool, nDisabled)
-		for i := uint64(0); i < nDisabled; i++ {
-			detector.Disabled[core.Filter(d.intv())] = true
-		}
+	seed, campaign, detector, err := decodeSpreadCfg(d)
+	if err != nil {
+		return nil, err
 	}
 
 	nIXPs := d.uvarint()
@@ -748,6 +738,46 @@ func decodeSpread(payload []byte, w *worldgen.World) (*spread.Result, error) {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return res, nil
+}
+
+// decodeSpreadCfg is encodeSpreadCfg's inverse, shared by the v1 and v2
+// read paths.
+func decodeSpreadCfg(d *dec) (seed int64, campaign lg.Config, detector core.Config, err error) {
+	seed = d.varint()
+	campaign.Duration = time.Duration(d.varint())
+	campaign.PCHRounds = d.intv()
+	campaign.RIPERounds = d.intv()
+	campaign.PingsPerQueryPCH = d.intv()
+	campaign.PingsPerQueryRIPE = d.intv()
+	campaign.QuerySpacing = time.Duration(d.varint())
+	campaign.PingTimeout = time.Duration(d.varint())
+
+	detector.RemoteThreshold = time.Duration(d.varint())
+	detector.MinRepliesPerLG = d.intv()
+	detector.MinConsistentReplies = d.intv()
+	detector.ConsistencyAbs = time.Duration(d.varint())
+	detector.ConsistencyFrac = d.f64()
+	nTTL := d.uvarint()
+	if d.err != nil || !d.fits(nTTL, 1) {
+		return 0, campaign, detector, d.err
+	}
+	if nTTL > 0 {
+		detector.AcceptedTTLs = make([]uint8, nTTL)
+		for i := range detector.AcceptedTTLs {
+			detector.AcceptedTTLs[i] = d.u8()
+		}
+	}
+	nDisabled := d.uvarint()
+	if d.err != nil || !d.fits(nDisabled, 1) {
+		return 0, campaign, detector, d.err
+	}
+	if nDisabled > 0 {
+		detector.Disabled = make(map[core.Filter]bool, nDisabled)
+		for i := uint64(0); i < nDisabled; i++ {
+			detector.Disabled[core.Filter(d.intv())] = true
+		}
+	}
+	return seed, campaign, detector, d.err
 }
 
 // --- cone tables ---

@@ -27,7 +27,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"net/http"
 	"net/netip"
 	"time"
 
@@ -378,6 +377,42 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 	return snapshot.Load(r)
 }
 
+// AttachedSnapshot is a v2 flat snapshot mapped into memory: attach costs
+// microseconds regardless of file size, and the world materializes lazily
+// on the first Snapshot() call, with the hot arrays viewed in place
+// rather than copied. Close only after the last use of the materialized
+// snapshot — its series and cone tables alias the mapping.
+type AttachedSnapshot = snapshot.Attached
+
+// SaveFlatSnapshot writes the snapshot in the v2 flat (mmap-able) format
+// atomically and returns its SHA-256 content digest. The v1 format
+// (SaveSnapshot) remains the canonical writer form; the flat file is the
+// serve-tier attach artifact.
+func SaveFlatSnapshot(path string, s *Snapshot) (digest string, err error) {
+	return snapshot.SaveFlatFile(path, s)
+}
+
+// AttachSnapshot maps the v2 flat snapshot at path, validating only the
+// header and section directory.
+func AttachSnapshot(path string) (*AttachedSnapshot, error) {
+	return snapshot.Attach(path)
+}
+
+// SnapshotIsFlat reports whether the file at path is a v2 flat snapshot
+// (as opposed to a v1 varint snapshot or something else entirely).
+func SnapshotIsFlat(path string) (bool, error) {
+	return snapshot.SniffFlat(path)
+}
+
+// OpenSnapshot reads a snapshot in whichever format the file carries: v1
+// files are fully loaded, v2 flat files are attached and materialized
+// (their mapping stays live for the snapshot's lifetime). The digests of
+// the two formats differ — they address different byte images — but the
+// rehydrated artifacts answer queries identically.
+func OpenSnapshot(path string) (*Snapshot, error) {
+	return snapshot.OpenFile(path)
+}
+
 // NewServer builds the query service over a loaded snapshot without
 // binding a listener — the embedding entry point (tests mount
 // Server.Handler on httptest, cmd/rpserve on a real listener).
@@ -392,7 +427,7 @@ func Serve(ctx context.Context, addr string, cfg ServeConfig) error {
 	if err != nil {
 		return err
 	}
-	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	hs := serve.NewHTTPServer(addr, srv.Handler())
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	select {

@@ -34,6 +34,40 @@ func snapshotRoundTrip(t *testing.T, s *Snapshot) *Snapshot {
 	return loaded
 }
 
+// flatAttachRoundTrip saves s in the v2 flat format, attaches the file,
+// and materializes — the zero-copy sibling of snapshotRoundTrip. The
+// mapping stays open until test cleanup because the materialized
+// snapshot's series and cone tables alias it.
+func flatAttachRoundTrip(t *testing.T, s *Snapshot) *Snapshot {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "equiv.flat")
+	digest, err := SaveFlatSnapshot(path, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AttachSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	got, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest != digest {
+		t.Fatalf("digest mismatch: saved %s, attached %s", digest, got.Digest)
+	}
+	return got
+}
+
+// roundTrips drives a comparison body through both persistence paths, so
+// every equivalence below pins v1 load and v2 attach against the same
+// live objects.
+func roundTrips(t *testing.T, s *Snapshot, check func(t *testing.T, loaded *Snapshot)) {
+	t.Run("v1-load", func(t *testing.T) { check(t, snapshotRoundTrip(t, s)) })
+	t.Run("v2-attach", func(t *testing.T) { check(t, flatAttachRoundTrip(t, s)) })
+}
+
 // TestSnapshotOffloadEquivalence pins the Section 4 surface: the loaded
 // world+dataset reproduce the greedy expansions, coverage sets, series,
 // and billing relief of the live objects exactly.
@@ -56,44 +90,45 @@ func TestSnapshotOffloadEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	loaded := snapshotRoundTrip(t, &Snapshot{World: w, Dataset: ds, Cones: cones})
-	study, err := NewOffloadStudyOptions(loaded.World, loaded.Dataset, OffloadOptions{Cones: loaded.Cones})
-	if err != nil {
-		t.Fatal(err)
-	}
+	roundTrips(t, &Snapshot{World: w, Dataset: ds, Cones: cones}, func(t *testing.T, loaded *Snapshot) {
+		study, err := NewOffloadStudyOptions(loaded.World, loaded.Dataset, OffloadOptions{Cones: loaded.Cones})
+		if err != nil {
+			t.Fatal(err)
+		}
 
-	if got, want := study.PotentialPeerCount(), live.PotentialPeerCount(); got != want {
-		t.Errorf("potential peers: %d vs live %d", got, want)
-	}
-	if got, want := study.Greedy(GroupAll, 0), live.Greedy(GroupAll, 0); !reflect.DeepEqual(got, want) {
-		t.Error("greedy expansion differs from live")
-	}
-	if got, want := study.GreedyInterfaces(GroupOpenSelective, 20), live.GreedyInterfaces(GroupOpenSelective, 20); !reflect.DeepEqual(got, want) {
-		t.Error("interface expansion differs from live")
-	}
-	if got, want := study.SingleIXP(GroupOpen), live.SingleIXP(GroupOpen); !reflect.DeepEqual(got, want) {
-		t.Error("single-IXP potentials differ from live")
-	}
-	ixps := []int{0, 5, 12, 40}
-	if got, want := study.Covered(ixps, GroupAll), live.Covered(ixps, GroupAll); !reflect.DeepEqual(got, want) {
-		t.Error("covered set differs from live")
-	}
-	gin, gout := loaded.Dataset.SeriesTotal(live.Covered(ixps, GroupAll))
-	win, wout := ds.SeriesTotal(live.Covered(ixps, GroupAll))
-	if !reflect.DeepEqual(gin, win) || !reflect.DeepEqual(gout, wout) {
-		t.Error("covered-set series differ from live")
-	}
-	gr, err := study.EstimateBillingRelief(ixps, GroupAll)
-	if err != nil {
-		t.Fatal(err)
-	}
-	wr, err := live.EstimateBillingRelief(ixps, GroupAll)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if gr != wr {
-		t.Errorf("billing relief differs: %+v vs live %+v", gr, wr)
-	}
+		if got, want := study.PotentialPeerCount(), live.PotentialPeerCount(); got != want {
+			t.Errorf("potential peers: %d vs live %d", got, want)
+		}
+		if got, want := study.Greedy(GroupAll, 0), live.Greedy(GroupAll, 0); !reflect.DeepEqual(got, want) {
+			t.Error("greedy expansion differs from live")
+		}
+		if got, want := study.GreedyInterfaces(GroupOpenSelective, 20), live.GreedyInterfaces(GroupOpenSelective, 20); !reflect.DeepEqual(got, want) {
+			t.Error("interface expansion differs from live")
+		}
+		if got, want := study.SingleIXP(GroupOpen), live.SingleIXP(GroupOpen); !reflect.DeepEqual(got, want) {
+			t.Error("single-IXP potentials differ from live")
+		}
+		ixps := []int{0, 5, 12, 40}
+		if got, want := study.Covered(ixps, GroupAll), live.Covered(ixps, GroupAll); !reflect.DeepEqual(got, want) {
+			t.Error("covered set differs from live")
+		}
+		gin, gout := loaded.Dataset.SeriesTotal(live.Covered(ixps, GroupAll))
+		win, wout := ds.SeriesTotal(live.Covered(ixps, GroupAll))
+		if !reflect.DeepEqual(gin, win) || !reflect.DeepEqual(gout, wout) {
+			t.Error("covered-set series differ from live")
+		}
+		gr, err := study.EstimateBillingRelief(ixps, GroupAll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr, err := live.EstimateBillingRelief(ixps, GroupAll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gr != wr {
+			t.Errorf("billing relief differs: %+v vs live %+v", gr, wr)
+		}
+	})
 }
 
 // TestSnapshotSpreadEquivalence pins the Section 3 surface: the
@@ -117,36 +152,37 @@ func TestSnapshotSpreadEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	loaded := snapshotRoundTrip(t, &Snapshot{World: w, Spread: live})
-	got := loaded.Spread
-	if got == nil {
-		t.Fatal("loaded snapshot lost the campaign")
-	}
-	if !reflect.DeepEqual(got.Report, live.Report) {
-		t.Error("rehydrated detector report differs from live")
-	}
-	if !reflect.DeepEqual(got.Report.Table1(), live.Report.Table1()) {
-		t.Error("Table 1 differs from live")
-	}
-	if !reflect.DeepEqual(got.Report.Figure3(), live.Report.Figure3()) {
-		t.Error("Figure 3 differs from live")
-	}
-	if got.Validation != live.Validation {
-		t.Errorf("validation differs: %+v vs live %+v", got.Validation, live.Validation)
-	}
-	// Reanalysis over rehydrated raw observations — the ablation path —
-	// must agree with the live raw stream too.
-	rep1, err := got.Reanalyze(loaded.World, DetectorConfig{RemoteThreshold: 20 * time.Millisecond})
-	if err != nil {
-		t.Fatal(err)
-	}
-	rep2, err := live.Reanalyze(w, DetectorConfig{RemoteThreshold: 20 * time.Millisecond})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(rep1, rep2) {
-		t.Error("reanalysis over the rehydrated campaign differs from live")
-	}
+	roundTrips(t, &Snapshot{World: w, Spread: live}, func(t *testing.T, loaded *Snapshot) {
+		got := loaded.Spread
+		if got == nil {
+			t.Fatal("loaded snapshot lost the campaign")
+		}
+		if !reflect.DeepEqual(got.Report, live.Report) {
+			t.Error("rehydrated detector report differs from live")
+		}
+		if !reflect.DeepEqual(got.Report.Table1(), live.Report.Table1()) {
+			t.Error("Table 1 differs from live")
+		}
+		if !reflect.DeepEqual(got.Report.Figure3(), live.Report.Figure3()) {
+			t.Error("Figure 3 differs from live")
+		}
+		if got.Validation != live.Validation {
+			t.Errorf("validation differs: %+v vs live %+v", got.Validation, live.Validation)
+		}
+		// Reanalysis over rehydrated raw observations — the ablation path —
+		// must agree with the live raw stream too.
+		rep1, err := got.Reanalyze(loaded.World, DetectorConfig{RemoteThreshold: 20 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep2, err := live.Reanalyze(w, DetectorConfig{RemoteThreshold: 20 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rep1, rep2) {
+			t.Error("reanalysis over the rehydrated campaign differs from live")
+		}
+	})
 }
 
 // TestSnapshotScenarioEquivalence pins the serving surface end to end: a
@@ -175,25 +211,27 @@ func TestSnapshotScenarioEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	loaded := snapshotRoundTrip(t, &Snapshot{World: w})
-	loadedRep, err := RunScenarios(loaded.World, grid, opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if liveRep.Text() != loadedRep.Text() {
-		t.Error("scenario text report differs over the loaded world")
-	}
 	liveJSON, err := liveRep.JSON()
 	if err != nil {
 		t.Fatal(err)
 	}
-	loadedJSON, err := loadedRep.JSON()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if string(liveJSON) != string(loadedJSON) {
-		t.Error("scenario JSON report differs over the loaded world")
-	}
+
+	roundTrips(t, &Snapshot{World: w}, func(t *testing.T, loaded *Snapshot) {
+		loadedRep, err := RunScenarios(loaded.World, grid, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if liveRep.Text() != loadedRep.Text() {
+			t.Error("scenario text report differs over the loaded world")
+		}
+		loadedJSON, err := loadedRep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(liveJSON) != string(loadedJSON) {
+			t.Error("scenario JSON report differs over the loaded world")
+		}
+	})
 }
 
 // TestSnapshotFileErrors pins the facade-level error surface on real
