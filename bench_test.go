@@ -13,9 +13,11 @@ package remotepeering
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -781,5 +783,69 @@ func BenchmarkServeWhatifCached(b *testing.B) {
 	b.ReportMetric(speedup, "speedup_x")
 	if speedup < 10 {
 		b.Errorf("cached query only %.1f× faster than cold (%v vs %v) — acceptance bar is 10×", speedup, warm, cold)
+	}
+}
+
+// BenchmarkCatalogAttachEvict measures the catalog's world-churn cost:
+// with a resident budget of one world, every acquire of the *other*
+// world is a full evict + attach + materialize cycle — the price a
+// fleet pays each time a query lands on a cold world. The bar is loose
+// (< 250 ms per cycle at 3,000 leaves) because the cycle includes the
+// lazy materialization; the attach itself is the microsecond path
+// BenchmarkSnapshotAttach pins. Lease hygiene is asserted in-bench: no
+// refcount drift, every cycle evicts exactly one world.
+func BenchmarkCatalogAttachEvict(b *testing.B) {
+	dir := b.TempDir()
+	digests := make([]string, 2)
+	var budget int64
+	for i, seed := range []int64{31, 32} {
+		w, err := GenerateWorld(WorldConfig{Seed: seed, LeafNetworks: 3000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("w%d.flat", i+1))
+		if digests[i], err = SaveFlatSnapshot(path, &Snapshot{World: w}); err != nil {
+			b.Fatal(err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fi.Size() > budget {
+			budget = fi.Size()
+		}
+	}
+	cat, err := OpenCatalog(dir, CatalogOptions{ResidentBytes: budget})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lease, err := cat.Acquire(ctx, digests[i%2])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if lease.Snapshot().World == nil {
+			b.Fatal("leased world is nil")
+		}
+		lease.Release()
+	}
+	b.StopTimer()
+
+	if refs := cat.PinnedRefs(); refs != 0 {
+		b.Errorf("%d lease refs pinned after churn, want 0", refs)
+	}
+	if got, want := cat.Attaches(), int64(b.N); got != want {
+		b.Errorf("%d attaches over %d alternating acquires, want one each", got, want)
+	}
+	perOp := b.Elapsed() / time.Duration(b.N)
+	if perOp >= 250*time.Millisecond {
+		b.Errorf("attach+evict cycle costs %v per op, want < 250ms", perOp)
+	}
+	b.ReportMetric(float64(cat.Evictions()), "evictions")
+	if err := cat.Close(); err != nil {
+		b.Fatal(err)
 	}
 }

@@ -1,30 +1,45 @@
 // Command rpserve is the long-lived query side of the reproduction: it
-// loads a snapshot (built with rpworld/rpoffload/rpspread -save) once and
 // serves the /v1 JSON API — world summary, spread study, offload
 // analysis, and concurrent what-if scenario grids with request
 // deduplication and an LRU result cache — until SIGTERM/SIGINT, then
-// shuts down gracefully.
+// shuts down gracefully. It serves either one snapshot (-snapshot, built
+// with rpworld/rpoffload/rpspread -save) or a whole directory of them
+// (-snapshot-dir): a catalog where worlds attach on demand, stay
+// resident under -resident-mb, and are selected per request with
+// world=<digest prefix>.
 //
 // Usage:
 //
 //	rpworld -seed 1 -save world.rpsnap            # v1 (canonical)
 //	rpworld -seed 1 -save-flat world.flat         # v2 (mmap attach)
 //	rpserve -snapshot world.rpsnap -listen :8080 &
-//	curl 'localhost:8080/v1/world'
+//	rpserve -snapshot-dir worlds/ -resident-mb 256 -listen :8080 &
+//	curl 'localhost:8080/v1/worlds'
 //	curl 'localhost:8080/v1/whatif?scenarios=ams-outage%3Doutage%3AAMS-IX'
 //
 // Endpoints:
 //
-//	GET  /v1/world         snapshot summary (digest, sizes, layers)
-//	GET  /v1/spread        Section 3 campaign summary  [seed, days]
-//	GET  /v1/offload       Section 4 analysis          [group, k, greedy, traffic-seed, intervals]
+//	GET  /v1/world         world summary (digest, sizes, layers)  [world]
+//	GET  /v1/worlds        catalog overview: every world's health + residency counters
+//	GET  /v1/healthz       liveness probe (always 200 while serving)
+//	GET  /v1/readyz        readiness probe (503 once no world is servable)
+//	GET  /v1/spread        Section 3 campaign summary  [world, seed, days]
+//	GET  /v1/offload       Section 4 analysis          [world, group, k, greedy, traffic-seed, intervals]
 //	GET  /v1/whatif        scenario grid (also POST with a JSON body)
-//	                       [scenarios, seeds, measure-seed, traffic-seed, k, greedy, intervals, days]
+//	                       [world, scenarios, seeds, measure-seed, traffic-seed, k, greedy, intervals, days]
 //	GET  /v1/report/{id}   a previously computed response by content id
 //
 // Identical queries against the same snapshot are answered from the
-// result cache in microseconds; identical *concurrent* queries coalesce
-// onto one computation. Abandoned requests cancel their evaluation.
+// result cache in microseconds — without attaching the world, if it has
+// gone cold; identical *concurrent* queries coalesce onto one
+// computation. Abandoned requests cancel their evaluation, a per-query
+// deadline (-query-timeout) bounds each computation, and once -max-pending
+// computations are queued or running, new cold queries are shed with
+// 429 + Retry-After while cache hits keep serving. A snapshot failing its
+// CRC validation is quarantined, not retried; the rest of the catalog
+// keeps serving. -chaos injects a seeded fault schedule (attach delays
+// and failures, evaluation panics, cache drops) for robustness drills:
+// completed responses stay byte-identical to a fault-free server's.
 package main
 
 import (
@@ -45,50 +60,85 @@ var fatal = cli.Fataler("rpserve")
 
 func main() {
 	listen := flag.String("listen", ":8080", "listen address")
-	snapPath := flag.String("snapshot", "", "snapshot file to serve (required; build with rpworld -save)")
+	snapPath := flag.String("snapshot", "", "snapshot file to serve (build with rpworld -save)")
+	snapDir := flag.String("snapshot-dir", "", "directory of snapshots to serve as a catalog (mutually exclusive with -snapshot)")
+	residentMB := flag.Int("resident-mb", 0, "catalog resident-world budget in MiB (0 = unlimited); worlds evict LRU under it")
 	maxInflight := flag.Int("max-inflight", 4, "maximum concurrently evaluating requests (others queue)")
+	maxPending := flag.Int("max-pending", 0, "pending-computation cap before cold queries shed with 429 (0 = 4×max-inflight, negative disables)")
 	cacheMB := flag.Int("cache-mb", 64, "result-cache budget in MiB (negative disables)")
 	workers := flag.Int("workers", 0, "worker bound per evaluation (0 = one per CPU; results identical for any value)")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-computation deadline (0 = none); expired computations answer 504")
+	chaos := flag.String("chaos", "", "inject a seeded fault schedule, e.g. seed=42,slow=0.3,fail=0.1,panic=0.05,cachefail=0.2,delay=20ms")
 	flag.Parse()
-	if *snapPath == "" {
-		fatal(fmt.Errorf("missing -snapshot (build one with: rpworld -save world.rpsnap)"))
+	switch {
+	case *snapPath == "" && *snapDir == "":
+		fatal(fmt.Errorf("missing -snapshot or -snapshot-dir (build one with: rpworld -save world.rpsnap)"))
+	case *snapPath != "" && *snapDir != "":
+		fatal(fmt.Errorf("-snapshot and -snapshot-dir are mutually exclusive"))
+	}
+
+	var plane *remotepeering.FaultPlane
+	if *chaos != "" {
+		var err error
+		if plane, err = remotepeering.ParseFaultPlane(*chaos); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rpserve: chaos plane armed (%s)\n", *chaos)
+	}
+
+	cfg := serve.Config{
+		MaxInflight:  *maxInflight,
+		MaxPending:   *maxPending,
+		CacheMB:      *cacheMB,
+		Workers:      *workers,
+		QueryTimeout: *queryTimeout,
+		Faults:       plane,
 	}
 
 	start := time.Now()
-	flat, err := remotepeering.SnapshotIsFlat(*snapPath)
-	if err != nil {
-		fatal(err)
-	}
-	var snap *remotepeering.Snapshot
-	if flat {
-		// Attach the flat format: microseconds to map and validate the
-		// directory, then one lazy materialization. The mapping stays live
-		// for the whole process — the snapshot's hot arrays alias it.
-		a, err := remotepeering.AttachSnapshot(*snapPath)
+	if *snapDir != "" {
+		cat, err := remotepeering.OpenCatalog(*snapDir, remotepeering.CatalogOptions{
+			ResidentBytes: int64(*residentMB) << 20,
+			Faults:        plane,
+		})
 		if err != nil {
 			fatal(err)
 		}
-		attached := time.Since(start)
-		if snap, err = a.Snapshot(); err != nil {
+		cfg.Catalog = cat
+		fmt.Fprintf(os.Stderr, "rpserve: catalogued %d worlds from %s in %.2fs (resident budget %d MiB)\n",
+			cat.Len(), *snapDir, time.Since(start).Seconds(), *residentMB)
+	} else {
+		flat, err := remotepeering.SnapshotIsFlat(*snapPath)
+		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "rpserve: attached flat snapshot in %s, materialized in %s\n",
-			attached.Round(time.Microsecond), (time.Since(start) - attached).Round(time.Millisecond))
-	} else if snap, err = remotepeering.LoadSnapshot(*snapPath); err != nil {
-		fatal(err)
+		var snap *remotepeering.Snapshot
+		if flat {
+			// Attach the flat format: microseconds to map and validate the
+			// directory, then one lazy materialization. The mapping stays live
+			// for the whole process — the snapshot's hot arrays alias it.
+			a, err := remotepeering.AttachSnapshot(*snapPath)
+			if err != nil {
+				fatal(err)
+			}
+			attached := time.Since(start)
+			if snap, err = a.Snapshot(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "rpserve: attached flat snapshot in %s, materialized in %s\n",
+				attached.Round(time.Microsecond), (time.Since(start) - attached).Round(time.Millisecond))
+		} else if snap, err = remotepeering.LoadSnapshot(*snapPath); err != nil {
+			fatal(err)
+		}
+		cfg.Snapshot = snap
+		fmt.Fprintf(os.Stderr, "rpserve: loaded %s in %.2fs (digest %s, %d networks, dataset=%v spread=%v)\n",
+			*snapPath, time.Since(start).Seconds(), snap.Digest[:12],
+			snap.World.Graph.Len(), snap.Dataset != nil, snap.Spread != nil)
 	}
-	srv, err := serve.New(serve.Config{
-		Snapshot:    snap,
-		MaxInflight: *maxInflight,
-		CacheMB:     *cacheMB,
-		Workers:     *workers,
-	})
+	srv, err := serve.New(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "rpserve: loaded %s in %.2fs (digest %s, %d networks, dataset=%v spread=%v)\n",
-		*snapPath, time.Since(start).Seconds(), snap.Digest[:12],
-		snap.World.Graph.Len(), snap.Dataset != nil, snap.Spread != nil)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
+	"time"
 
 	"remotepeering/internal/core"
 	"remotepeering/internal/econ"
+	"remotepeering/internal/fault"
 	"remotepeering/internal/lg"
 	"remotepeering/internal/netflow"
 	"remotepeering/internal/offload"
@@ -86,6 +89,21 @@ type Options struct {
 	// cost, never results; a cache bound to a different index is ignored
 	// by the offload layer.
 	Cones *offload.ConeCache
+	// Faults is the injectable fault plane (nil in production): it can
+	// panic an evaluation goroutine mid-cell, which the retry layer
+	// below must absorb.
+	Faults *fault.Plane
+	// FaultKey namespaces this run's fault draws and backoff jitter —
+	// the serve tier passes the query digest, so retry timing is a pure
+	// function of (query, cell, attempt) and never touches an RNG
+	// stream that feeds results.
+	FaultKey string
+	// CellAttempts bounds how many times a crashed cell (a recovered
+	// panic, an injected transient fault) is re-evaluated before the run
+	// fails (default 3). A cell is a pure function of its grid
+	// coordinates, so a retry reproduces the exact bytes the crashed
+	// attempt would have produced.
+	CellAttempts int
 }
 
 func (o Options) withDefaults() Options {
@@ -177,11 +195,14 @@ type Report struct {
 }
 
 // cellSpec pairs a scenario with one seed offset and its RNG stream.
+// newSrc re-derives the stream from the root on every call (Split is
+// pure), so a retried cell replays identical draws instead of resuming
+// a stream the crashed attempt had already advanced.
 type cellSpec struct {
-	scn  Scenario
-	off  int64
-	src  *stats.Source
-	base bool
+	scn    Scenario
+	off    int64
+	newSrc func() *stats.Source
+	base   bool
 }
 
 // Run evaluates the grid. Cells fan out across workers through
@@ -242,7 +263,8 @@ func RunCtx(ctx context.Context, w *worldgen.World, grid Grid, opts Options) (*R
 		if !cells[i].base {
 			si = (i - 1) / len(seeds)
 		}
-		cells[i].src = root.Split(fmt.Sprintf("cell-%d-seed-%d", si, cells[i].off))
+		label := fmt.Sprintf("cell-%d-seed-%d", si, cells[i].off)
+		cells[i].newSrc = func() *stats.Source { return root.Split(label) }
 	}
 
 	// Materialise the parent graph's lazy ASN cache before the fan-out so
@@ -258,14 +280,14 @@ func RunCtx(ctx context.Context, w *worldgen.World, grid Grid, opts Options) (*R
 	if cones == nil {
 		cones = offload.NewConeCache()
 	}
-	base, err := evalCell(ctx, w, cells[0], opts, nil, cones, opts.Workers)
+	base, err := runCell(ctx, w, cells[0], opts, nil, cones, opts.Workers)
 	if err != nil {
 		return nil, wrapCellErr(ctx, cells[0], err)
 	}
 	results := make([]Metrics, len(cells))
 	results[0] = base.m
 	rest, err := parallel.MapErrCtx(ctx, opts.Workers, len(cells)-1, func(i int) (Metrics, error) {
-		art, err := evalCell(ctx, w, cells[i+1], opts, base, cones, 1)
+		art, err := runCell(ctx, w, cells[i+1], opts, base, cones, 1)
 		if err != nil {
 			return Metrics{}, wrapCellErr(ctx, cells[i+1], err)
 		}
@@ -300,6 +322,82 @@ func wrapCellErr(ctx context.Context, spec cellSpec, err error) error {
 		return err
 	}
 	return fmt.Errorf("scenario %q (seed offset %d): %w", spec.scn.Name, spec.off, err)
+}
+
+// CellPanicError is an evaluation-goroutine panic recovered at the cell
+// boundary and converted into an error: the retry layer re-evaluates the
+// cell, and the serve tier maps an exhausted one to a stable JSON 500
+// without leaking the stack (which lives here, for the server log).
+type CellPanicError struct {
+	Cell  string
+	Value any
+	Stack []byte
+}
+
+func (e *CellPanicError) Error() string {
+	return fmt.Sprintf("scenario: panic evaluating cell %s: %v", e.Cell, e.Value)
+}
+
+// retryableCellErr classifies failures worth re-evaluating: recovered
+// panics and injected transient faults. Real evaluation errors (bad
+// grids, impossible selections) fail fast — retrying cannot fix them.
+func retryableCellErr(err error) bool {
+	var cp *CellPanicError
+	if errors.As(err, &cp) {
+		return true
+	}
+	cls, ok := fault.IsInjected(err)
+	return ok && cls != fault.AttachCorrupt
+}
+
+// runCell evaluates one cell with crash containment: a panic inside the
+// evaluation (injected by the fault plane, or real) is recovered and the
+// cell retried with capped exponential backoff, jittered
+// deterministically by (fault key, cell, attempt). Because the cell is a
+// pure function of its grid coordinates — newSrc replays the same RNG
+// stream every attempt — a retried cell's metrics are byte-identical to
+// what the crashed attempt would have produced, so fault schedules
+// change wall time and nothing else.
+func runCell(ctx context.Context, w *worldgen.World, spec cellSpec, opts Options, base *cellArtifacts, cones *offload.ConeCache, innerWorkers int) (*cellArtifacts, error) {
+	key := fmt.Sprintf("%s|cell|%s|%d", opts.FaultKey, spec.scn.Name, spec.off)
+	attempts := opts.CellAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		art, err := evalCellSafe(ctx, w, spec, opts, base, cones, innerWorkers, key)
+		if err == nil {
+			return art, nil
+		}
+		lastErr = err
+		if !retryableCellErr(err) {
+			return nil, err
+		}
+		if attempt < attempts-1 {
+			select {
+			case <-time.After(fault.Backoff(0, 0, key, attempt)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+	return nil, fmt.Errorf("scenario: cell failed %d attempts: %w", attempts, lastErr)
+}
+
+// evalCellSafe is evalCell behind a panic boundary, with the fault
+// plane's EvalPanic site in front of it.
+func evalCellSafe(ctx context.Context, w *worldgen.World, spec cellSpec, opts Options, base *cellArtifacts, cones *offload.ConeCache, innerWorkers int, key string) (art *cellArtifacts, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &CellPanicError{Cell: key, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	opts.Faults.PanicIf(key)
+	return evalCell(ctx, w, spec, opts, base, cones, innerWorkers)
 }
 
 // cellArtifacts is one evaluated cell plus the immutable artifacts a
@@ -369,7 +467,7 @@ func evalCell(ctx context.Context, w *worldgen.World, spec cellSpec, opts Option
 			Retain: base == nil && !opts.NoReuse,
 		},
 		Econ: opts.Econ,
-		src:  spec.src,
+		src:  spec.newSrc(),
 	}
 	if needClone {
 		st.World = w.Clone()

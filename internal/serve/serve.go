@@ -1,9 +1,13 @@
 // Package serve is the long-lived query side of the reproduction: an HTTP
-// JSON service that loads a snapshot once and answers "given this world
-// and this dataset, what does scenario X change?" in milliseconds where
-// the batch CLIs pay seconds of regeneration per invocation.
+// JSON service that answers "given this world and this dataset, what does
+// scenario X change?" in milliseconds where the batch CLIs pay seconds of
+// regeneration per invocation. It serves either one loaded snapshot
+// (Config.Snapshot) or a whole catalog of them (Config.Catalog): worlds
+// attach on demand, stay resident under an LRU byte budget, and are
+// selected per request with the world= parameter.
 //
-// The request path is built for a shared, concurrent workload:
+// The request path is built for a shared, concurrent, partially-hostile
+// workload:
 //
 //   - every expensive evaluation runs through a bounded scheduler (at most
 //     MaxInflight computations at once; excess requests queue),
@@ -11,13 +15,23 @@
 //     leader runs, followers wait for its bytes),
 //   - finished responses land in a byte-budgeted LRU keyed by (snapshot
 //     digest, canonicalized query), so a repeated what-if costs a map
-//     lookup,
+//     lookup — and, in catalog mode, never touches a cold world,
+//   - admission control sheds new cold evaluations with 429 + Retry-After
+//     once MaxPending distinct computations are queued or running; cache
+//     hits keep serving throughout,
+//   - a per-query deadline (QueryTimeout) bounds each computation; hitting
+//     it is 504, a client hanging up is 499,
+//   - an evaluation panic is recovered in the scheduler, logged with its
+//     stack exactly once, and surfaced as a stable JSON 500 that leaks
+//     nothing,
 //   - abandoned requests cancel their computation — through
 //     scenario.RunCtx down to the grid cells — once no waiter remains.
 //
 // Determinism makes the cache semantics trivial: a query's result is a
 // pure function of (snapshot digest, canonical query), so cached bytes
-// never go stale while the process lives.
+// never go stale while the process lives. The same property underwrites
+// the chaos suite: under an injected fault plane (Config.Faults), every
+// query that completes is byte-identical to a fault-free run.
 package serve
 
 import (
@@ -27,14 +41,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"remotepeering/internal/catalog"
 	"remotepeering/internal/econ"
+	"remotepeering/internal/fault"
 	"remotepeering/internal/netflow"
 	"remotepeering/internal/offload"
 	"remotepeering/internal/scenario"
@@ -69,36 +87,70 @@ func NewHTTPServer(addr string, h http.Handler) *http.Server {
 // Config parameterises a Server.
 type Config struct {
 	// Snapshot is the loaded world (and optional dataset/spread/cones)
-	// the server answers queries over. Required.
+	// the server answers queries over. Exactly one of Snapshot and
+	// Catalog is required.
 	Snapshot *snapshot.Snapshot
+	// Catalog serves a directory of snapshots instead of one loaded
+	// world: requests select a world with the world= parameter (digest
+	// or unambiguous prefix), and worlds attach on demand under the
+	// catalog's resident budget.
+	Catalog *catalog.Catalog
 	// MaxInflight bounds how many expensive evaluations run at once;
 	// further requests queue (respecting their contexts). Default 4.
 	MaxInflight int
+	// MaxPending bounds distinct computations queued or running before
+	// new cold queries are shed with 429 + Retry-After (cache hits and
+	// joins of an already-running computation are never shed). Default
+	// 4×MaxInflight; negative disables shedding.
+	MaxPending int
 	// CacheMB is the LRU result-cache budget in mebibytes. Default 64;
 	// negative disables caching.
 	CacheMB int
 	// Workers bounds the worker pool of each evaluation (0 = one per
 	// CPU). Results are byte-identical for every value.
 	Workers int
+	// QueryTimeout bounds each computation (not each request: a follower
+	// joining a computation inherits its remaining budget). 0 = none.
+	// An expired computation answers 504.
+	QueryTimeout time.Duration
+	// Faults is the injectable fault plane (nil in production): it can
+	// slow or fail world attaches, panic evaluations, and drop result-
+	// cache operations. Completed responses are byte-identical to a
+	// fault-free server's.
+	Faults *fault.Plane
 }
 
-// Server answers the /v1 API over one immutable snapshot.
-type Server struct {
+// worldState is the per-world view a computation runs against: the
+// leased snapshot's layers, valid until the accompanying release.
+type worldState struct {
+	digest string
 	world  *worldgen.World
 	ds     *netflow.Dataset
 	spread *spread.Result
 	cones  *offload.ConeCache
-	digest string
+}
 
-	workers  int
-	sem      chan struct{}
-	cache    *lruCache
-	mu       sync.Mutex
-	inflight map[string]*call
+// Server answers the /v1 API over one immutable snapshot or a catalog
+// of them.
+type Server struct {
+	single *worldState      // single-snapshot mode (nil in catalog mode)
+	cat    *catalog.Catalog // catalog mode (nil in single mode)
+
+	workers      int
+	maxPending   int
+	queryTimeout time.Duration
+	faults       *fault.Plane
+	sem          chan struct{}
+	cache        *lruCache
+	mu           sync.Mutex
+	inflight     map[string]*call
 
 	// evals counts leader computations — the observability hook the
-	// dedup and cache tests (and /v1/world) read.
-	evals atomic.Int64
+	// dedup and cache tests (and /v1/world) read. panics and shed count
+	// recovered evaluation panics and admission-control rejections.
+	evals  atomic.Int64
+	panics atomic.Int64
+	shed   atomic.Int64
 }
 
 // call is one in-flight computation: the leader evaluates, followers wait
@@ -112,11 +164,18 @@ type call struct {
 	err     error
 }
 
-// New builds a Server over a loaded snapshot. The snapshot's lazy caches
-// are materialised here, once, so concurrent requests only ever read.
+// New builds a Server over a loaded snapshot or a catalog. In single-
+// snapshot mode the snapshot's lazy caches are materialised here, once,
+// so concurrent requests only ever read; in catalog mode the same
+// materialisation runs on every attach, before the world goes Ready.
 func New(cfg Config) (*Server, error) {
-	if cfg.Snapshot == nil || cfg.Snapshot.World == nil {
-		return nil, fmt.Errorf("serve: nil snapshot or world")
+	switch {
+	case cfg.Snapshot == nil && cfg.Catalog == nil:
+		return nil, fmt.Errorf("serve: need a Snapshot or a Catalog")
+	case cfg.Snapshot != nil && cfg.Catalog != nil:
+		return nil, fmt.Errorf("serve: Snapshot and Catalog are mutually exclusive")
+	case cfg.Snapshot != nil && cfg.Snapshot.World == nil:
+		return nil, fmt.Errorf("serve: snapshot has no world")
 	}
 	if cfg.MaxInflight == 0 {
 		cfg.MaxInflight = 4
@@ -124,42 +183,107 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxInflight < 0 {
 		return nil, fmt.Errorf("serve: negative MaxInflight %d", cfg.MaxInflight)
 	}
+	if cfg.MaxPending == 0 {
+		cfg.MaxPending = 4 * cfg.MaxInflight
+	}
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("serve: negative Workers %d (use 0 for one per CPU)", cfg.Workers)
+	}
+	if cfg.QueryTimeout < 0 {
+		return nil, fmt.Errorf("serve: negative QueryTimeout %s", cfg.QueryTimeout)
 	}
 	cacheMB := cfg.CacheMB
 	if cacheMB == 0 {
 		cacheMB = 64
 	}
 	s := &Server{
-		world:    cfg.Snapshot.World,
-		ds:       cfg.Snapshot.Dataset,
-		spread:   cfg.Snapshot.Spread,
-		cones:    cfg.Snapshot.Cones,
-		digest:   cfg.Snapshot.Digest,
-		workers:  cfg.Workers,
-		sem:      make(chan struct{}, cfg.MaxInflight),
-		cache:    newLRUCache(int64(cacheMB) << 20),
-		inflight: make(map[string]*call),
+		cat:          cfg.Catalog,
+		workers:      cfg.Workers,
+		maxPending:   cfg.MaxPending,
+		queryTimeout: cfg.QueryTimeout,
+		faults:       cfg.Faults,
+		sem:          make(chan struct{}, cfg.MaxInflight),
+		cache:        newLRUCache(int64(cacheMB) << 20),
+		inflight:     make(map[string]*call),
 	}
-	if s.cones == nil {
-		// No persisted cones: share one cache across all requests anyway —
-		// the first evaluation fills it for every later one.
-		s.cones = offload.NewConeCache()
-	}
-	// Materialise every lazily-built structure concurrent readers would
-	// otherwise race to initialise.
-	s.world.Graph.ASNs()
-	if s.ds != nil {
-		s.ds.TransitEntries()
+	if cfg.Snapshot != nil {
+		if err := materialize(cfg.Snapshot); err != nil {
+			return nil, err
+		}
+		s.single = stateOf(cfg.Snapshot)
+	} else {
+		s.cat.OnAttach(materialize)
 	}
 	return s, nil
+}
+
+// materialize builds every lazily-initialised structure concurrent
+// readers would otherwise race to create, and gives a cone-less snapshot
+// a shared cone cache (the first evaluation fills it for every later
+// one). It runs once per residency — at New in single mode, on each
+// attach in catalog mode.
+func materialize(snap *snapshot.Snapshot) error {
+	if snap.World == nil {
+		return fmt.Errorf("serve: snapshot %.12s has no world", snap.Digest)
+	}
+	if snap.Cones == nil {
+		snap.Cones = offload.NewConeCache()
+	}
+	snap.World.Graph.ASNs()
+	if snap.Dataset != nil {
+		snap.Dataset.TransitEntries()
+	}
+	return nil
+}
+
+func stateOf(snap *snapshot.Snapshot) *worldState {
+	return &worldState{
+		digest: snap.Digest,
+		world:  snap.World,
+		ds:     snap.Dataset,
+		spread: snap.Spread,
+		cones:  snap.Cones,
+	}
+}
+
+// resolve maps the world= request parameter to a digest without
+// attaching anything — the step that lets warm cache hits skip cold
+// worlds entirely.
+func (s *Server) resolve(key string) (string, error) {
+	if s.single != nil {
+		if key == "" || (len(key) <= len(s.single.digest) && strings.HasPrefix(s.single.digest, key)) {
+			return s.single.digest, nil
+		}
+		return "", fmt.Errorf("%w: %q (serving single world %.12s)", catalog.ErrUnknownWorld, key, s.single.digest)
+	}
+	wi, err := s.cat.Lookup(key)
+	if err != nil {
+		return "", err
+	}
+	return wi.Digest, nil
+}
+
+// acquire pins the named world for the duration of a computation. The
+// release func must be called exactly once, after the last read of the
+// returned state.
+func (s *Server) acquire(ctx context.Context, digest string) (*worldState, func(), error) {
+	if s.single != nil {
+		return s.single, func() {}, nil
+	}
+	lease, err := s.cat.Acquire(ctx, digest)
+	if err != nil {
+		return nil, nil, err
+	}
+	return stateOf(lease.Snapshot()), lease.Release, nil
 }
 
 // Handler returns the HTTP handler serving the /v1 API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/world", s.handleWorld)
+	mux.HandleFunc("GET /v1/worlds", s.handleWorlds)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/spread", s.handleSpread)
 	mux.HandleFunc("GET /v1/offload", s.handleOffload)
 	mux.HandleFunc("GET /v1/whatif", s.handleWhatif)
@@ -172,22 +296,72 @@ func (s *Server) Handler() http.Handler {
 // dedup/caching observability counter.
 func (s *Server) Evaluations() int64 { return s.evals.Load() }
 
-// --- scheduling: cache → dedup → bounded evaluation ---
+// Panics returns the number of evaluation panics recovered.
+func (s *Server) Panics() int64 { return s.panics.Load() }
+
+// Shed returns the number of requests rejected by admission control.
+func (s *Server) Shed() int64 { return s.shed.Load() }
+
+// Pending returns the number of distinct computations queued or running.
+func (s *Server) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.inflight)
+}
+
+// --- scheduling: cache → admission → dedup → bounded evaluation ---
+
+// Sentinel failures of the request path, each owning a status mapping in
+// finish. errInternal is deliberately the entire client-visible story of
+// a recovered panic: the stack goes to the server log, never the wire.
+var (
+	errOverloaded   = errors.New("serve: overloaded")
+	errQueryTimeout = errors.New("serve: query deadline exceeded")
+	errInternal     = errors.New("internal server error")
+)
+
+// cacheGet and cachePut are the fault-injectable faces of the result
+// cache: an injected CacheFail degrades a lookup to a miss and drops an
+// insert — either way the query recomputes the same bytes, it just
+// costs more.
+func (s *Server) cacheGet(id string) ([]byte, bool) {
+	if s.faults.Should(fault.CacheFail, "get|"+id) {
+		return nil, false
+	}
+	return s.cache.Get(id)
+}
+
+func (s *Server) cachePut(id string, val []byte) {
+	if s.faults.Should(fault.CacheFail, "put|"+id) {
+		return
+	}
+	s.cache.Put(id, val)
+}
 
 // do returns the response bytes for the canonical query key, going
-// through the cache, the in-flight dedup table, and the bounded scheduler
-// in that order. fn computes the response under the computation context,
-// which is cancelled once every requester has gone away.
+// through the cache, admission control, the in-flight dedup table, and
+// the bounded scheduler in that order. fn computes the response under the
+// computation context, which carries the per-query deadline and is
+// cancelled once every requester has gone away.
 func (s *Server) do(ctx context.Context, id string, fn func(context.Context) ([]byte, error)) (val []byte, hit bool, err error) {
 	for attempt := 0; ; attempt++ {
-		if v, ok := s.cache.Get(id); ok {
+		if v, ok := s.cacheGet(id); ok {
 			return v, true, nil
 		}
 
 		s.mu.Lock()
 		c, joined := s.inflight[id]
 		if !joined {
-			compCtx, cancel := context.WithCancel(context.Background())
+			// Admission: a new computation is only admitted while the
+			// pending set has room. Joining an existing computation adds
+			// no work and is never shed; cache hits never reach here.
+			if s.maxPending > 0 && len(s.inflight) >= s.maxPending {
+				pending := len(s.inflight)
+				s.mu.Unlock()
+				s.shed.Add(1)
+				return nil, false, fmt.Errorf("%w: %d computations pending", errOverloaded, pending)
+			}
+			compCtx, cancel := s.computationContext()
 			c = &call{done: make(chan struct{}), cancel: cancel}
 			s.inflight[id] = c
 			go s.lead(compCtx, id, c, fn)
@@ -205,21 +379,38 @@ func (s *Server) do(ctx context.Context, id string, fn func(context.Context) ([]
 			return nil, false, ctx.Err()
 		}
 		s.leave(c)
-		if cErr != nil && errors.Is(cErr, context.Canceled) && ctx.Err() == nil && attempt < 3 {
-			// The computation this request joined was cancelled by its
-			// *other* waiters leaving (a dying leader it latched onto).
-			// This request is still alive, so start over as its own
-			// leader rather than surfacing someone else's cancellation.
-			continue
+		if cErr != nil && ctx.Err() == nil {
+			if errors.Is(cErr, context.DeadlineExceeded) {
+				// The computation ran out of its own budget, not the
+				// client's: that is the server saying "too slow", 504.
+				return nil, false, fmt.Errorf("%w (limit %s)", errQueryTimeout, s.queryTimeout)
+			}
+			if errors.Is(cErr, context.Canceled) && attempt < 3 {
+				// The computation this request joined was cancelled by its
+				// *other* waiters leaving (a dying leader it latched onto).
+				// This request is still alive, so start over as its own
+				// leader rather than surfacing someone else's cancellation.
+				continue
+			}
 		}
 		_ = joined // joins are reported as misses; dedup shows in Evaluations
 		return cVal, false, cErr
 	}
 }
 
+// computationContext derives the context one leader computes under:
+// detached from any single request (followers share it), bounded by the
+// per-query deadline when one is configured.
+func (s *Server) computationContext() (context.Context, context.CancelFunc) {
+	if s.queryTimeout > 0 {
+		return context.WithTimeout(context.Background(), s.queryTimeout)
+	}
+	return context.WithCancel(context.Background())
+}
+
 // lead runs the computation for a call: it takes a scheduler slot
 // (respecting the computation context, so a fully-abandoned queued query
-// never starts), evaluates, publishes, and caches.
+// never starts), evaluates — absorbing any panic — publishes, and caches.
 func (s *Server) lead(ctx context.Context, id string, c *call, fn func(context.Context) ([]byte, error)) {
 	defer func() {
 		s.mu.Lock()
@@ -235,10 +426,26 @@ func (s *Server) lead(ctx context.Context, id string, c *call, fn func(context.C
 	}
 	defer func() { <-s.sem }()
 	s.evals.Add(1)
-	c.val, c.err = fn(ctx)
+	c.val, c.err = s.eval(ctx, id, fn)
 	if c.err == nil {
-		s.cache.Put(id, c.val)
+		s.cachePut(id, c.val)
 	}
+}
+
+// eval runs one evaluation with a panic barrier. The handlers run fn in
+// this goroutine — not an http one — so without the recover a single
+// crashing evaluation would kill the whole process. The recovered stack
+// is logged exactly once, server-side; the waiters see only errInternal.
+func (s *Server) eval(ctx context.Context, id string, fn func(context.Context) ([]byte, error)) (val []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			log.Printf("serve: panic evaluating %s: %v\n%s", id, r, debug.Stack())
+			val, err = nil, errInternal
+		}
+	}()
+	s.faults.PanicIf("serve|" + id)
+	return fn(ctx)
 }
 
 // leave drops one waiter; the last one out cancels the computation's
@@ -255,14 +462,31 @@ func (s *Server) leave(c *call) {
 	}
 }
 
-// queryID derives the content address of a canonical query: the cache
-// key, the dedup key, and the public report id are all this value.
-func (s *Server) queryID(canonical string) string {
-	sum := sha256.Sum256([]byte(s.digest + "\n" + canonical))
+// queryID derives the content address of a canonical query against a
+// world: the cache key, the dedup key, and the public report id are all
+// this value.
+func queryID(digest, canonical string) string {
+	sum := sha256.Sum256([]byte(digest + "\n" + canonical))
 	return hex.EncodeToString(sum[:16])
 }
 
 // --- handlers ---
+
+// resolveWorld maps the request's world= parameter to a digest, writing
+// the error response itself when the key is unknown (404) or ambiguous
+// (400).
+func (s *Server) resolveWorld(w http.ResponseWriter, r *http.Request) (string, bool) {
+	digest, err := s.resolve(r.URL.Query().Get("world"))
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, catalog.ErrUnknownWorld) {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, "%v", err)
+		return "", false
+	}
+	return digest, true
+}
 
 type worldResponse struct {
 	Digest       string `json:"digest"`
@@ -278,19 +502,112 @@ type worldResponse struct {
 }
 
 func (s *Server) handleWorld(w http.ResponseWriter, r *http.Request) {
-	coneIDs, _ := s.cones.Export()
+	digest, ok := s.resolveWorld(w, r)
+	if !ok {
+		return
+	}
+	// A world summary is a detail view: attaching to answer it is the
+	// point (unlike the query path, where cache hits must not attach).
+	ws, release, err := s.acquire(r.Context(), digest)
+	if err != nil {
+		finish(w, r, nil, false, err)
+		return
+	}
+	defer release()
+	coneIDs, _ := ws.cones.Export()
 	writeJSON(w, http.StatusOK, worldResponse{
-		Digest:       s.digest,
-		Networks:     s.world.Graph.Len(),
-		IXPs:         len(s.world.IXPs),
-		StudiedIXPs:  s.world.NumStudied(),
-		ProbeTargets: len(s.world.Ifaces),
-		HasDataset:   s.ds != nil,
-		HasSpread:    s.spread != nil,
+		Digest:       ws.digest,
+		Networks:     ws.world.Graph.Len(),
+		IXPs:         len(ws.world.IXPs),
+		StudiedIXPs:  ws.world.NumStudied(),
+		ProbeTargets: len(ws.world.Ifaces),
+		HasDataset:   ws.ds != nil,
+		HasSpread:    ws.spread != nil,
 		HasCones:     len(coneIDs) > 0,
 		Evaluations:  s.evals.Load(),
 		CachedBodies: s.cache.Len(),
 	})
+}
+
+// worldsResponse is the catalog overview: every world's health, plus the
+// residency counters the fleet operator watches.
+type worldsResponse struct {
+	Worlds        []catalog.WorldInfo `json:"worlds"`
+	ResidentBytes int64               `json:"resident_bytes"`
+	BudgetBytes   int64               `json:"budget_bytes"`
+	Attaches      int64               `json:"attaches"`
+	Evictions     int64               `json:"evictions"`
+}
+
+func (s *Server) handleWorlds(w http.ResponseWriter, r *http.Request) {
+	if s.single != nil {
+		writeJSON(w, http.StatusOK, worldsResponse{
+			Worlds: []catalog.WorldInfo{{
+				Digest: s.single.digest, State: "ready", Refs: 0,
+			}},
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, worldsResponse{
+		Worlds:        s.cat.Worlds(),
+		ResidentBytes: s.cat.ResidentBytes(),
+		BudgetBytes:   s.cat.Budget(),
+		Attaches:      s.cat.Attaches(),
+		Evictions:     s.cat.Evictions(),
+	})
+}
+
+type healthResponse struct {
+	Status      string         `json:"status"`
+	Worlds      map[string]int `json:"worlds,omitempty"`
+	Pending     int            `json:"pending"`
+	Evaluations int64          `json:"evaluations"`
+	Panics      int64          `json:"panics"`
+	Shed        int64          `json:"shed"`
+	Faults      int64          `json:"faults_injected,omitempty"`
+}
+
+func (s *Server) health() healthResponse {
+	h := healthResponse{
+		Status:      "ok",
+		Pending:     s.Pending(),
+		Evaluations: s.evals.Load(),
+		Panics:      s.panics.Load(),
+		Shed:        s.shed.Load(),
+		Faults:      s.faults.InjectedTotal(),
+	}
+	if s.cat != nil {
+		h.Worlds = s.cat.StateCounts()
+	}
+	return h
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP. It never
+// fails while the listener lives.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+// handleReadyz is readiness: at least one world is servable (not
+// quarantined). A single-snapshot server is ready by construction; a
+// catalog whose every world is quarantined answers 503 so a fleet
+// balancer stops routing to it.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	status := http.StatusOK
+	if s.cat != nil {
+		servable := 0
+		for state, n := range h.Worlds {
+			if state != catalog.Quarantined.String() {
+				servable += n
+			}
+		}
+		if servable == 0 {
+			h.Status = "unready"
+			status = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, status, h)
 }
 
 type spreadResponse struct {
@@ -309,6 +626,10 @@ type spreadResponse struct {
 }
 
 func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
+	digest, ok := s.resolveWorld(w, r)
+	if !ok {
+		return
+	}
 	q := r.URL.Query()
 	seed, err := intParam(q.Get("seed"), s.spreadSeed())
 	if err != nil {
@@ -321,9 +642,14 @@ func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	canonical := fmt.Sprintf("spread|seed=%d|days=%d", seed, days)
-	id := s.queryID(canonical)
+	id := queryID(digest, canonical)
 	body, hit, err := s.do(r.Context(), id, func(ctx context.Context) ([]byte, error) {
-		res := s.spread
+		ws, release, err := s.acquire(ctx, digest)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		res := ws.spread
 		// The persisted campaign serves queries that match its recorded
 		// seed and duration; anything else re-runs the study over the
 		// snapshot world.
@@ -334,7 +660,7 @@ func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
 			if days > 0 {
 				opts.Campaign.Duration = time.Duration(days) * 24 * time.Hour
 			}
-			fresh, runErr := spread.RunCtx(ctx, s.world, opts)
+			fresh, runErr := spread.RunCtx(ctx, ws.world, opts)
 			if runErr != nil {
 				return nil, runErr
 			}
@@ -346,7 +672,7 @@ func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
 		}
 		v := res.Validation
 		return marshalBody(spreadResponse{
-			ID: id, Digest: s.digest, Seed: seed,
+			ID: id, Digest: digest, Seed: seed,
 			Observations:   res.Observations,
 			AnalyzedIfaces: len(res.Report.Analyzed()),
 			DetectedRemote: detected,
@@ -387,6 +713,10 @@ type offloadResponse struct {
 }
 
 func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
+	digest, ok := s.resolveWorld(w, r)
+	if !ok {
+		return
+	}
 	q := r.URL.Query()
 	group, err := intParam(q.Get("group"), int64(offload.GroupAll))
 	if err != nil || group < 1 || group > 4 {
@@ -415,12 +745,16 @@ func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
 	}
 	canonical := fmt.Sprintf("offload|group=%d|k=%d|greedy=%d|tseed=%d|intervals=%d",
 		group, k, depth, trafficSeed, intervals)
-	id := s.queryID(canonical)
+	id := queryID(digest, canonical)
 	body, hit, err := s.do(r.Context(), id, func(ctx context.Context) ([]byte, error) {
-		ds := s.ds
-		if ds == nil || trafficSeed != s.datasetSeed() || (intervals != 0 && int(intervals) != ds.Cfg.Intervals) {
-			var err error
-			ds, err = netflow.Collect(s.world, netflow.Config{
+		ws, release, err := s.acquire(ctx, digest)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		ds := ws.ds
+		if ds == nil || (ds.Cfg.Seed != trafficSeed) || (intervals != 0 && int(intervals) != ds.Cfg.Intervals) {
+			ds, err = netflow.Collect(ws.world, netflow.Config{
 				Seed: trafficSeed, Intervals: int(intervals), Workers: s.workers,
 			})
 			if err != nil {
@@ -430,7 +764,7 @@ func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		study, err := offload.NewStudyOptions(s.world, ds, offload.Options{Workers: s.workers, Cones: s.cones})
+		study, err := offload.NewStudyOptions(ws.world, ds, offload.Options{Workers: s.workers, Cones: ws.cones})
 		if err != nil {
 			return nil, err
 		}
@@ -445,7 +779,7 @@ func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
 		}
 		in, out := ds.TransitTotals()
 		resp := offloadResponse{
-			ID: id, Digest: s.digest, Group: int(group),
+			ID: id, Digest: digest, Group: int(group),
 			TrafficSeed: trafficSeed, Intervals: ds.Cfg.Intervals,
 			PotentialPeers: study.PotentialPeerCount(),
 			TransitInBps:   in,
@@ -531,6 +865,10 @@ type whatifResponse struct {
 }
 
 func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
+	digest, ok := s.resolveWorld(w, r)
+	if !ok {
+		return
+	}
 	var req whatifRequest
 	switch r.Method {
 	case http.MethodPost:
@@ -594,8 +932,13 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 	}
 	grid.Seeds = req.Seeds
 
-	id := s.queryID(req.canonical())
+	id := queryID(digest, req.canonical())
 	body, hit, err := s.do(r.Context(), id, func(ctx context.Context) ([]byte, error) {
+		ws, release, err := s.acquire(ctx, digest)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
 		opts := scenario.Options{
 			MeasureSeed:  req.MeasureSeed,
 			TrafficSeed:  req.TrafficSeed,
@@ -603,16 +946,18 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 			CoverageIXPs: req.K,
 			GreedyIXPs:   req.Greedy,
 			Intervals:    req.Intervals,
-			Cones:        s.cones,
+			Cones:        ws.cones,
+			Faults:       s.faults,
+			FaultKey:     id,
 		}
 		if req.Days > 0 {
 			opts.Campaign.Duration = time.Duration(req.Days) * 24 * time.Hour
 		}
-		rep, err := scenario.RunCtx(ctx, s.world, grid, opts)
+		rep, err := scenario.RunCtx(ctx, ws.world, grid, opts)
 		if err != nil {
 			return nil, err
 		}
-		return marshalBody(whatifResponse{ID: id, Digest: s.digest, Report: rep.JSONReport()})
+		return marshalBody(whatifResponse{ID: id, Digest: digest, Report: rep.JSONReport()})
 	})
 	finish(w, r, body, hit, err)
 }
@@ -631,20 +976,23 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 
 // --- helpers ---
 
-// datasetSeed is the persisted dataset's traffic seed, or the CLI default
-// when the snapshot carries no dataset.
+// datasetSeed is the default traffic seed: the persisted dataset's in
+// single-snapshot mode, the CLI default otherwise. Catalog mode cannot
+// consult a cold world's dataset without attaching it — which the warm
+// cache path must never do — so its defaults are static; pass an
+// explicit traffic-seed to target a snapshot's recorded dataset.
 func (s *Server) datasetSeed() int64 {
-	if s.ds != nil {
-		return s.ds.Cfg.Seed
+	if s.single != nil && s.single.ds != nil {
+		return s.single.ds.Cfg.Seed
 	}
 	return 2
 }
 
-// spreadSeed is the persisted campaign's measurement seed, or the CLI
-// default when the snapshot carries no campaign.
+// spreadSeed is the default measurement seed, with the same single-mode/
+// catalog-mode split as datasetSeed.
 func (s *Server) spreadSeed() int64 {
-	if s.spread != nil {
-		return s.spread.Seed
+	if s.single != nil && s.single.spread != nil {
+		return s.single.spread.Seed
 	}
 	return 2
 }
@@ -679,9 +1027,11 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// finish writes a computed (or cached) body, mapping cancellation to 499
-// (the de-facto "client closed request" status) and evaluation failures
-// to 500.
+// finish writes a computed (or cached) body, mapping each failure mode
+// of the request path to its own status: client hang-up → 499, query
+// deadline → 504, admission shed or no resident slot → 429 with a
+// Retry-After, quarantined world → 503, recovered panic → a stable 500
+// that carries no internals.
 func finish(w http.ResponseWriter, r *http.Request, body []byte, hit bool, err error) {
 	switch {
 	case err == nil:
@@ -692,6 +1042,21 @@ func finish(w http.ResponseWriter, r *http.Request, body []byte, hit bool, err e
 			w.Header().Set("X-Cache", "miss")
 		}
 		w.Write(body)
+	case errors.Is(err, errOverloaded) || errors.Is(err, catalog.ErrNoSlot):
+		w.Header().Set("Retry-After", "2")
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, errQueryTimeout):
+		httpError(w, http.StatusGatewayTimeout, "%v", err)
+	case errors.Is(err, catalog.ErrQuarantined):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, catalog.ErrUnknownWorld):
+		httpError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, catalog.ErrAmbiguous):
+		httpError(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, errInternal):
+		// A recovered panic: the stack is already in the server log, and
+		// this fixed body is deliberately all the client learns.
+		httpError(w, http.StatusInternalServerError, "internal server error")
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		// The client is usually gone; the status is for logs and tests.
 		httpError(w, 499, "request cancelled: %v", err)

@@ -222,7 +222,7 @@ func TestWhatifCacheAndReport(t *testing.T) {
 		CoverageIXPs: 3, GreedyIXPs: 8, Intervals: 96,
 	}
 	opts.Campaign.Duration = 5 * 24 * time.Hour
-	batch, err := scenario.Run(s.world, grid, opts)
+	batch, err := scenario.Run(s.single.world, grid, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,10 +288,10 @@ func TestConfigValidation(t *testing.T) {
 		t.Error("nil snapshot should fail")
 	}
 	s := testServer(t)
-	if _, err := New(Config{Snapshot: &snapshot.Snapshot{World: s.world}, MaxInflight: -1}); err == nil {
+	if _, err := New(Config{Snapshot: &snapshot.Snapshot{World: s.single.world}, MaxInflight: -1}); err == nil {
 		t.Error("negative MaxInflight should fail")
 	}
-	if _, err := New(Config{Snapshot: &snapshot.Snapshot{World: s.world}, Workers: -1}); err == nil {
+	if _, err := New(Config{Snapshot: &snapshot.Snapshot{World: s.single.world}, Workers: -1}); err == nil {
 		t.Error("negative Workers should fail")
 	}
 }

@@ -34,7 +34,9 @@
 package snapshot
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -469,4 +471,45 @@ func SniffFlat(path string) (bool, error) {
 	var hdr [8]byte
 	n, _ := io.ReadFull(f, hdr[:])
 	return n == len(magic2) && string(hdr[:]) == string(magic2), nil
+}
+
+// Sniff reports which snapshot format the file at path carries: v1
+// (read it with Load) or v2 flat (Attach). Both false means the file is
+// not a snapshot at all — the catalog scanner uses that to skip foreign
+// files instead of erroring on them.
+func Sniff(path string) (v1, flat bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, false, fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	var hdr [8]byte
+	n, _ := io.ReadFull(f, hdr[:])
+	if n != len(magic) {
+		return false, false, nil
+	}
+	switch string(hdr[:]) {
+	case string(magic):
+		return true, false, nil
+	case string(magic2):
+		return false, true, nil
+	}
+	return false, false, nil
+}
+
+// DigestFile computes the file's content digest — the same hex SHA-256
+// of the complete file image Save/Load/Attach stamp on a Snapshot — by
+// streaming, without decoding or holding the file in memory. It is how
+// the catalog names worlds it has not attached yet.
+func DigestFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("snapshot: digest %s: %w", path, err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
 }

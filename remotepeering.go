@@ -31,8 +31,10 @@ import (
 	"time"
 
 	"remotepeering/internal/asindex"
+	"remotepeering/internal/catalog"
 	"remotepeering/internal/core"
 	"remotepeering/internal/econ"
+	"remotepeering/internal/fault"
 	"remotepeering/internal/ixpsim"
 	"remotepeering/internal/lg"
 	"remotepeering/internal/netflow"
@@ -332,12 +334,34 @@ type (
 	// ConeCache shares customer-cone tables between offload studies (and
 	// scenario grid runs) over the same immutable AS graph.
 	ConeCache = offload.ConeCache
-	// ServeConfig parameterises the query service: the snapshot, the
-	// in-flight evaluation bound, the result-cache budget, and the
-	// per-evaluation worker bound.
+	// ServeConfig parameterises the query service: the snapshot (or
+	// catalog), the in-flight evaluation bound, admission and deadline
+	// policy, the result-cache budget, and the per-evaluation worker
+	// bound.
 	ServeConfig = serve.Config
-	// Server is the /v1 query service over one immutable snapshot.
+	// Server is the /v1 query service over one immutable snapshot or a
+	// catalog of them.
 	Server = serve.Server
+	// Catalog is a content-addressed store of snapshot files with a
+	// bounded set of resident, attached worlds: attach-on-demand,
+	// single-flight, refcounted against eviction, LRU under a byte
+	// budget, quarantining snapshots that fail validation.
+	Catalog = catalog.Catalog
+	// CatalogOptions parameterises a Catalog: the resident budget, the
+	// attach retry policy, and an optional fault plane.
+	CatalogOptions = catalog.Options
+	// CatalogWorld is one catalogued world's public state — digest,
+	// path, size, health, outstanding leases.
+	CatalogWorld = catalog.WorldInfo
+	// WorldLease is a refcounted pin on a resident world: the snapshot
+	// stays mapped until Release.
+	WorldLease = catalog.Lease
+	// FaultPlane is the injectable failure plane the serve tier threads
+	// through attaches, evaluations, and caches. A nil plane is the
+	// production plane: every injection site costs one nil comparison.
+	FaultPlane = fault.Plane
+	// FaultConfig seeds a FaultPlane with per-class injection rates.
+	FaultConfig = fault.Config
 )
 
 // Typed snapshot integrity errors: a wrong file (ErrSnapshotBadMagic), a
@@ -413,8 +437,44 @@ func OpenSnapshot(path string) (*Snapshot, error) {
 	return snapshot.OpenFile(path)
 }
 
-// NewServer builds the query service over a loaded snapshot without
-// binding a listener — the embedding entry point (tests mount
+// Typed catalog failures callers route on: unknown or ambiguous world
+// keys, a quarantined (validation-failing) world, and admission pressure
+// (every resident world pinned by a lease).
+var (
+	ErrUnknownWorld     = catalog.ErrUnknownWorld
+	ErrAmbiguousWorld   = catalog.ErrAmbiguous
+	ErrWorldQuarantined = catalog.ErrQuarantined
+	ErrNoWorldSlot      = catalog.ErrNoSlot
+)
+
+// OpenCatalog scans dir for snapshot files (either format) and catalogs
+// them by content digest; non-snapshot files are skipped. Worlds attach
+// on demand when leased (Catalog.Acquire) and evict LRU under
+// opts.ResidentBytes.
+func OpenCatalog(dir string, opts CatalogOptions) (*Catalog, error) {
+	return catalog.Open(dir, opts)
+}
+
+// NewCatalog builds an empty catalog; register files with Catalog.Add.
+func NewCatalog(opts CatalogOptions) *Catalog {
+	return catalog.New(opts)
+}
+
+// NewFaultPlane builds a seeded fault plane for chaos drills. The
+// contract: a plane may delay, fail, or crash operations, but completed
+// work is byte-identical to a fault-free run.
+func NewFaultPlane(cfg FaultConfig) *FaultPlane {
+	return fault.New(cfg)
+}
+
+// ParseFaultPlane builds a fault plane from the textual -chaos form,
+// e.g. "seed=42,slow=0.5,fail=0.3,corrupt=0.05,panic=0.2,cachefail=0.2,delay=20ms".
+func ParseFaultPlane(spec string) (*FaultPlane, error) {
+	return fault.Parse(spec)
+}
+
+// NewServer builds the query service over a loaded snapshot or a catalog
+// without binding a listener — the embedding entry point (tests mount
 // Server.Handler on httptest, cmd/rpserve on a real listener).
 func NewServer(cfg ServeConfig) (*Server, error) {
 	return serve.New(cfg)

@@ -1,0 +1,156 @@
+// Command chaosload drives a mixed query workload against a running
+// rpserve and reports completed-query throughput plus latency
+// percentiles, split by response class. It is the measurement half of
+// the PR 7 robustness story: run it once against a fault-free server
+// and once against the same catalog with -chaos armed, and compare —
+// completed queries must be byte-identical (the server's chaos suites
+// pin that), so the *only* thing a fault schedule may cost is
+// throughput and tail latency, never answers.
+//
+// Usage:
+//
+//	rpserve -snapshot-dir worlds -listen :8094 [-chaos 'seed=7,...'] &
+//	chaosload -addr http://127.0.0.1:8094 -duration 30s -clients 8
+//
+// Each client loops over the catalog's worlds (read from /v1/worlds)
+// with a small set of distinct what-if grids, so the workload mixes
+// cold evaluations, warm cache hits, and — under chaos — injected
+// attach failures, panics, and shed requests. Every completed body is
+// digested; the tool fails if the same (world, query) ever answers
+// with two different bodies.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+type worldsResponse struct {
+	Worlds []struct {
+		Digest string `json:"digest"`
+		State  string `json:"state"`
+	} `json:"worlds"`
+}
+
+type sample struct {
+	code int
+	d    time.Duration
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8094", "rpserve base URL")
+	duration := flag.Duration("duration", 30*time.Second, "how long to drive load")
+	clients := flag.Int("clients", 8, "concurrent client goroutines")
+	flag.Parse()
+
+	resp, err := http.Get(*addr + "/v1/worlds")
+	if err != nil {
+		fatal(err)
+	}
+	var wr worldsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		fatal(err)
+	}
+	resp.Body.Close()
+	var digests []string
+	for _, w := range wr.Worlds {
+		if w.State != "quarantined" {
+			digests = append(digests, w.Digest)
+		}
+	}
+	if len(digests) == 0 {
+		fatal(fmt.Errorf("no servable worlds at %s", *addr))
+	}
+
+	// A few distinct grids so the cache neither absorbs everything nor
+	// nothing: each (world, grid) pair computes cold once, then hits.
+	grids := []string{
+		"scenarios=dark%3Doutage%3AAMS-IX&k=3&greedy=8&intervals=96&days=6",
+		"scenarios=cheap%3Dremoteprice%3A0.5&k=3&greedy=8&intervals=96&days=6",
+		"scenarios=surge%3Dtraffic%3A1.3%3Bdark%3Doutage%3ADE-CIX&k=3&greedy=8&intervals=96&days=6",
+	}
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+		bodies  = map[string][32]byte{} // (world|grid) -> body digest
+	)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				// Enumerate (world, grid) pairs so every combination is
+				// exercised — independent strides can alias when the two
+				// list lengths share a factor.
+				pair := c + i
+				world := digests[pair%len(digests)]
+				grid := grids[(pair/len(digests))%len(grids)]
+				url := fmt.Sprintf("%s/v1/whatif?world=%s&%s", *addr, world, grid)
+				t0 := time.Now()
+				resp, err := http.Get(url)
+				if err != nil {
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				el := time.Since(t0)
+				mu.Lock()
+				samples = append(samples, sample{resp.StatusCode, el})
+				if resp.StatusCode == http.StatusOK {
+					key := world + "|" + grid
+					sum := sha256.Sum256(body)
+					if prev, seen := bodies[key]; seen && prev != sum {
+						mu.Unlock()
+						fatal(fmt.Errorf("world %.10s answered %q with two different bodies", world, grid))
+					}
+					bodies[key] = sum
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	byCode := map[int][]time.Duration{}
+	for _, s := range samples {
+		byCode[s.code] = append(byCode[s.code], s.d)
+	}
+	ok := byCode[http.StatusOK]
+	fmt.Printf("total=%d completed=%d (%.1f/s over %v), %d distinct (world,grid) bodies all stable\n",
+		len(samples), len(ok), float64(len(ok))/duration.Seconds(), *duration, len(bodies))
+	var codes []int
+	for c := range byCode {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		ds := byCode[c]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		fmt.Printf("  %d: n=%-6d p50=%-10v p90=%-10v p99=%v\n",
+			c, len(ds), pct(ds, 50), pct(ds, 90), pct(ds, 99))
+	}
+}
+
+func pct(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted) - 1) * p / 100
+	return sorted[i].Round(10 * time.Microsecond)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "chaosload:", err)
+	os.Exit(1)
+}
