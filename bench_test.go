@@ -849,3 +849,121 @@ func BenchmarkCatalogAttachEvict(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// BenchmarkTickAdvance measures the living world's per-tick cost against
+// the cold pipeline it replaces. The regime is churn-only — member
+// arrivals and departures at one exchange per tick, no traffic or price
+// drift — so each tick dirties only the spread/offload/econ stages of one
+// simulation and splices the previous tick's artifacts for everything
+// else. The cold cost (the tick-0 genesis evaluation: clone + full
+// pipeline) is timed during setup and reported alongside; the acceptance
+// bar, enforced in-bench, is that a churn-only tick costs less than half
+// a cold run (in practice the ratio is far higher).
+func BenchmarkTickAdvance(b *testing.B) {
+	w, err := GenerateWorld(WorldConfig{Seed: 5, LeafNetworks: 3000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultTickConfig()
+	cfg.Seed = 7
+	cfg.TrafficDrift, cfg.DiurnalDrift, cfg.PriceDrift, cfg.OutageRate = 0, 0, 0, 0
+	cfg.Pipeline = ScenarioOptions{
+		MeasureSeed:  2,
+		TrafficSeed:  3,
+		Campaign:     CampaignConfig{Duration: 6 * 24 * time.Hour, PCHRounds: 3, RIPERounds: 3},
+		Intervals:    96,
+		CoverageIXPs: 3,
+		GreedyIXPs:   8,
+	}
+	ctx := context.Background()
+
+	coldStart := time.Now()
+	eng, err := NewTickEngine(ctx, w, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cold := time.Since(coldStart)
+
+	// Each iteration advances several ticks so the per-tick figure
+	// averages over which exchange the churn lands on — a single tick's
+	// cost swings with the chosen IXP's size.
+	const ticksPerOp = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < ticksPerOp; k++ {
+			if _, err := eng.Advance(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+
+	perTick := b.Elapsed() / time.Duration(b.N*ticksPerOp)
+	b.ReportMetric(perTick.Seconds()*1e3, "tick_ms")
+	b.ReportMetric(cold.Seconds()*1e3, "cold_ms")
+	b.ReportMetric(float64(cold)/float64(perTick), "cold_over_tick_x")
+	if perTick >= cold/2 {
+		b.Errorf("churn-only tick costs %v vs %v cold — the stage-reuse path is not paying", perTick, cold)
+	}
+}
+
+// BenchmarkJournalReplay measures recovery speed: rebuilding an evolved
+// world from its genesis recipe and journalled event records alone
+// (world-only replay, one closing evaluation), the path Open takes for
+// the tail past the newest checkpoint. Setup advances a journalled
+// timeline once; each iteration replays the whole record set to the
+// byte-identical final state.
+func BenchmarkJournalReplay(b *testing.B) {
+	const ticks = 8
+	w, err := GenerateWorld(WorldConfig{Seed: 5, LeafNetworks: 1500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultTickConfig()
+	cfg.Seed = 7
+	cfg.OutageRate = 0.2
+	cfg.Pipeline = ScenarioOptions{
+		MeasureSeed:  2,
+		TrafficSeed:  3,
+		Campaign:     CampaignConfig{Duration: 6 * 24 * time.Hour, PCHRounds: 3, RIPERounds: 3},
+		Intervals:    96,
+		CoverageIXPs: 3,
+		GreedyIXPs:   8,
+	}
+	cfg.CheckpointEvery = ticks + 1 // force pure journal replay, no checkpoint shortcut
+	ctx := context.Background()
+	dir := b.TempDir()
+	eng, err := OpenTickEngine(ctx, dir, w, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.AdvanceTo(ctx, ticks); err != nil {
+		b.Fatal(err)
+	}
+	want := eng.Metrics()
+	if err := eng.Close(); err != nil {
+		b.Fatal(err)
+	}
+	contents, err := ReadJournal(filepath.Join(dir, "journal.rpj"))
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	var events int
+	for _, r := range contents.Records {
+		events += len(r.Events)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		re, err := ReplayTicks(ctx, w, cfg, contents.Records, false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if re.Tick() != ticks || re.Metrics() != want {
+			b.Fatal("replay diverged from the live run")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ticks), "ticks")
+	b.ReportMetric(float64(events), "events")
+}

@@ -28,6 +28,17 @@
 //	GET  /v1/whatif        scenario grid (also POST with a JSON body)
 //	                       [world, scenarios, seeds, measure-seed, traffic-seed, k, greedy, intervals, days]
 //	GET  /v1/report/{id}   a previously computed response by content id
+//	GET  /v1/tick          a world's clock: live?, tick, view digest    [world]
+//	POST /v1/tick          advance the living world n ticks             [world, n]
+//	GET  /v1/since         events + metric movement since tick t        [world, t]
+//	GET  /v1/newspaper     digest of the recent window of ticks         [world, window]
+//
+// POST /v1/tick brings any served world to life: a tick engine attaches
+// to it (regime set by -tick) and evolves it through membership churn,
+// traffic drift, price walks, and occasional outages. Each committed tick
+// publishes a new immutable view whose digest is "<base>@<tick>" — the
+// content address queries key on — so ticking never tears a concurrent
+// read and cached bytes stay correct forever.
 //
 // Identical queries against the same snapshot are answered from the
 // result cache in microseconds — without attaching the world, if it has
@@ -69,6 +80,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker bound per evaluation (0 = one per CPU; results identical for any value)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-computation deadline (0 = none); expired computations answer 504")
 	chaos := flag.String("chaos", "", "inject a seeded fault schedule, e.g. seed=42,slow=0.3,fail=0.1,panic=0.05,cachefail=0.2,delay=20ms")
+	tickSpec := flag.String("tick", "", "living-world evolution regime for POST /v1/tick, e.g. seed=7,joins=3,leaves=2,outage=0.02 (empty = defaults)")
 	flag.Parse()
 	switch {
 	case *snapPath == "" && *snapDir == "":
@@ -93,6 +105,13 @@ func main() {
 		Workers:      *workers,
 		QueryTimeout: *queryTimeout,
 		Faults:       plane,
+	}
+	if *tickSpec != "" {
+		tcfg, err := remotepeering.ParseTickConfig(*tickSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Tick = &tcfg
 	}
 
 	start := time.Now()

@@ -1,19 +1,30 @@
 // Command rpworld generates and inspects the synthetic world: the AS-level
 // economy, the 65 IXPs with their memberships and ground-truth remote
 // peers, the hazard assignments at the studied IXPs, and the registry view.
+// With -ticks it also evolves the world forward through the tick engine —
+// membership churn, traffic drift, price walks, occasional outages — and
+// with -journal the timeline is durable: an append-only event journal plus
+// periodic checkpoints, from which a killed run resumes to byte-identical
+// state.
 //
 // Usage:
 //
 //	rpworld [-seed N] [-leaves N] [-ixp ACRONYM] [-save world.rpsnap] [-load world.rpsnap]
+//	rpworld -seed 1 -ticks 50 -journal evo/ -tick 'joins=3,leaves=2,outage=0.02'
 //
-// -save persists the generated world as a snapshot for rpserve and the
-// other tools' -load flags; -load inspects an existing snapshot instead
-// of regenerating.
+// -save persists the generated (or evolved) world as a snapshot for
+// rpserve and the other tools' -load flags; -load inspects an existing
+// snapshot instead of regenerating. -ticks names an absolute target tick,
+// so re-running with the same -journal continues the same timeline: a run
+// to 30 then a run to 50 lands on exactly the bytes of one run to 50.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
+	"strings"
 
 	"remotepeering"
 	"remotepeering/internal/cli"
@@ -25,6 +36,9 @@ func main() {
 	common := cli.CommonFlags()
 	snapFlags := cli.SnapshotFlags()
 	ixp := flag.String("ixp", "", "show membership detail for one IXP acronym")
+	ticks := flag.Int("ticks", 0, "evolve the world to this absolute tick (0 = don't tick; with -journal, a lower-or-equal target just recovers)")
+	journalDir := flag.String("journal", "", "evolution directory holding the append-only journal and checkpoints; an existing journal resumes its timeline")
+	tickSpec := flag.String("tick", "", "evolution regime spec, e.g. seed=7,joins=3,leaves=2,traffic=0.02,outage=0.01,checkpoint=16 (empty = defaults; a resumed journal's recorded regime wins)")
 	flag.Parse()
 	stopProfiles, err := common.StartProfiles()
 	if err != nil {
@@ -36,7 +50,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if err := snapFlags.SaveSnapshot(&remotepeering.Snapshot{World: w}); err != nil {
+
+	snap := &remotepeering.Snapshot{World: w}
+	if *ticks > 0 || *journalDir != "" {
+		if snap, err = evolve(w, *ticks, *journalDir, *tickSpec, *common.Workers); err != nil {
+			fatal(err)
+		}
+		w = snap.World
+	}
+	if err := snapFlags.SaveSnapshot(snap); err != nil {
 		fatal(err)
 	}
 
@@ -88,4 +110,55 @@ func main() {
 	for _, k := range []string{"none", "blackhole", "flaky", "ttl-switch", "odd-ttl", "misdirect", "congested", "far-site", "asn-churn"} {
 		fmt.Printf("  %-12s %d\n", k, counts[k])
 	}
+}
+
+// evolve runs the living world: build or recover the tick engine, advance
+// to the absolute target, narrate each committed tick, print the window's
+// newspaper, and hand back the evolved snapshot payload (world + Tick
+// section) for -save/-save-flat.
+func evolve(w *remotepeering.World, target int, dir, spec string, workers int) (*remotepeering.Snapshot, error) {
+	cfg, err := remotepeering.ParseTickConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Pipeline.Workers = workers
+
+	ctx := context.Background()
+	var eng *remotepeering.TickEngine
+	if dir != "" {
+		eng, err = remotepeering.OpenTickEngine(ctx, dir, w, cfg)
+	} else {
+		eng, err = remotepeering.NewTickEngine(ctx, w, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+
+	from := eng.Tick()
+	if from > 0 {
+		fmt.Fprintf(os.Stderr, "rpworld: recovered %s at tick %d\n", dir, from)
+	}
+	results, err := eng.AdvanceTo(ctx, uint64(target))
+	for _, r := range results {
+		ev := strings.Join(r.Events, " ")
+		if ev == "" {
+			ev = "(quiet)"
+		}
+		fmt.Printf("tick %4d  [%-26s] remote=%3d offload=%5.1f%% viable=%-5v %s\n",
+			r.Tick, r.Stages, r.Metrics.DetectedRemote, r.Metrics.OffloadedFrac*100,
+			r.Metrics.Viable, ev)
+	}
+	if err != nil {
+		// Partial progress is already durable when journalled; report how
+		// far the timeline got before failing.
+		return nil, fmt.Errorf("advance stopped at tick %d: %w", eng.Tick(), err)
+	}
+	fmt.Println()
+	fmt.Print(eng.Newspaper(int(eng.Tick() - from)).String())
+
+	if err := eng.Close(); err != nil {
+		return nil, err
+	}
+	return &remotepeering.Snapshot{World: eng.World(), Tick: eng.State()}, nil
 }

@@ -1,0 +1,180 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// writeSample builds a journal with a header, three tick records, and one
+// checkpoint, and returns its path and expected contents.
+func writeSample(t *testing.T) (string, *Contents) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "journal.rpj")
+	j, err := Create(path, []byte(`{"seed":7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Contents{Header: []byte(`{"seed":7}`)}
+	for tick := uint64(1); tick <= 3; tick++ {
+		r := Record{Tick: tick, StreamKey: "apply-x", Events: []string{"traffic:1.01", "diurnal:0.25"}}
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		want.Records = append(want.Records, r)
+	}
+	cp := Checkpoint{Tick: 3, File: "checkpoint-000003.flat", Digest: "abc"}
+	if err := j.AppendCheckpoint(cp); err != nil {
+		t.Fatal(err)
+	}
+	want.Checkpoints = append(want.Checkpoints, cp)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, want
+}
+
+func TestRoundTrip(t *testing.T) {
+	path, want := writeSample(t)
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	if got.LastTick() != 3 {
+		t.Fatalf("LastTick = %d, want 3", got.LastTick())
+	}
+}
+
+func TestCreateRefusesOverwrite(t *testing.T) {
+	path, _ := writeSample(t)
+	if _, err := Create(path, nil); err == nil {
+		t.Fatal("Create over an existing journal succeeded")
+	}
+}
+
+// TestFlippedByte flips every byte of the file in turn: each mutation
+// must yield a typed error (or, for bytes inside a JSON payload that
+// survive CRC... they can't — the CRC covers the payload), never a panic
+// and never a silent success with altered contents.
+func TestFlippedByte(t *testing.T) {
+	path, want := writeSample(t)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := filepath.Join(t.TempDir(), "mut.rpj")
+	for i := range orig {
+		data := append([]byte(nil), orig...)
+		data[i] ^= 0xff
+		if err := os.WriteFile(mut, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(mut)
+		if err == nil {
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("flip at %d: silent success with altered contents", i)
+			}
+			t.Fatalf("flip at %d: decoded successfully (CRC should have caught it)", i)
+		}
+		if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: untyped error %v", i, err)
+		}
+	}
+}
+
+// TestTruncatedTail truncates the file at every length: strict Read must
+// report ErrTruncated (or succeed only at exact record boundaries), and
+// Recover must salvage the valid prefix and reopen for append.
+func TestTruncatedTail(t *testing.T) {
+	path, want := writeSample(t)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	boundaries := 0
+	for n := 0; n < len(orig); n++ {
+		trunc := filepath.Join(dir, "trunc.rpj")
+		if err := os.WriteFile(trunc, orig[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(trunc)
+		if err == nil {
+			// Only a clean record boundary decodes; it must be a strict
+			// prefix of the full contents.
+			boundaries++
+			if len(got.Records) >= len(want.Records) && len(got.Checkpoints) >= len(want.Checkpoints) {
+				t.Fatalf("truncation to %d bytes decoded the full journal", n)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("truncate to %d: got %v, want ErrTruncated/ErrBadMagic", n, err)
+		}
+	}
+	if boundaries == 0 {
+		t.Fatal("no truncation length decoded cleanly; record framing is off")
+	}
+}
+
+func TestRecoverTornTail(t *testing.T) {
+	path, want := writeSample(t)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record in half.
+	if err := os.WriteFile(path, orig[:len(orig)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, j, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Truncated {
+		t.Fatal("Recover did not mark the torn tail")
+	}
+	if len(c.Records) != len(want.Records) || len(c.Checkpoints) != 0 {
+		t.Fatalf("recovered %d records / %d checkpoints, want %d / 0",
+			len(c.Records), len(c.Checkpoints), len(want.Checkpoints))
+	}
+	// The journal must accept appends again, and a strict Read must now
+	// succeed over prefix + new record.
+	next := Record{Tick: 4, StreamKey: "apply-4", Events: []string{"churn:LINX:2:1"}}
+	if err := j.Append(next); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LastTick() != 4 {
+		t.Fatalf("after recover+append, LastTick = %d, want 4", got.LastTick())
+	}
+}
+
+// TestRecoverRejectsMidFileCorruption: a flipped byte that is *not* a torn
+// tail is damage; Recover must refuse rather than silently drop history.
+func TestRecoverRejectsMidFileCorruption(t *testing.T) {
+	path, _ := writeSample(t)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), orig...)
+	data[len(Magic)+20] ^= 0xff // inside the header record
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Recover(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Recover on mid-file corruption: got %v, want ErrCorrupt", err)
+	}
+}

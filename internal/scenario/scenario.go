@@ -486,6 +486,43 @@ func evalCell(ctx context.Context, w *worldgen.World, spec cellSpec, opts Option
 		st.World.RefreshIndex()
 	}
 
+	return runStages(ctx, stageArgs{
+		st:           st,
+		mask:         mask,
+		graphClean:   graphClean,
+		dirtyAllSims: dirtyAllSims,
+		dirtySims:    dirtySimList,
+		base:         base,
+		cones:        cones,
+		opts:         opts,
+		workers:      innerWorkers,
+	})
+}
+
+// stageArgs bundles one stage-pipeline invocation: the post-op state, the
+// closed dirty mask, and the artifacts reusable for the clean stages. Both
+// entry points into the pipeline — evalCell (the grid) and EvalEvolved
+// (the tick engine) — feed the same runStages, so there is exactly one
+// implementation of the stage-reuse contract.
+type stageArgs struct {
+	st           *state
+	mask         StageMask
+	graphClean   bool
+	dirtyAllSims bool
+	dirtySims    []string
+	base         *cellArtifacts
+	cones        *offload.ConeCache
+	opts         Options
+	workers      int
+}
+
+// runStages evaluates the paper pipeline over a perturbed state, re-running
+// exactly the dirty stages and reusing base's immutable artifacts for the
+// clean ones. Stage determinism makes the reuse path byte-identical to a
+// full rerun — pinned by the reuse-equivalence suite.
+func runStages(ctx context.Context, a stageArgs) (*cellArtifacts, error) {
+	st, mask, base, opts := a.st, a.mask, a.base, a.opts
+
 	art := &cellArtifacts{world: st.World}
 	m := &art.m
 
@@ -531,13 +568,13 @@ func evalCell(ctx context.Context, w *worldgen.World, spec cellSpec, opts Option
 			return nil, fmt.Errorf("scenario: every selected studied IXP is dark")
 		}
 		st.Spread.IXPs = live
-		if base != nil && !dirtyAllSims {
+		if base != nil && !a.dirtyAllSims {
 			// Membership ops name the exchanges they touched; every other
 			// IXP's simulation inputs are identical to the baseline's, so
 			// its observation stream is spliced instead of re-simulated
 			// (the detector still re-runs over the merged streams).
-			dirty := make(map[int]bool, len(dirtySimList))
-			for _, acr := range dirtySimList {
+			dirty := make(map[int]bool, len(a.dirtySims))
+			for _, acr := range a.dirtySims {
 				if _, xi, err := st.World.IXPByAcronym(acr); err == nil {
 					dirty[xi] = true
 				}
@@ -589,14 +626,14 @@ func evalCell(ctx context.Context, w *worldgen.World, spec cellSpec, opts Option
 		m.OffloadedFrac = base.m.OffloadedFrac
 		m.FittedB = base.m.FittedB
 	} else {
-		offOpts := offload.Options{Workers: innerWorkers}
-		if graphClean && !opts.NoReuse {
+		offOpts := offload.Options{Workers: a.workers}
+		if a.graphClean && !opts.NoReuse {
 			// Membership ops leave the AS graph untouched, so every
 			// cell's customer cones are identical — the baseline seeds
 			// the shared cache with the grid's full worker budget and
 			// scenario cells hit it. NoReuse bypasses the cache so the
 			// full-rerun reference stays entirely independent of it.
-			offOpts.Cones = cones
+			offOpts.Cones = a.cones
 		}
 		study, err := offload.NewStudyOptions(st.World, art.ds, offOpts)
 		if err != nil {

@@ -58,6 +58,7 @@ import (
 	"remotepeering/internal/scenario"
 	"remotepeering/internal/snapshot"
 	"remotepeering/internal/spread"
+	"remotepeering/internal/tick"
 	"remotepeering/internal/worldgen"
 )
 
@@ -118,6 +119,12 @@ type Config struct {
 	// cache operations. Completed responses are byte-identical to a
 	// fault-free server's.
 	Faults *fault.Plane
+	// Tick parameterises the living-world endpoints (/v1/tick, /v1/since,
+	// /v1/newspaper): the event regime worlds evolve under when their
+	// clock is started. nil uses tick.DefaultConfig. Workers, Faults, and
+	// the per-world cone cache are always taken from the server, not from
+	// this config.
+	Tick *tick.Config
 }
 
 // worldState is the per-world view a computation runs against: the
@@ -144,6 +151,11 @@ type Server struct {
 	cache        *lruCache
 	mu           sync.Mutex
 	inflight     map[string]*call
+
+	// The living-world registry: evolving worlds keyed by genesis digest.
+	tickCfg tick.Config
+	liveMu  sync.Mutex
+	live    map[string]*liveWorld
 
 	// evals counts leader computations — the observability hook the
 	// dedup and cache tests (and /v1/world) read. panics and shed count
@@ -205,6 +217,11 @@ func New(cfg Config) (*Server, error) {
 		sem:          make(chan struct{}, cfg.MaxInflight),
 		cache:        newLRUCache(int64(cacheMB) << 20),
 		inflight:     make(map[string]*call),
+		tickCfg:      tick.DefaultConfig(),
+		live:         make(map[string]*liveWorld),
+	}
+	if cfg.Tick != nil {
+		s.tickCfg = *cfg.Tick
 	}
 	if cfg.Snapshot != nil {
 		if err := materialize(cfg.Snapshot); err != nil {
@@ -289,6 +306,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/whatif", s.handleWhatif)
 	mux.HandleFunc("POST /v1/whatif", s.handleWhatif)
 	mux.HandleFunc("GET /v1/report/{id}", s.handleReport)
+	mux.HandleFunc("GET /v1/tick", s.handleTick)
+	mux.HandleFunc("POST /v1/tick", s.handleTick)
+	mux.HandleFunc("GET /v1/since", s.handleSince)
+	mux.HandleFunc("GET /v1/newspaper", s.handleNewspaper)
 	return mux
 }
 
@@ -472,24 +493,10 @@ func queryID(digest, canonical string) string {
 
 // --- handlers ---
 
-// resolveWorld maps the request's world= parameter to a digest, writing
-// the error response itself when the key is unknown (404) or ambiguous
-// (400).
-func (s *Server) resolveWorld(w http.ResponseWriter, r *http.Request) (string, bool) {
-	digest, err := s.resolve(r.URL.Query().Get("world"))
-	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, catalog.ErrUnknownWorld) {
-			status = http.StatusNotFound
-		}
-		httpError(w, status, "%v", err)
-		return "", false
-	}
-	return digest, true
-}
-
 type worldResponse struct {
 	Digest       string `json:"digest"`
+	Live         bool   `json:"live,omitempty"`
+	Tick         uint64 `json:"tick,omitempty"`
 	Networks     int    `json:"networks"`
 	IXPs         int    `json:"ixps"`
 	StudiedIXPs  int    `json:"studied_ixps"`
@@ -502,21 +509,27 @@ type worldResponse struct {
 }
 
 func (s *Server) handleWorld(w http.ResponseWriter, r *http.Request) {
-	digest, ok := s.resolveWorld(w, r)
+	digest, view, ok := s.resolveLive(w, r)
 	if !ok {
 		return
 	}
 	// A world summary is a detail view: attaching to answer it is the
 	// point (unlike the query path, where cache hits must not attach).
-	ws, release, err := s.acquire(r.Context(), digest)
+	ws, release, err := s.acquireView(r.Context(), digest, view)
 	if err != nil {
 		finish(w, r, nil, false, err)
 		return
 	}
 	defer release()
 	coneIDs, _ := ws.cones.Export()
+	var tickNo uint64
+	if view != nil {
+		tickNo = view.tick
+	}
 	writeJSON(w, http.StatusOK, worldResponse{
 		Digest:       ws.digest,
+		Live:         view != nil,
+		Tick:         tickNo,
 		Networks:     ws.world.Graph.Len(),
 		IXPs:         len(ws.world.IXPs),
 		StudiedIXPs:  ws.world.NumStudied(),
@@ -565,6 +578,7 @@ type healthResponse struct {
 	Panics      int64          `json:"panics"`
 	Shed        int64          `json:"shed"`
 	Faults      int64          `json:"faults_injected,omitempty"`
+	LiveWorlds  int            `json:"live_worlds,omitempty"`
 }
 
 func (s *Server) health() healthResponse {
@@ -575,6 +589,7 @@ func (s *Server) health() healthResponse {
 		Panics:      s.panics.Load(),
 		Shed:        s.shed.Load(),
 		Faults:      s.faults.InjectedTotal(),
+		LiveWorlds:  s.LiveWorlds(),
 	}
 	if s.cat != nil {
 		h.Worlds = s.cat.StateCounts()
@@ -626,7 +641,7 @@ type spreadResponse struct {
 }
 
 func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
-	digest, ok := s.resolveWorld(w, r)
+	digest, view, ok := s.resolveLive(w, r)
 	if !ok {
 		return
 	}
@@ -644,7 +659,7 @@ func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
 	canonical := fmt.Sprintf("spread|seed=%d|days=%d", seed, days)
 	id := queryID(digest, canonical)
 	body, hit, err := s.do(r.Context(), id, func(ctx context.Context) ([]byte, error) {
-		ws, release, err := s.acquire(ctx, digest)
+		ws, release, err := s.acquireView(ctx, digest, view)
 		if err != nil {
 			return nil, err
 		}
@@ -713,7 +728,7 @@ type offloadResponse struct {
 }
 
 func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
-	digest, ok := s.resolveWorld(w, r)
+	digest, view, ok := s.resolveLive(w, r)
 	if !ok {
 		return
 	}
@@ -747,7 +762,7 @@ func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
 		group, k, depth, trafficSeed, intervals)
 	id := queryID(digest, canonical)
 	body, hit, err := s.do(r.Context(), id, func(ctx context.Context) ([]byte, error) {
-		ws, release, err := s.acquire(ctx, digest)
+		ws, release, err := s.acquireView(ctx, digest, view)
 		if err != nil {
 			return nil, err
 		}
@@ -865,7 +880,7 @@ type whatifResponse struct {
 }
 
 func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
-	digest, ok := s.resolveWorld(w, r)
+	digest, view, ok := s.resolveLive(w, r)
 	if !ok {
 		return
 	}
@@ -934,7 +949,7 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 
 	id := queryID(digest, req.canonical())
 	body, hit, err := s.do(r.Context(), id, func(ctx context.Context) ([]byte, error) {
-		ws, release, err := s.acquire(ctx, digest)
+		ws, release, err := s.acquireView(ctx, digest, view)
 		if err != nil {
 			return nil, err
 		}

@@ -343,6 +343,14 @@ func (a *Attached) materialize() (*Snapshot, error) {
 		}
 		s.Spread = sp
 	}
+
+	if payload, ok, err := a.section(flatTick); err != nil {
+		return nil, err
+	} else if ok {
+		if s.Tick, err = decodeTick(payload); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 

@@ -50,6 +50,7 @@ const (
 	secSeries  = "series"
 	secSpread  = "spread"
 	secCones   = "cones"
+	secTick    = "tick"
 )
 
 // enc is the append-only payload encoder. All integers are varint or

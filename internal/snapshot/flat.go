@@ -74,6 +74,7 @@ const (
 	flatTruthIXPs  = "truth.ixps"  // i32[] studied-IXP indices, ascending
 	flatTruthOffs  = "truth.offs"  // u32[len(ixps)+1] prefix offsets into truth.addrs
 	flatTruthAddrs = "truth.addrs" // 20-byte fixed address rows
+	flatTick       = "tick"        // JSON TickState (evolution layer)
 )
 
 const (
@@ -376,6 +377,10 @@ func flatSections(s *Snapshot) ([]flatSection, error) {
 			flatSection{flatTruthIXPs, tixps},
 			flatSection{flatTruthOffs, appendU32s(make([]byte, 0, 4*len(toffs)), toffs)},
 			flatSection{flatTruthAddrs, taddrs})
+	}
+
+	if s.Tick != nil {
+		secs = append(secs, flatSection{flatTick, encodeTick(s.Tick)})
 	}
 	return secs, nil
 }

@@ -52,6 +52,10 @@ type Snapshot struct {
 	// graph, if present. Save persists the rows filled so far; Load
 	// returns a cache primed with them and bound to the loaded world.
 	Cones *offload.ConeCache
+	// Tick is the evolution layer, if present: the world's position on a
+	// living-world timeline plus the regime state accumulated by its
+	// events. Tick-engine checkpoints carry it; frozen worlds omit it.
+	Tick *TickState
 
 	// Digest is the SHA-256 of the encoded file, set by Save and Load —
 	// the content address the serve layer keys its result cache on.
@@ -84,6 +88,9 @@ func Save(w io.Writer, s *Snapshot) error {
 			out = appendSection(out, secCones, encodeCones(ids, cones))
 		}
 	}
+	if s.Tick != nil {
+		out = appendSection(out, secTick, encodeTick(s.Tick))
+	}
 
 	s.Digest = digestOf(out)
 	_, err := w.Write(out)
@@ -96,6 +103,18 @@ func Save(w io.Writer, s *Snapshot) error {
 func digestOf(b []byte) string {
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
+}
+
+// WorldDigest is the content address of a world alone: the SHA-256 of its
+// v1 section encoding. The journal's genesis header records it so
+// recovery can verify a regenerated (or separately loaded) world really
+// is the one the history grew from — the codec round-trips worlds
+// exactly, so equal digests mean equal worlds.
+func WorldDigest(w *worldgen.World) (string, error) {
+	if w == nil {
+		return "", fmt.Errorf("snapshot: nil world")
+	}
+	return digestOf(encodeWorld(w)), nil
 }
 
 // Load decodes a snapshot from r, verifying the magic, the format
@@ -163,6 +182,10 @@ func Load(r io.Reader) (*Snapshot, error) {
 				return nil, fmt.Errorf("%w: cones section before world section", ErrCorrupt)
 			}
 			if s.Cones, err = decodeCones(payload, s.World); err != nil {
+				return nil, err
+			}
+		case secTick:
+			if s.Tick, err = decodeTick(payload); err != nil {
 				return nil, err
 			}
 		default:

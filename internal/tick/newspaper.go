@@ -1,0 +1,156 @@
+package tick
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"remotepeering/internal/scenario"
+)
+
+// Newspaper is the digest view of a living world: what happened over a
+// recent window of ticks, and how the headline metrics moved. It is
+// assembled purely from the in-memory history, so it is as deterministic
+// as the timeline itself.
+type Newspaper struct {
+	// From..To is the window: ticks strictly after From up to and
+	// including To (the engine's current tick).
+	From uint64 `json:"from"`
+	To   uint64 `json:"to"`
+	// Ticks and Events count the window's committed ticks and applied
+	// events; ByKind splits the events by op kind.
+	Ticks  int            `json:"ticks"`
+	Events int            `json:"events"`
+	ByKind map[string]int `json:"by_kind,omitempty"`
+	// Headlines narrate the window's notable happenings, oldest first.
+	Headlines []string `json:"headlines,omitempty"`
+	// Latest is the current tick's metrics; Delta their movement across
+	// the window (zero when the window's start predates the in-memory
+	// history).
+	Latest scenario.Metrics `json:"latest"`
+	Delta  scenario.Delta   `json:"delta"`
+}
+
+// Newspaper digests the engine's last window ticks (all in-memory
+// history when window <= 0 or larger than the history).
+func (e *Engine) Newspaper(window int) Newspaper {
+	return BuildNewspaper(e.hist, window)
+}
+
+// BuildNewspaper digests a tick history — the engine's own, or an
+// immutable copy a serving tier published — over its last window ticks.
+// The history must be contiguous and ordered, with the latest entry
+// carrying current metrics (which Engine histories always do).
+func BuildNewspaper(hist []Result, window int) Newspaper {
+	if len(hist) == 0 {
+		return Newspaper{ByKind: map[string]int{}}
+	}
+	latest := hist[len(hist)-1]
+	to := latest.Tick
+	var from uint64
+	if window > 0 && uint64(window) < to {
+		from = to - uint64(window)
+	}
+	np := Newspaper{From: from, To: to, ByKind: map[string]int{}, Latest: latest.Metrics}
+	metricsAt := func(t uint64) (scenario.Metrics, bool) {
+		for _, r := range hist {
+			if r.Tick == t {
+				return r.Metrics, true
+			}
+		}
+		return scenario.Metrics{}, false
+	}
+	if base, ok := metricsAt(from); ok {
+		np.Delta = scenario.CellResult{Metrics: latest.Metrics}.Diff(base)
+	}
+
+	trafficFactor := 1.0
+	joins, leaves := 0, 0
+	prevViable := latest.Metrics.Viable
+	if m, ok := metricsAt(from); ok {
+		prevViable = m.Viable
+	}
+	for _, r := range hist {
+		if r.Tick <= from || r.Tick > to {
+			continue
+		}
+		np.Ticks++
+		for _, ev := range r.Events {
+			np.Events++
+			kind := ev
+			if i := strings.IndexByte(ev, ':'); i >= 0 {
+				kind = ev[:i]
+			}
+			np.ByKind[kind]++
+			switch kind {
+			case "outage":
+				np.Headlines = append(np.Headlines,
+					fmt.Sprintf("tick %d: %s went dark", r.Tick, ev[len("outage:"):]))
+			case "churn":
+				// churn:IXP:join:leave
+				parts := strings.Split(ev, ":")
+				if len(parts) == 4 {
+					var j, l int
+					fmt.Sscanf(parts[2], "%d", &j)
+					fmt.Sscanf(parts[3], "%d", &l)
+					joins += j
+					leaves += l
+				}
+			case "traffic":
+				var f float64
+				if _, err := fmt.Sscanf(ev[len("traffic:"):], "%g", &f); err == nil {
+					trafficFactor *= f
+				}
+			}
+		}
+		if r.Metrics.Viable != prevViable {
+			verdict := "remote peering turned viable"
+			if !r.Metrics.Viable {
+				verdict = "remote peering no longer viable"
+			}
+			np.Headlines = append(np.Headlines, fmt.Sprintf("tick %d: %s", r.Tick, verdict))
+		}
+		prevViable = r.Metrics.Viable
+	}
+	if joins+leaves > 0 {
+		np.Headlines = append(np.Headlines,
+			fmt.Sprintf("membership: %d arrivals, %d departures across the window", joins, leaves))
+	}
+	if trafficFactor != 1 {
+		np.Headlines = append(np.Headlines,
+			fmt.Sprintf("transit demand drifted %+.1f%% over the window", (trafficFactor-1)*100))
+	}
+	if np.Delta.DetectedRemote != 0 {
+		np.Headlines = append(np.Headlines,
+			fmt.Sprintf("detector: %+d remote peers vs tick %d", np.Delta.DetectedRemote, from))
+	}
+	return np
+}
+
+// String renders the newspaper as a compact text digest.
+func (n Newspaper) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "THE LIVING WORLD — tick %d (window %d..%d, %d ticks, %d events)\n",
+		n.To, n.From, n.To, n.Ticks, n.Events)
+	if len(n.ByKind) > 0 {
+		kinds := make([]string, 0, len(n.ByKind))
+		for k := range n.ByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		parts := make([]string, len(kinds))
+		for i, k := range kinds {
+			parts[i] = fmt.Sprintf("%s ×%d", k, n.ByKind[k])
+		}
+		fmt.Fprintf(&b, "events: %s\n", strings.Join(parts, ", "))
+	}
+	for _, h := range n.Headlines {
+		fmt.Fprintf(&b, "  • %s\n", h)
+	}
+	m := n.Latest
+	fmt.Fprintf(&b, "state: %d remote peers detected, %d nets covered, offload %.1f%%, viable=%v\n",
+		m.DetectedRemote, m.CoveredNets, m.OffloadedFrac*100, m.Viable)
+	fmt.Fprintf(&b, "moved: remote %+d, covered %+d, offload %+.2f pp, verdict flipped=%v\n",
+		n.Delta.DetectedRemote, n.Delta.CoveredNets, n.Delta.OffloadedFrac*100, n.Delta.ViableFlipped)
+	return b.String()
+}

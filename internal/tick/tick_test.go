@@ -1,0 +1,497 @@
+package tick
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"remotepeering/internal/fault"
+	"remotepeering/internal/journal"
+	"remotepeering/internal/scenario"
+	"remotepeering/internal/snapshot"
+	"remotepeering/internal/worldgen"
+)
+
+var (
+	genesisOnce sync.Once
+	genesisVal  *worldgen.World
+	genesisErr  error
+)
+
+func genesis(t testing.TB) *worldgen.World {
+	genesisOnce.Do(func() {
+		genesisVal, genesisErr = worldgen.Generate(worldgen.Config{Seed: 11, LeafNetworks: 1200})
+	})
+	if genesisErr != nil {
+		t.Fatal(genesisErr)
+	}
+	return genesisVal
+}
+
+// testConfig is a lively regime over a fast pipeline: every event kind
+// fires within a short run, so the equivalence suite exercises churn,
+// outages, and all three walks.
+func testConfig(workers int) Config {
+	return Config{
+		Seed:            7,
+		ChurnIXPs:       2,
+		ChurnJoins:      3,
+		ChurnLeaves:     2,
+		TrafficDrift:    0.05,
+		DiurnalDrift:    0.5,
+		PriceDrift:      0.02,
+		OutageRate:      0.3,
+		CheckpointEvery: 4,
+		Pipeline: scenario.Options{
+			MeasureSeed: 2, TrafficSeed: 3,
+			CoverageIXPs: 3, GreedyIXPs: 8, Intervals: 96,
+			Workers: workers,
+		},
+	}
+}
+
+// stateDigest is the byte-level fingerprint the equivalence suite pins:
+// the engine's full durable state — world, tick, traffic regime, price
+// vector — through the deterministic snapshot codec.
+func stateDigest(t testing.TB, e *Engine) string {
+	t.Helper()
+	tr, ec := e.Regime()
+	s := &snapshot.Snapshot{
+		World: e.World(),
+		Tick:  &snapshot.TickState{Tick: e.Tick(), Seed: 7, Traffic: tr, Econ: ec},
+	}
+	var buf bytes.Buffer
+	if err := snapshot.Save(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return s.Digest
+}
+
+// TestReplayEquivalence is the tentpole property: the world at tick N is
+// byte-identical across (a) live runs at any worker count, (b) a
+// per-tick replay of the journal from genesis, (c) a world-only replay
+// with one final evaluation, and (d) crash-recovery from the nearest
+// checkpoint plus tail replay — including after recovery resumes
+// advancing.
+func TestReplayEquivalence(t *testing.T) {
+	const ticks = 10
+	w := genesis(t)
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	live, err := Open(ctx, dir, w, testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := live.AdvanceTo(ctx, ticks); err != nil {
+		t.Fatal(err)
+	}
+	wantDigest := stateDigest(t, live)
+	wantHist := live.Since(0)
+	wantMetrics := live.Metrics()
+	if err := live.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The regime must actually have fired events of each kind, or the
+	// equivalence below proves much less than it claims.
+	var sawChurn, sawOutage, sawTraffic bool
+	for _, r := range wantHist {
+		for _, ev := range r.Events {
+			switch {
+			case len(ev) > 5 && ev[:5] == "churn":
+				sawChurn = true
+			case len(ev) > 6 && ev[:6] == "outage":
+				sawOutage = true
+			case len(ev) > 7 && ev[:7] == "traffic":
+				sawTraffic = true
+			}
+		}
+	}
+	if !sawChurn || !sawOutage || !sawTraffic {
+		t.Fatalf("regime too quiet (churn=%v outage=%v traffic=%v) — pick a livelier seed", sawChurn, sawOutage, sawTraffic)
+	}
+
+	c, err := journal.Read(filepath.Join(dir, JournalFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.LastTick() != ticks || len(c.Records) != ticks {
+		t.Fatalf("journal holds %d records to tick %d, want %d", len(c.Records), c.LastTick(), ticks)
+	}
+	if len(c.Checkpoints) != 2 {
+		t.Fatalf("got %d checkpoints, want 2 (every 4 ticks)", len(c.Checkpoints))
+	}
+
+	// (a) Live runs, no journal, varying worker counts.
+	for _, workers := range []int{1, 2, 8} {
+		e, err := New(ctx, w, testConfig(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.AdvanceTo(ctx, ticks); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if d := stateDigest(t, e); d != wantDigest {
+			t.Errorf("workers=%d: state digest %.12s, want %.12s", workers, d, wantDigest)
+		}
+		if !reflect.DeepEqual(e.Since(0), wantHist) {
+			t.Errorf("workers=%d: history differs from reference run", workers)
+		}
+	}
+
+	// (b) Genesis replay, evaluating every tick: identical history.
+	re, err := Replay(ctx, w, testConfig(2), c.Records, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := stateDigest(t, re); d != wantDigest {
+		t.Errorf("per-tick replay digest %.12s, want %.12s", d, wantDigest)
+	}
+	if !reflect.DeepEqual(re.Since(0), wantHist) {
+		t.Error("per-tick replay history differs from live run")
+	}
+
+	// (c) Genesis replay, world-only with one final evaluation.
+	rf, err := Replay(ctx, w, testConfig(0), c.Records, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := stateDigest(t, rf); d != wantDigest {
+		t.Errorf("world-only replay digest %.12s, want %.12s", d, wantDigest)
+	}
+	if !reflect.DeepEqual(rf.Metrics(), wantMetrics) {
+		t.Errorf("world-only replay metrics %+v, want %+v", rf.Metrics(), wantMetrics)
+	}
+
+	// (d) Recovery — nil genesis regenerates the world from the recorded
+	// recipe, the tick-8 checkpoint attaches, ticks 9-10 replay — then
+	// both the recovered engine and an uninterrupted run advance to 15.
+	rec, err := Open(ctx, dir, nil, testConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Tick() != ticks {
+		t.Fatalf("recovered engine at tick %d, want %d", rec.Tick(), ticks)
+	}
+	if d := stateDigest(t, rec); d != wantDigest {
+		t.Errorf("recovered digest %.12s, want %.12s", d, wantDigest)
+	}
+	if !reflect.DeepEqual(rec.Metrics(), wantMetrics) {
+		t.Errorf("recovered metrics %+v, want %+v", rec.Metrics(), wantMetrics)
+	}
+	if _, err := rec.AdvanceTo(ctx, 15); err != nil {
+		t.Fatal(err)
+	}
+	recDigest := stateDigest(t, rec)
+	recMetrics := rec.Metrics()
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	unint, err := New(ctx, w, testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unint.AdvanceTo(ctx, 15); err != nil {
+		t.Fatal(err)
+	}
+	if d := stateDigest(t, unint); d != recDigest {
+		t.Errorf("resumed run diverged from uninterrupted run at tick 15: %.12s vs %.12s", recDigest, d)
+	}
+	if !reflect.DeepEqual(unint.Metrics(), recMetrics) {
+		t.Errorf("resumed metrics %+v, uninterrupted %+v", recMetrics, unint.Metrics())
+	}
+
+	// A damaged newest checkpoint must fall back to an older one; with
+	// every checkpoint gone, recovery replays from genesis. Both land on
+	// the same bytes.
+	entries, err := filepath.Glob(filepath.Join(dir, "checkpoint-*.flat"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no checkpoint files found: %v", err)
+	}
+	newest := entries[len(entries)-1]
+	raw, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(newest, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	damaged, err := Open(ctx, dir, w, testConfig(0))
+	if err != nil {
+		t.Fatalf("recovery with damaged checkpoint: %v", err)
+	}
+	if d := stateDigest(t, damaged); damaged.Tick() != 15 || d != recDigest {
+		t.Errorf("damaged-checkpoint recovery: tick %d digest %.12s, want 15 %.12s", damaged.Tick(), d, recDigest)
+	}
+	damaged.Close()
+
+	for _, f := range entries {
+		if err := os.Remove(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fromGenesis, err := Open(ctx, dir, w, testConfig(0))
+	if err != nil {
+		t.Fatalf("recovery with no checkpoints: %v", err)
+	}
+	if d := stateDigest(t, fromGenesis); fromGenesis.Tick() != 15 || d != recDigest {
+		t.Errorf("genesis-replay recovery: tick %d digest %.12s, want 15 %.12s", fromGenesis.Tick(), d, recDigest)
+	}
+	fromGenesis.Close()
+}
+
+// TestAtomicRollbackUnderChaos pins the satellite invariant: a panic
+// injected mid-tick rolls the engine back to its pre-tick state with the
+// journal unchanged, and — whether absorbed by retries or surfaced to the
+// caller — the committed timeline stays byte-identical to a fault-free
+// run.
+func TestAtomicRollbackUnderChaos(t *testing.T) {
+	const ticks = 6
+	w := genesis(t)
+	ctx := context.Background()
+
+	clean, err := New(ctx, w, testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clean.AdvanceTo(ctx, ticks); err != nil {
+		t.Fatal(err)
+	}
+	want := stateDigest(t, clean)
+
+	// Retries absorb a high panic rate invisibly.
+	cfg := testConfig(2)
+	cfg.Pipeline.FaultKey = "tick-chaos"
+	cfg.Pipeline.CellAttempts = 12
+	var rates [5]float64
+	rates[fault.EvalPanic] = 0.45
+	cfg.Pipeline.Faults = fault.New(fault.Config{Seed: 1, Rates: rates})
+	dir := t.TempDir()
+	e, err := Open(ctx, dir, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AdvanceTo(ctx, ticks); err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	if d := stateDigest(t, e); d != want {
+		t.Errorf("chaos run digest %.12s differs from fault-free %.12s", d, want)
+	}
+	if cfg.Pipeline.Faults.Injected(fault.EvalPanic) == 0 {
+		t.Error("no panics injected — the test proved nothing")
+	}
+	e.Close()
+	if c, err := journal.Read(filepath.Join(dir, JournalFile)); err != nil || len(c.Records) != ticks {
+		t.Fatalf("chaos journal: err=%v records=%d, want %d — a crashed attempt leaked a record", err, len(c.Records), ticks)
+	}
+
+	// With retries disabled, every injected panic surfaces — and must
+	// leave the engine exactly where it was, with nothing journaled.
+	cfg2 := testConfig(0)
+	cfg2.Pipeline.FaultKey = "tick-rollback"
+	cfg2.Pipeline.CellAttempts = 1
+	var rates2 [5]float64
+	rates2[fault.EvalPanic] = 0.5
+	cfg2.Pipeline.Faults = fault.New(fault.Config{Seed: 3, Rates: rates2})
+	dir2 := t.TempDir()
+	path2 := filepath.Join(dir2, JournalFile)
+	e2, err := Open(ctx, dir2, w, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := 0
+	for e2.Tick() < ticks {
+		before := e2.Tick()
+		if _, err := e2.Advance(ctx); err != nil {
+			fails++
+			var pe *PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("expected a wrapped PanicError, got %v", err)
+			}
+			if e2.Tick() != before {
+				t.Fatalf("failed tick moved the engine: %d -> %d", before, e2.Tick())
+			}
+			if c, rerr := journal.Read(path2); rerr != nil || c.LastTick() != before {
+				t.Fatalf("journal recorded a half-applied tick: err=%v last=%d engine=%d", rerr, c.LastTick(), before)
+			}
+			if fails > 200 {
+				t.Fatal("fault plane never lets a tick through")
+			}
+		}
+	}
+	if fails == 0 {
+		t.Error("no failures surfaced — the test proved nothing")
+	}
+	if d := stateDigest(t, e2); d != want {
+		t.Errorf("post-rollback timeline digest %.12s differs from fault-free %.12s", d, want)
+	}
+	e2.Close()
+	if c, err := journal.Read(path2); err != nil || len(c.Records) != ticks {
+		t.Fatalf("rollback journal: err=%v records=%d, want %d", err, len(c.Records), ticks)
+	}
+}
+
+// TestOpenErrors pins the failure modes of attaching to an evolution
+// directory: all typed or descriptive errors, never panics.
+func TestOpenErrors(t *testing.T) {
+	ctx := context.Background()
+	w, err := worldgen.Generate(worldgen.Config{Seed: 5, LeafNetworks: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 3, Pipeline: scenario.Options{
+		MeasureSeed: 2, TrafficSeed: 3, CoverageIXPs: 2, GreedyIXPs: 4, Intervals: 24,
+	}}
+
+	if _, err := Open(ctx, t.TempDir(), nil, cfg); err == nil {
+		t.Error("fresh dir with nil genesis should fail")
+	}
+
+	// A journal grown from one world rejects a different one.
+	dir := t.TempDir()
+	e, err := Open(ctx, dir, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	other, err := worldgen.Generate(worldgen.Config{Seed: 6, LeafNetworks: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(ctx, dir, other, cfg); err == nil {
+		t.Error("mismatched genesis world should fail")
+	}
+
+	// A record gap in an otherwise-valid journal is corruption.
+	gapDir := t.TempDir()
+	digest, err := snapshot.WorldDigest(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := json.Marshal(header{World: w.Cfg, GenesisDigest: digest, Seed: 3,
+		MeasureSeed: 2, TrafficSeed: 3, Intervals: 24, CoverageIXPs: 2, GreedyIXPs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr, err := journal.Create(filepath.Join(gapDir, JournalFile), hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.Append(journal.Record{Tick: 2, StreamKey: "apply-2"}); err != nil {
+		t.Fatal(err)
+	}
+	jr.Close()
+	if _, err := Open(ctx, gapDir, w, cfg); !errors.Is(err, journal.ErrCorrupt) {
+		t.Errorf("journal gap: err = %v, want ErrCorrupt", err)
+	}
+
+	// A record carrying an unparsable event is surfaced, not applied.
+	badDir := t.TempDir()
+	jr, err = journal.Create(filepath.Join(badDir, JournalFile), hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jr.Append(journal.Record{Tick: 1, StreamKey: "apply-1", Events: []string{"no-such-op:1"}}); err != nil {
+		t.Fatal(err)
+	}
+	jr.Close()
+	if _, err := Open(ctx, badDir, w, cfg); err == nil {
+		t.Error("unparsable journal event should fail recovery")
+	}
+}
+
+// TestNewspaper pins the digest view's accounting over a small world.
+func TestNewspaper(t *testing.T) {
+	ctx := context.Background()
+	w, err := worldgen.Generate(worldgen.Config{Seed: 5, LeafNetworks: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Seed: 4, ChurnIXPs: 1, ChurnJoins: 3, ChurnLeaves: 2,
+		TrafficDrift: 0.05,
+		Pipeline: scenario.Options{
+			MeasureSeed: 2, TrafficSeed: 3, CoverageIXPs: 2, GreedyIXPs: 4, Intervals: 24,
+		},
+	}
+	e, err := New(ctx, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AdvanceTo(ctx, 5); err != nil {
+		t.Fatal(err)
+	}
+	np := e.Newspaper(0)
+	if np.From != 0 || np.To != 5 || np.Ticks != 5 {
+		t.Errorf("window = %d..%d over %d ticks, want 0..5 over 5", np.From, np.To, np.Ticks)
+	}
+	events := 0
+	for _, r := range e.Since(0) {
+		events += len(r.Events)
+	}
+	if np.Events != events {
+		t.Errorf("counted %d events, history holds %d", np.Events, events)
+	}
+	if np.Events > 0 && len(np.ByKind) == 0 {
+		t.Error("events happened but ByKind is empty")
+	}
+	if !reflect.DeepEqual(np.Latest, e.Metrics()) {
+		t.Error("Latest differs from engine metrics")
+	}
+	text := np.String()
+	if !strings.Contains(text, "THE LIVING WORLD — tick 5") || !strings.Contains(text, "viable=") {
+		t.Errorf("digest text missing expected lines:\n%s", text)
+	}
+	// A two-tick window is a strict subset.
+	sub := e.Newspaper(2)
+	if sub.From != 3 || sub.To != 5 || sub.Ticks != 2 || sub.Events > np.Events {
+		t.Errorf("windowed digest wrong: %+v", sub)
+	}
+}
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg, DefaultConfig()) {
+		t.Error("empty spec should be DefaultConfig")
+	}
+
+	cfg, err = ParseConfig("seed=9, joins=5,leaves=1,churn-ixps=3,traffic=0.1,outage=0.2,checkpoint=8,mseed=4,tseed=5,intervals=48,days=2,k=4,greedy=12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 9 || cfg.ChurnJoins != 5 || cfg.ChurnLeaves != 1 || cfg.ChurnIXPs != 3 {
+		t.Errorf("churn knobs wrong: %+v", cfg)
+	}
+	if cfg.TrafficDrift != 0.1 || cfg.OutageRate != 0.2 || cfg.CheckpointEvery != 8 {
+		t.Errorf("drift knobs wrong: %+v", cfg)
+	}
+	if cfg.Pipeline.MeasureSeed != 4 || cfg.Pipeline.TrafficSeed != 5 || cfg.Pipeline.Intervals != 48 {
+		t.Errorf("pipeline seeds wrong: %+v", cfg.Pipeline)
+	}
+	if cfg.Pipeline.Campaign.Duration.Hours() != 48 || cfg.Pipeline.CoverageIXPs != 4 || cfg.Pipeline.GreedyIXPs != 12 {
+		t.Errorf("pipeline depth wrong: %+v", cfg.Pipeline)
+	}
+	// Unparsed knobs keep their defaults.
+	if cfg.DiurnalDrift != DefaultConfig().DiurnalDrift {
+		t.Errorf("diurnal drift should default, got %v", cfg.DiurnalDrift)
+	}
+
+	for _, bad := range []string{"seed", "seed=x", "nope=1", "traffic=high"} {
+		if _, err := ParseConfig(bad); err == nil {
+			t.Errorf("spec %q should fail", bad)
+		}
+	}
+}

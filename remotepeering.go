@@ -36,6 +36,7 @@ import (
 	"remotepeering/internal/econ"
 	"remotepeering/internal/fault"
 	"remotepeering/internal/ixpsim"
+	"remotepeering/internal/journal"
 	"remotepeering/internal/lg"
 	"remotepeering/internal/netflow"
 	"remotepeering/internal/netsim"
@@ -46,6 +47,7 @@ import (
 	"remotepeering/internal/snapshot"
 	"remotepeering/internal/spread"
 	"remotepeering/internal/stats"
+	"remotepeering/internal/tick"
 	"remotepeering/internal/worldgen"
 )
 
@@ -505,6 +507,79 @@ func Serve(ctx context.Context, addr string, cfg ServeConfig) error {
 // ctx.Err() — how the query service stops abandoned what-ifs.
 func RunScenariosCtx(ctx context.Context, w *World, grid ScenarioGrid, opts ScenarioOptions) (*ScenarioReport, error) {
 	return scenario.RunCtx(ctx, w, grid, opts)
+}
+
+// Living-world re-exports: the tick engine that evolves a world through
+// discrete time steps (internal/tick) and the append-only event journal
+// with checkpointed deterministic replay that makes a timeline durable
+// (internal/journal).
+type (
+	// TickConfig parameterises an evolution: the event regime (churn,
+	// drift, price walks, outages), the checkpoint cadence, and the
+	// per-tick pipeline options.
+	TickConfig = tick.Config
+	// TickEngine is one evolving world: it advances through discrete
+	// time steps, re-running only the pipeline stages each tick's events
+	// invalidate. The world at tick N is byte-identical across live
+	// runs, replays, and worker counts.
+	TickEngine = tick.Engine
+	// TickResult is one committed tick's outcome: its events, dirty
+	// stages, and post-tick metrics.
+	TickResult = tick.Result
+	// TickNewspaper is the digest view of a recent window of ticks.
+	TickNewspaper = tick.Newspaper
+	// TickState is the snapshot section that places a saved world on its
+	// timeline: the tick, the evolution seed, and the evolved regime.
+	TickState = snapshot.TickState
+	// JournalRecord is one committed tick's durable form: its events and
+	// the RNG stream key its application drew from.
+	JournalRecord = journal.Record
+	// JournalCheckpoint marks a flat-snapshot checkpoint on a timeline.
+	JournalCheckpoint = journal.Checkpoint
+	// JournalContents is a journal file decoded in full: header, tick
+	// records, and checkpoint markers.
+	JournalContents = journal.Contents
+)
+
+// Typed journal integrity errors, mirroring the snapshot family: a wrong
+// file, a short one, and a damaged one. ReadJournal never panics.
+var (
+	ErrJournalBadMagic  = journal.ErrBadMagic
+	ErrJournalTruncated = journal.ErrTruncated
+	ErrJournalCorrupt   = journal.ErrCorrupt
+)
+
+// DefaultTickConfig returns the reference evolution regime.
+func DefaultTickConfig() TickConfig { return tick.DefaultConfig() }
+
+// ParseTickConfig parses the compact "key=value,..." evolution spec used
+// by the tools' -tick flags, e.g. "seed=7,joins=3,leaves=2,outage=0.02".
+func ParseTickConfig(spec string) (TickConfig, error) { return tick.ParseConfig(spec) }
+
+// NewTickEngine builds an in-memory evolution over a genesis world (which
+// is cloned, never mutated) and evaluates the tick-0 baseline.
+func NewTickEngine(ctx context.Context, genesis *World, cfg TickConfig) (*TickEngine, error) {
+	return tick.New(ctx, genesis, cfg)
+}
+
+// OpenTickEngine attaches an evolution to a directory: a fresh directory
+// starts a new journalled timeline, an existing journal is recovered —
+// torn tail truncated, newest valid checkpoint attached, tail replayed —
+// to exactly the state an uninterrupted run would hold.
+func OpenTickEngine(ctx context.Context, dir string, genesis *World, cfg TickConfig) (*TickEngine, error) {
+	return tick.Open(ctx, dir, genesis, cfg)
+}
+
+// ReadJournal decodes a journal file strictly, for inspection and for
+// driving ReplayTicks by hand.
+func ReadJournal(path string) (*JournalContents, error) { return journal.Read(path) }
+
+// ReplayTicks rebuilds an engine by replaying recorded tick records over
+// a genesis world. With evalEach, every tick runs the stage pipeline
+// exactly as the live run did; without it, a single evaluation at the end
+// rebuilds the artifacts. Both are byte-identical to the live run.
+func ReplayTicks(ctx context.Context, genesis *World, cfg TickConfig, recs []JournalRecord, evalEach bool) (*TickEngine, error) {
+	return tick.Replay(ctx, genesis, cfg, recs, evalEach)
 }
 
 // P95 returns the 95th-percentile rate of a traffic series — the

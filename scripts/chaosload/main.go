@@ -18,6 +18,14 @@
 // attach failures, panics, and shed requests. Every completed body is
 // digested; the tool fails if the same (world, query) ever answers
 // with two different bodies.
+//
+// -ticker adds the living-world axis: a dedicated goroutine advances
+// every world's clock (POST /v1/tick) concurrently with the query load,
+// so readers race the tick engine's view handoff. Responses then key on
+// the digest each body itself reports — "<base>@<tick>", the content
+// address of the exact view the computation read — and the stability
+// check becomes the torn-read detector: two bodies under one view digest
+// must be byte-identical no matter how many ticks landed in between.
 package main
 
 import (
@@ -49,6 +57,8 @@ func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8094", "rpserve base URL")
 	duration := flag.Duration("duration", 30*time.Second, "how long to drive load")
 	clients := flag.Int("clients", 8, "concurrent client goroutines")
+	ticker := flag.Bool("ticker", false, "advance every world's clock concurrently with the query load (POST /v1/tick)")
+	tickEvery := flag.Duration("tick-every", 2*time.Second, "interval between tick advances in -ticker mode")
 	flag.Parse()
 
 	resp, err := http.Get(*addr + "/v1/worlds")
@@ -81,10 +91,34 @@ func main() {
 	var (
 		mu      sync.Mutex
 		samples []sample
-		bodies  = map[string][32]byte{} // (world|grid) -> body digest
+		bodies  = map[string][32]byte{} // (view digest|grid) -> body digest
+		ticked  int
 	)
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
+	if *ticker {
+		// One clock hand for all worlds: advancing serialises per world on
+		// the server anyway, and a single driver keeps the tick load itself
+		// deterministic in shape (queries still race the view handoff).
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				world := digests[i%len(digests)]
+				resp, err := http.Post(fmt.Sprintf("%s/v1/tick?world=%s&n=1", *addr, world), "", nil)
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						mu.Lock()
+						ticked++
+						mu.Unlock()
+					}
+				}
+				time.Sleep(*tickEvery)
+			}
+		}()
+	}
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
 		go func(c int) {
@@ -105,14 +139,26 @@ func main() {
 				body, _ := io.ReadAll(resp.Body)
 				resp.Body.Close()
 				el := time.Since(t0)
+				// A live world moves under the load, so the stability key is
+				// the digest the body itself reports — "<base>@<tick>" names
+				// the exact immutable view the computation read. Frozen
+				// worlds report their snapshot digest, same key either way.
+				key := world + "|" + grid
+				if resp.StatusCode == http.StatusOK {
+					var vr struct {
+						Digest string `json:"digest"`
+					}
+					if json.Unmarshal(body, &vr) == nil && vr.Digest != "" {
+						key = vr.Digest + "|" + grid
+					}
+				}
 				mu.Lock()
 				samples = append(samples, sample{resp.StatusCode, el})
 				if resp.StatusCode == http.StatusOK {
-					key := world + "|" + grid
 					sum := sha256.Sum256(body)
 					if prev, seen := bodies[key]; seen && prev != sum {
 						mu.Unlock()
-						fatal(fmt.Errorf("world %.10s answered %q with two different bodies", world, grid))
+						fatal(fmt.Errorf("view %.24s answered %q with two different bodies", key, grid))
 					}
 					bodies[key] = sum
 				}
@@ -127,8 +173,11 @@ func main() {
 		byCode[s.code] = append(byCode[s.code], s.d)
 	}
 	ok := byCode[http.StatusOK]
-	fmt.Printf("total=%d completed=%d (%.1f/s over %v), %d distinct (world,grid) bodies all stable\n",
+	fmt.Printf("total=%d completed=%d (%.1f/s over %v), %d distinct (view,grid) bodies all stable\n",
 		len(samples), len(ok), float64(len(ok))/duration.Seconds(), *duration, len(bodies))
+	if *ticker {
+		fmt.Printf("  ticker: %d ticks committed while queries ran\n", ticked)
+	}
 	var codes []int
 	for c := range byCode {
 		codes = append(codes, c)
