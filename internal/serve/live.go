@@ -41,10 +41,11 @@ const maxTickBatch = 200
 // tickView is one committed tick published to readers: immutable, loaded
 // atomically, valid forever (the engine never mutates a published world).
 type tickView struct {
-	tick   uint64
-	digest string // "<genesis digest>@<tick>"
-	ws     *worldState
-	hist   []tick.Result // private copy; grows only by republish
+	tick    uint64
+	digest  string // "<genesis digest>@<tick>"
+	ws      *worldState
+	metrics scenario.Metrics // current tick's headline metrics
+	hist    []tick.Result    // private copy incl. tick-0 baseline; grows only by republish
 }
 
 // liveWorld is one evolving world: the engine behind it, the mutex that
@@ -71,7 +72,8 @@ func (lw *liveWorld) publish() *tickView {
 			spread: art.Spread,
 			cones:  lw.eng.Cones(),
 		},
-		hist: append([]tick.Result(nil), lw.eng.Since(0)...),
+		metrics: lw.eng.Metrics(),
+		hist:    lw.eng.History(),
 	}
 	lw.cur.Store(v)
 	return v
@@ -218,7 +220,7 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 			resp.Live = true
 			resp.Tick = view.tick
 			resp.Digest = view.digest
-			resp.Metrics = view.hist[len(view.hist)-1].Metrics
+			resp.Metrics = view.metrics
 		}
 		writeJSON(w, http.StatusOK, resp)
 		return
@@ -252,7 +254,7 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, tickResponse{
 		Base: base, Digest: view.digest, Live: true, Tick: view.tick,
-		Metrics: view.hist[len(view.hist)-1].Metrics, Advanced: advanced,
+		Metrics: view.metrics, Advanced: advanced,
 	})
 }
 
@@ -298,9 +300,8 @@ func (s *Server) handleSince(w http.ResponseWriter, r *http.Request) {
 			resp.Ticks = append(resp.Ticks, res)
 		}
 	}
-	latest := view.hist[len(view.hist)-1].Metrics
 	if haveBase {
-		resp.Delta = scenario.CellResult{Metrics: latest}.Diff(baseM)
+		resp.Delta = scenario.CellResult{Metrics: view.metrics}.Diff(baseM)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -2,11 +2,13 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -127,6 +129,21 @@ func TestLiveWorldEndpoints(t *testing.T) {
 		t.Fatalf("since view wrong: %+v", sr)
 	}
 
+	// t=0 (the default) finds the tick-0 baseline: the delta is the
+	// genesis→now movement, not a silently-zero "no baseline" value.
+	code, _, body = get(t, h, "/v1/since?t=0")
+	if code != http.StatusOK || json.Unmarshal(body, &sr) != nil {
+		t.Fatalf("GET /v1/since?t=0: code=%d body=%s", code, body)
+	}
+	view := s.liveView(base)
+	if len(view.hist) == 0 || view.hist[0].Tick != 0 {
+		t.Fatalf("published history must start at the tick-0 baseline, got %+v", view.hist)
+	}
+	wantDelta := scenario.CellResult{Metrics: view.metrics}.Diff(view.hist[0].Metrics)
+	if sr.From != 0 || len(sr.Ticks) != 3 || !reflect.DeepEqual(sr.Delta, wantDelta) {
+		t.Fatalf("since?t=0 wrong: %+v (want delta %+v)", sr, wantDelta)
+	}
+
 	// The newspaper digests the window.
 	code, _, body = get(t, h, "/v1/newspaper")
 	var nr newspaperResponse
@@ -173,6 +190,41 @@ func TestLiveWorldEndpoints(t *testing.T) {
 	}
 	if code, _, _ = get(t, h, "/v1/world?world="+base+"@x"); code != http.StatusBadRequest {
 		t.Errorf("malformed tick address should 400, got %d", code)
+	}
+}
+
+// TestLiveViewBeforeFirstAdvance pins the freshly-awakened window: a view
+// published at tick 0 — the engine exists but no advance has committed
+// yet, exactly the state a GET racing the first POST (or following a
+// failed one) observes — must serve every digest view, never index an
+// empty history.
+func TestLiveViewBeforeFirstAdvance(t *testing.T) {
+	s, base := liveServer(t)
+	h := s.Handler()
+	if _, err := s.awaken(context.Background(), base); err != nil {
+		t.Fatal(err)
+	}
+
+	code, _, body := get(t, h, "/v1/tick")
+	var tr tickResponse
+	if code != http.StatusOK || json.Unmarshal(body, &tr) != nil {
+		t.Fatalf("GET /v1/tick at tick 0: code=%d body=%s", code, body)
+	}
+	if !tr.Live || tr.Tick != 0 || tr.Digest != base+"@0" {
+		t.Fatalf("tick-0 clock wrong: %+v", tr)
+	}
+
+	code, _, body = get(t, h, "/v1/since?t=0")
+	var sr sinceResponse
+	if code != http.StatusOK || json.Unmarshal(body, &sr) != nil {
+		t.Fatalf("GET /v1/since at tick 0: code=%d body=%s", code, body)
+	}
+	if sr.To != 0 || len(sr.Ticks) != 0 {
+		t.Fatalf("since view at tick 0 wrong: %+v", sr)
+	}
+
+	if code, _, body = get(t, h, "/v1/newspaper"); code != http.StatusOK {
+		t.Fatalf("GET /v1/newspaper at tick 0: code=%d body=%s", code, body)
 	}
 }
 

@@ -184,7 +184,33 @@ func ParseConfig(spec string) (Config, error) {
 			return Config{}, fmt.Errorf("tick: bad %s value %q: %v", key, val, err)
 		}
 	}
+	if err := cfg.validate(); err != nil {
+		return Config{}, err
+	}
 	return cfg, nil
+}
+
+// validate rejects knob values the event generator cannot run with:
+// negative churn counts would hand Intn a non-positive bound and panic the
+// first Advance, and negative drifts or rates have no meaning.
+func (c Config) validate() error {
+	for _, k := range []struct {
+		name string
+		bad  bool
+	}{
+		{"churn-ixps", c.ChurnIXPs < 0},
+		{"joins", c.ChurnJoins < 0},
+		{"leaves", c.ChurnLeaves < 0},
+		{"traffic", c.TrafficDrift < 0},
+		{"diurnal", c.DiurnalDrift < 0},
+		{"price", c.PriceDrift < 0},
+		{"outage", c.OutageRate < 0},
+	} {
+		if k.bad {
+			return fmt.Errorf("tick: %s must not be negative", k.name)
+		}
+	}
+	return nil
 }
 
 // Result is one committed tick's outcome: the events applied, the closed
@@ -259,6 +285,9 @@ func newEngine(genesis *worldgen.World, cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("tick: nil genesis world")
 	}
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	digest, err := snapshot.WorldDigest(genesis)
 	if err != nil {
 		return nil, err
@@ -501,16 +530,22 @@ func (e *Engine) Advance(ctx context.Context) (Result, error) {
 	return res, nil
 }
 
-// AdvanceTo advances until the timeline reaches target, returning the
-// committed results (none if already there).
+// AdvanceTo advances until the timeline reaches target, returning every
+// committed result (none if already there) — including, on error, a tick
+// that committed before its post-commit checkpoint failed: the journal
+// holds it and the in-memory state advanced, so callers must not
+// under-report it.
 func (e *Engine) AdvanceTo(ctx context.Context, target uint64) ([]Result, error) {
 	var out []Result
 	for e.tick < target {
+		before := e.tick
 		res, err := e.Advance(ctx)
+		if e.tick > before {
+			out = append(out, res)
+		}
 		if err != nil {
 			return out, err
 		}
-		out = append(out, res)
 	}
 	return out, nil
 }
@@ -535,6 +570,13 @@ func (e *Engine) applyEval(ctx context.Context, t uint64, ops []scenario.Op, eve
 		return Result{}, nil, nil, err
 	}
 	return Result{Tick: t, Events: events, Stages: d.Stages().String(), Metrics: art.Metrics}, staged, art, nil
+}
+
+// History returns a copy of the full in-memory history, tick-0 baseline
+// included — a live engine's is never empty, so publishers get a history
+// whose last entry always carries the current metrics.
+func (e *Engine) History() []Result {
+	return append([]Result(nil), e.hist...)
 }
 
 // Since returns the in-memory history of ticks strictly after t. Live
@@ -717,11 +759,19 @@ func recoverDir(ctx context.Context, dir, path string, genesis *worldgen.World, 
 
 	// Attach the newest checkpoint whose snapshot still matches its
 	// recorded digest; damaged or missing checkpoints fall back to older
-	// ones, and ultimately to genesis replay.
+	// ones, and ultimately to genesis replay. Probing uses Attach directly
+	// so a rejected candidate's mapping is released immediately — only the
+	// adopted checkpoint keeps its mapping (its world aliases it) for the
+	// engine's lifetime.
 	for i := len(c.Checkpoints) - 1; i >= 0; i-- {
 		cp := c.Checkpoints[i]
-		snap, err := snapshot.OpenFile(filepath.Join(dir, cp.File))
+		a, err := snapshot.Attach(filepath.Join(dir, cp.File))
+		if err != nil {
+			continue
+		}
+		snap, err := a.Snapshot()
 		if err != nil || snap.Digest != cp.Digest || snap.Tick == nil || snap.Tick.Tick != cp.Tick {
+			a.Close()
 			continue
 		}
 		e.es = &scenario.EvolveState{World: snap.World, Traffic: snap.Tick.Traffic, Econ: snap.Tick.Econ}

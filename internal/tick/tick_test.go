@@ -494,4 +494,18 @@ func TestParseConfig(t *testing.T) {
 			t.Errorf("spec %q should fail", bad)
 		}
 	}
+
+	// Negative knobs must be rejected up front — "joins=-1,leaves=2" would
+	// otherwise hand Intn a non-positive bound and panic the first Advance.
+	for _, bad := range []string{
+		"joins=-1,leaves=2", "leaves=-1", "churn-ixps=-2",
+		"traffic=-0.1", "diurnal=-0.25", "price=-0.01", "outage=-0.5",
+	} {
+		if _, err := ParseConfig(bad); err == nil {
+			t.Errorf("negative spec %q should fail", bad)
+		}
+	}
+	if _, err := newEngine(genesis(t), Config{ChurnIXPs: 1, ChurnJoins: -1}); err == nil {
+		t.Error("newEngine should reject a negative churn knob")
+	}
 }
