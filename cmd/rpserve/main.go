@@ -59,11 +59,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"remotepeering"
 	"remotepeering/internal/cli"
+	"remotepeering/internal/fleet"
 	"remotepeering/internal/serve"
 )
 
@@ -81,7 +83,24 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 0, "per-computation deadline (0 = none); expired computations answer 504")
 	chaos := flag.String("chaos", "", "inject a seeded fault schedule, e.g. seed=42,slow=0.3,fail=0.1,panic=0.05,cachefail=0.2,delay=20ms")
 	tickSpec := flag.String("tick", "", "living-world evolution regime for POST /v1/tick, e.g. seed=7,joins=3,leaves=2,outage=0.02 (empty = defaults)")
+	fsync := flag.String("fsync", "", "living-world journal sync policy: commit (every acked tick durable, the default), checkpoint, or off; overrides the -tick spec's fsync key")
+	role := flag.String("role", "single", "single (standalone server), worker (fleet member), or router (fleet front door; needs -peers, serves no snapshots itself)")
+	peers := flag.String("peers", "", "comma-separated worker base URLs for -role=router, e.g. http://127.0.0.1:9081,http://127.0.0.1:9082")
+	fleetListen := flag.String("fleet-listen", "", "router listen address for -role=router (default: -listen)")
+	liveDir := flag.String("live-dir", "", "journal living worlds under this directory (synced per -fsync); restart resumes their timelines")
+	heartbeat := flag.Duration("heartbeat", 0, "router heartbeat interval (0 = 500ms)")
 	flag.Parse()
+
+	switch *role {
+	case "router":
+		runRouter(*fleetListen, *listen, *peers, *chaos, *heartbeat)
+		return
+	case "single", "worker":
+		// A worker is a plain rpserve that a router fronts; the role flag
+		// only documents intent (and gates nothing today).
+	default:
+		fatal(fmt.Errorf("bad -role %q (want single, worker, or router)", *role))
+	}
 	switch {
 	case *snapPath == "" && *snapDir == "":
 		fatal(fmt.Errorf("missing -snapshot or -snapshot-dir (build one with: rpworld -save world.rpsnap)"))
@@ -105,6 +124,7 @@ func main() {
 		Workers:      *workers,
 		QueryTimeout: *queryTimeout,
 		Faults:       plane,
+		LiveDir:      *liveDir,
 	}
 	if *tickSpec != "" {
 		tcfg, err := remotepeering.ParseTickConfig(*tickSpec)
@@ -112,6 +132,17 @@ func main() {
 			fatal(err)
 		}
 		cfg.Tick = &tcfg
+	}
+	if *fsync != "" {
+		policy, err := remotepeering.ParseJournalSyncPolicy(*fsync)
+		if err != nil {
+			fatal(err)
+		}
+		if cfg.Tick == nil {
+			tcfg := remotepeering.DefaultTickConfig()
+			cfg.Tick = &tcfg
+		}
+		cfg.Tick.Fsync = policy
 	}
 
 	start := time.Now()
@@ -172,6 +203,61 @@ func main() {
 		fatal(err)
 	case <-ctx.Done():
 		fmt.Fprintln(os.Stderr, "rpserve: shutting down (draining in-flight requests)")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutdownCtx); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "rpserve: bye")
+	}
+}
+
+// runRouter is -role=router: no snapshots, no catalog — just the fleet
+// front door. The chaos plane here injects the *network* classes
+// (conndrop, netdelay, partition, slownode) into requests the router
+// sends its workers, which is where link-level chaos belongs.
+func runRouter(fleetListen, listen, peers, chaos string, heartbeat time.Duration) {
+	if fleetListen == "" {
+		fleetListen = listen
+	}
+	if strings.TrimSpace(peers) == "" {
+		fatal(fmt.Errorf("-role=router needs -peers (comma-separated worker URLs)"))
+	}
+	var plane *remotepeering.FaultPlane
+	if chaos != "" {
+		var err error
+		if plane, err = remotepeering.ParseFaultPlane(chaos); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "rpserve: router chaos plane armed (%s)\n", chaos)
+	}
+	router, err := fleet.New(fleet.Config{
+		Peers:          strings.Split(peers, ","),
+		HeartbeatEvery: heartbeat,
+		Faults:         plane,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	router.Start()
+	defer router.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	hs := serve.NewHTTPServer(fleetListen, router.Handler())
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "rpserve: routing %d peers on %s\n", len(strings.Split(peers, ",")), fleetListen)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "rpserve: router shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutdownCtx); err != nil {

@@ -39,6 +39,7 @@ func main() {
 	ticks := flag.Int("ticks", 0, "evolve the world to this absolute tick (0 = don't tick; with -journal, a lower-or-equal target just recovers)")
 	journalDir := flag.String("journal", "", "evolution directory holding the append-only journal and checkpoints; an existing journal resumes its timeline")
 	tickSpec := flag.String("tick", "", "evolution regime spec, e.g. seed=7,joins=3,leaves=2,traffic=0.02,outage=0.01,checkpoint=16 (empty = defaults; a resumed journal's recorded regime wins)")
+	fsync := flag.String("fsync", "", "journal sync policy: commit (every acked tick durable, the default), checkpoint, or off; overrides the spec's fsync key")
 	flag.Parse()
 	stopProfiles, err := common.StartProfiles()
 	if err != nil {
@@ -53,7 +54,7 @@ func main() {
 
 	snap := &remotepeering.Snapshot{World: w}
 	if *ticks > 0 || *journalDir != "" {
-		if snap, err = evolve(w, *ticks, *journalDir, *tickSpec, *common.Workers); err != nil {
+		if snap, err = evolve(w, *ticks, *journalDir, *tickSpec, *fsync, *common.Workers); err != nil {
 			fatal(err)
 		}
 		w = snap.World
@@ -116,12 +117,17 @@ func main() {
 // to the absolute target, narrate each committed tick, print the window's
 // newspaper, and hand back the evolved snapshot payload (world + Tick
 // section) for -save/-save-flat.
-func evolve(w *remotepeering.World, target int, dir, spec string, workers int) (*remotepeering.Snapshot, error) {
+func evolve(w *remotepeering.World, target int, dir, spec, fsync string, workers int) (*remotepeering.Snapshot, error) {
 	cfg, err := remotepeering.ParseTickConfig(spec)
 	if err != nil {
 		return nil, err
 	}
 	cfg.Pipeline.Workers = workers
+	if fsync != "" {
+		if cfg.Fsync, err = remotepeering.ParseJournalSyncPolicy(fsync); err != nil {
+			return nil, err
+		}
+	}
 
 	ctx := context.Background()
 	var eng *remotepeering.TickEngine

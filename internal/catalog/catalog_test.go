@@ -391,7 +391,67 @@ func TestChurnRace(t *testing.T) {
 	}
 }
 
-func failRate(r float64) (rates [5]float64) {
+func failRate(r float64) (rates fault.Rates) {
 	rates[fault.AttachFail] = r
 	return rates
+}
+
+// TestLookupResolutionTable pins the key-resolution precedence with
+// synthetic entries (real digests are fixed-length, so only a synthetic
+// catalog can exercise the exact-beats-prefix rule): an exact digest
+// match wins outright, then a unique prefix; two matches are
+// ErrAmbiguous, zero are ErrUnknownWorld, and the empty key resolves
+// only a single-world catalog.
+func TestLookupResolutionTable(t *testing.T) {
+	const (
+		dA  = "aaaa1111aaaa1111aaaa1111aaaa1111"
+		dA2 = "aaaa2222aaaa2222aaaa2222aaaa2222"
+		dB  = "bbbb1111bbbb1111bbbb1111bbbb1111"
+		// dShort is both a catalogued digest AND a proper prefix of dA —
+		// the collision the precedence rule exists for.
+		dShort = "aaaa1111"
+	)
+	mk := func(digests ...string) *Catalog {
+		c := New(Options{})
+		for _, d := range digests {
+			e := &entry{digest: d}
+			c.byDigest[d] = e
+			c.list = append(c.list, e)
+		}
+		return c
+	}
+	full := mk(dA, dA2, dB, dShort)
+	cases := []struct {
+		name string
+		cat  *Catalog
+		key  string
+		want string // resolved digest, or "" when err is expected
+		err  error
+	}{
+		{"exact full digest", full, dA, dA, nil},
+		{"exact match beats prefix expansion", full, dShort, dShort, nil},
+		{"unique prefix", full, "bb", dB, nil},
+		{"longer unique prefix past a shorter world", full, "aaaa1111a", dA, nil},
+		{"ambiguous prefix", full, "aaaa", "", ErrAmbiguous},
+		{"ambiguous two-way prefix", full, "aaaa2", dA2, nil},
+		{"unknown key", full, "ffff", "", ErrUnknownWorld},
+		{"key longer than any digest", full, dA + "00", "", ErrUnknownWorld},
+		{"empty key over many worlds", full, "", "", ErrAmbiguous},
+		{"empty key over one world", mk(dB), "", dB, nil},
+		{"empty key over zero worlds", mk(), "", "", ErrAmbiguous},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			wi, err := c.cat.Lookup(c.key)
+			if c.err != nil {
+				if !errors.Is(err, c.err) {
+					t.Fatalf("Lookup(%q) err = %v, want %v", c.key, err, c.err)
+				}
+				return
+			}
+			if err != nil || wi.Digest != c.want {
+				t.Fatalf("Lookup(%q) = %q, %v; want %q", c.key, wi.Digest, err, c.want)
+			}
+		})
+	}
 }

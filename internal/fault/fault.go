@@ -44,10 +44,33 @@ const (
 	// degrades to a miss, an insert is dropped.
 	CacheFail
 
+	// The network classes model link-level failure between fleet nodes.
+	// They are drawn by the router's transport, never by a worker's
+	// computation, so they change which requests complete — not what any
+	// completed request answers.
+
+	// ConnDrop fails one outbound request the way a reset connection
+	// does: an error before any response byte. Per-request draw.
+	ConnDrop
+	// NetDelay delays one outbound request by a deterministic fraction
+	// of the plane's Delay — ambient network jitter. Per-request draw.
+	NetDelay
+	// Partition severs a peer link for the plane's lifetime: every
+	// request and heartbeat to a drawn node fails. Per-node draw (one
+	// decision per key, made on the key's first draw — sticky).
+	Partition
+	// SlowNode makes every response from a drawn node take the plane's
+	// full Delay — the degraded-but-alive peer that hedging exists for.
+	// Per-node draw, sticky like Partition.
+	SlowNode
+
 	numClasses
 )
 
-var classNames = [numClasses]string{"slow", "fail", "corrupt", "panic", "cachefail"}
+var classNames = [numClasses]string{
+	"slow", "fail", "corrupt", "panic", "cachefail",
+	"conndrop", "netdelay", "partition", "slownode",
+}
 
 func (c Class) String() string {
 	if int(c) < len(classNames) {
@@ -68,13 +91,27 @@ func (e *Injected) Error() string {
 	return fmt.Sprintf("fault: injected %s (%s)", e.Class, e.Key)
 }
 
+// Rates is the per-class injection probability vector of a Config. An
+// alias, so callers building one literally don't hardcode the class
+// count.
+type Rates = [numClasses]float64
+
+// RatesOf builds a rate vector with each named class at rate r.
+func RatesOf(r float64, classes ...Class) Rates {
+	var rs Rates
+	for _, c := range classes {
+		rs[c] = r
+	}
+	return rs
+}
+
 // Config parameterises a Plane.
 type Config struct {
 	// Seed keys every decision; the same seed and the same draw sequence
 	// reproduce the same fault schedule.
 	Seed int64
 	// Rates holds the per-class injection probability in [0,1].
-	Rates [numClasses]float64
+	Rates Rates
 	// Delay is the maximum AttachSlow delay (default 10ms). The drawn
 	// delay is a deterministic fraction of it.
 	Delay time.Duration
@@ -88,6 +125,9 @@ type Plane struct {
 	mu    sync.Mutex
 	draws map[uint64]uint64 // per-(class,key) draw counter
 
+	stickyMu sync.Mutex
+	sticky   map[string]bool // memoized per-(class,key) sticky decisions
+
 	injected [numClasses]atomic.Int64
 }
 
@@ -97,15 +137,17 @@ func New(cfg Config) *Plane {
 	if cfg.Delay <= 0 {
 		cfg.Delay = 10 * time.Millisecond
 	}
-	return &Plane{cfg: cfg, draws: make(map[uint64]uint64)}
+	return &Plane{cfg: cfg, draws: make(map[uint64]uint64), sticky: make(map[string]bool)}
 }
 
 // Parse builds a plane from the -chaos flag form:
 //
 //	seed=42,slow=0.5,fail=0.3,corrupt=0.05,panic=0.2,cachefail=0.2,delay=20ms
 //
-// Omitted rates default to 0; an empty spec is invalid (pass no flag for
-// no chaos).
+// The network classes use the same form (conndrop=0.2,netdelay=0.3,
+// partition=0.4,slownode=0.4); partition and slownode rates are per-node
+// sticky decisions, the rest per-draw. Omitted rates default to 0; an
+// empty spec is invalid (pass no flag for no chaos).
 func Parse(spec string) (*Plane, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, fmt.Errorf("fault: empty chaos spec")
@@ -195,14 +237,57 @@ func (p *Plane) Should(c Class, key string) bool {
 	return true
 }
 
+// StickyShould is Should with one decision per (class, key), memoized:
+// the first draw decides, every later call returns the same answer. It is
+// the per-node semantics of Partition and SlowNode — a severed link stays
+// severed, a slow node stays slow — while Should's per-draw streams model
+// per-request noise.
+func (p *Plane) StickyShould(c Class, key string) bool {
+	if p == nil {
+		return false
+	}
+	mk := fmt.Sprintf("%d|%s", c, key)
+	p.stickyMu.Lock()
+	hit, decided := p.sticky[mk]
+	p.stickyMu.Unlock()
+	if decided {
+		return hit
+	}
+	hit = p.Should(c, key)
+	p.stickyMu.Lock()
+	// A racing first draw may have decided meanwhile; the stored answer
+	// wins so every caller observes one decision.
+	if prev, decided := p.sticky[mk]; decided {
+		hit = prev
+	} else {
+		p.sticky[mk] = hit
+	}
+	p.stickyMu.Unlock()
+	return hit
+}
+
 // Sleep injects an AttachSlow delay for the key if drawn: a
 // deterministic fraction of the configured Delay.
-func (p *Plane) Sleep(key string) {
-	if !p.Should(AttachSlow, key) {
+func (p *Plane) Sleep(key string) { p.SleepIf(AttachSlow, key) }
+
+// SleepIf injects the class's delay for the key if drawn — a
+// deterministic fraction of the configured Delay. NetDelay uses it per
+// request; AttachSlow per attach.
+func (p *Plane) SleepIf(c Class, key string) {
+	if !p.Should(c, key) {
 		return
 	}
 	frac := Jitter("sleep|"+key, 0)
 	time.Sleep(time.Duration(math.Max(0.1, frac) * float64(p.cfg.Delay)))
+}
+
+// FullDelay returns the plane's configured Delay — the sleep a SlowNode
+// response pays in full (injected jitter sleeps pay a fraction of it).
+func (p *Plane) FullDelay() time.Duration {
+	if p == nil {
+		return 0
+	}
+	return p.cfg.Delay
 }
 
 // Err injects the class as an *Injected error for the key if drawn.

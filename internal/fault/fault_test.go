@@ -144,3 +144,59 @@ func rates(c Class, r float64) [numClasses]float64 {
 	out[c] = r
 	return out
 }
+
+// TestNetworkClassesParse pins the -chaos spellings of the fleet's
+// network fault classes.
+func TestNetworkClassesParse(t *testing.T) {
+	p, err := Parse("seed=9,conndrop=0.2,netdelay=0.3,partition=0.4,slownode=0.5,delay=5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, want := range map[Class]float64{ConnDrop: 0.2, NetDelay: 0.3, Partition: 0.4, SlowNode: 0.5} {
+		if got := p.cfg.Rates[c]; got != want {
+			t.Errorf("%s rate = %v, want %v", c, got, want)
+		}
+	}
+	for c, name := range map[Class]string{ConnDrop: "conndrop", NetDelay: "netdelay", Partition: "partition", SlowNode: "slownode"} {
+		if c.String() != name {
+			t.Errorf("class %d String() = %q, want %q", c, c.String(), name)
+		}
+	}
+}
+
+// TestStickyShould pins the per-node semantics of Partition/SlowNode: the
+// first draw decides a key, every later call returns the same answer, and
+// the decision is deterministic in the seed. A nil plane never fires.
+func TestStickyShould(t *testing.T) {
+	var nilPlane *Plane
+	if nilPlane.StickyShould(Partition, "n") {
+		t.Fatal("nil plane fired")
+	}
+	p := New(Config{Seed: 42, Rates: rates(Partition, 0.5)})
+	q := New(Config{Seed: 42, Rates: rates(Partition, 0.5)})
+	decided := map[string]bool{}
+	for _, node := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		first := p.StickyShould(Partition, node)
+		if q.StickyShould(Partition, node) != first {
+			t.Errorf("node %s: same seed drew different sticky answers", node)
+		}
+		decided[node] = first
+	}
+	// Stability: repeated calls — including ones that would draw a
+	// different value from the per-draw stream — keep the first answer.
+	for i := 0; i < 10; i++ {
+		for node, want := range decided {
+			if got := p.StickyShould(Partition, node); got != want {
+				t.Fatalf("node %s flipped from %v to %v on call %d", node, want, got, i)
+			}
+		}
+	}
+	any, all := false, true
+	for _, v := range decided {
+		any = any || v
+		all = all && v
+	}
+	if !any || all {
+		t.Errorf("rate 0.5 over 8 nodes decided %v — want a mix", decided)
+	}
+}

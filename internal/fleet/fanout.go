@@ -1,0 +1,255 @@
+package fleet
+
+// What-if grid fan-out. A grid is cells = baseline + scenarios × seeds,
+// and every cell's RNG stream is keyed by (scenario index, seed value) —
+// never by which process computes it or in what order. That makes the
+// seed axis safely divisible: each worker computes the full scenario
+// list over a contiguous seed slice (plus the shared baseline, which is
+// cheap and identical everywhere), and the router reassembles the cells
+// in canonical order. The merged envelope is then re-marshalled through
+// the same serve.MarshalBody a worker uses, with the full grid's query
+// id — byte-identical to a single process running the whole grid, which
+// the fleet tests pin against cmd/rpwhatif -json output.
+//
+// The scenario axis is NOT divisible: cell RNG labels embed the scenario
+// *index* within the request, so a worker given a scenario subset would
+// renumber them and produce different streams. Seed values, by contrast,
+// are embedded literally.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"remotepeering/internal/scenario"
+	"remotepeering/internal/serve"
+)
+
+// nopRW satisfies http.ResponseWriter for parsing a buffered request
+// body through serve.ParseWhatifRequest (which wants a writer only to
+// arm MaxBytesReader); nothing is ever written to it.
+type nopRW struct{ h http.Header }
+
+func (n *nopRW) Header() http.Header {
+	if n.h == nil {
+		n.h = make(http.Header)
+	}
+	return n.h
+}
+func (n *nopRW) Write(b []byte) (int, error) { return len(b), nil }
+func (n *nopRW) WriteHeader(int)             {}
+
+func (r *Router) handleWhatif(w http.ResponseWriter, req *http.Request) {
+	key := req.URL.Query().Get("world")
+	digest, err := r.resolve(key)
+	if err != nil {
+		routerError(w, resolveStatus(err), "%v", err)
+		return
+	}
+	var body []byte
+	if req.Method == http.MethodPost {
+		body, err = io.ReadAll(io.LimitReader(req.Body, maxProxyBody))
+		if err != nil {
+			routerError(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
+	}
+
+	if wreq, parts, workers, ok := r.fanoutPlan(req, digest, key, body); ok {
+		if resp, ok := r.fanout(req.Context(), digest, wreq, parts, workers); ok {
+			r.fanouts.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Cache", "miss")
+			w.Header().Set("X-Fleet-Fanout", "1")
+			w.Write(resp)
+			return
+		}
+		// Any sub-request failure (or a merge that fails validation) falls
+		// back to routing the whole grid to one owner.
+	}
+
+	resp, err := r.send(req.Context(), digest, true, req.Method, req.URL.Path,
+		rewriteWorld(req.URL.RawQuery, key, digest), req.Header, body)
+	if err != nil {
+		r.routeFailure(w, digest, err)
+		return
+	}
+	resp.write(w)
+}
+
+// fanoutPlan decides whether the request is a divisible grid: a parsable
+// what-if over a snapshot (not a live "@tick" view, not a ticked world),
+// with at least FanoutSeeds seed offsets and at least two Up owners.
+// Non-divisible requests — including malformed ones, whose error bytes
+// should come from a worker, identical to a single-node deployment —
+// fall through to the plain routed path.
+func (r *Router) fanoutPlan(req *http.Request, digest, key string, body []byte) (serve.WhatifRequest, [][]int64, []*member, bool) {
+	var none serve.WhatifRequest
+	if r.cfg.FanoutSeeds < 0 || strings.IndexByte(key, '@') >= 0 || r.isLive(digest) {
+		return none, nil, nil, false
+	}
+	shadow := req.Clone(req.Context())
+	if body != nil {
+		shadow.Body = io.NopCloser(bytes.NewReader(body))
+	}
+	wreq, err := serve.ParseWhatifRequest(&nopRW{}, shadow)
+	if err != nil || wreq.Scenarios == "" {
+		return none, nil, nil, false
+	}
+	wreq.ApplyDefaults()
+	if _, err := scenario.ParseGrid(wreq.Scenarios); err != nil {
+		return none, nil, nil, false
+	}
+	min := r.cfg.FanoutSeeds
+	if min < 2 {
+		min = 2
+	}
+	if len(wreq.Seeds) < min {
+		return none, nil, nil, false
+	}
+	cands, _ := r.candidates(digest)
+	var ups []*member
+	for _, m := range cands {
+		if m.getState() == Up {
+			ups = append(ups, m)
+		}
+	}
+	if len(ups) < 2 {
+		return none, nil, nil, false
+	}
+	nparts := len(ups)
+	if nparts > len(wreq.Seeds) {
+		nparts = len(wreq.Seeds)
+	}
+	parts := splitSeeds(wreq.Seeds, nparts)
+	return wreq, parts, ups[:nparts], true
+}
+
+// splitSeeds cuts the seed axis into n contiguous, order-preserving
+// slices with sizes differing by at most one.
+func splitSeeds(seeds []int64, n int) [][]int64 {
+	parts := make([][]int64, 0, n)
+	base, rem := len(seeds)/n, len(seeds)%n
+	lo := 0
+	for i := 0; i < n; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		parts = append(parts, seeds[lo:lo+size])
+		lo += size
+	}
+	return parts
+}
+
+// fanout runs the partitioned grid and merges the slices. Any failure —
+// a dead worker mid-fanout, a malformed reply, a validation mismatch —
+// returns ok=false and the caller falls back to single-owner routing;
+// fan-out is a latency optimisation and must never change an answer.
+func (r *Router) fanout(ctx context.Context, digest string, full serve.WhatifRequest, parts [][]int64, workers []*member) ([]byte, bool) {
+	grid, err := scenario.ParseGrid(full.Scenarios)
+	if err != nil {
+		return nil, false
+	}
+	nscen := len(grid.Scenarios)
+
+	subs := make([]*serve.WhatifResponse, len(parts))
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sub := full
+			sub.Seeds = parts[i]
+			payload, err := json.Marshal(sub)
+			if err != nil {
+				return
+			}
+			hdr := http.Header{"Content-Type": []string{"application/json"}}
+			resp, err := r.forward(ctx, workers[i], http.MethodPost, "/v1/whatif", "world="+digest, hdr, payload)
+			if err != nil || resp.status != http.StatusOK {
+				r.logf("fleet: fanout slice %d/%d to %s failed: status=%v err=%v",
+					i+1, len(parts), workers[i].url, statusOf(resp), err)
+				cancel() // the grid cannot merge; stop the other slices
+				return
+			}
+			var wr serve.WhatifResponse
+			if err := json.Unmarshal(resp.body, &wr); err != nil {
+				cancel()
+				return
+			}
+			// The worker answered the sub-grid it was asked: right world,
+			// right canonical query.
+			subexp := sub
+			if wr.Digest != digest || wr.ID != serve.QueryID(digest, subexp.Canonical()) {
+				cancel()
+				return
+			}
+			subs[i] = &wr
+		}(i)
+	}
+	wg.Wait()
+
+	merged := scenario.ReportJSON{}
+	for i, s := range subs {
+		if s == nil {
+			return nil, false
+		}
+		rep := s.Report
+		if len(rep.Cells) != 1+nscen*len(parts[i]) || rep.Cells[0].Scenario != "baseline" {
+			return nil, false
+		}
+		if i == 0 {
+			merged.CoverageIXPs = rep.CoverageIXPs
+			merged.GreedyIXPs = rep.GreedyIXPs
+			merged.Baseline = rep.Baseline
+			merged.Cells = append(merged.Cells, rep.Cells[0])
+			continue
+		}
+		// Every slice recomputes the shared baseline; determinism means
+		// they must agree exactly (MetricsJSON and CellJSON are fixed-field
+		// structs, so == is a full comparison).
+		if rep.CoverageIXPs != merged.CoverageIXPs || rep.GreedyIXPs != merged.GreedyIXPs ||
+			rep.Baseline != merged.Baseline || rep.Cells[0] != merged.Cells[0] {
+			return nil, false
+		}
+	}
+	// Reassemble in canonical order: scenario-major, and within a
+	// scenario the seed slices in partition (= original seed) order.
+	for si := 0; si < nscen; si++ {
+		for p, s := range subs {
+			width := len(parts[p])
+			for j := 0; j < width; j++ {
+				cell := s.Report.Cells[1+si*width+j]
+				if cell.SeedOffset != parts[p][j] {
+					return nil, false
+				}
+				merged.Cells = append(merged.Cells, cell)
+			}
+		}
+	}
+
+	env := serve.WhatifResponse{
+		ID:     serve.QueryID(digest, full.Canonical()),
+		Digest: digest,
+		Report: merged,
+	}
+	out, err := serve.MarshalBody(env)
+	if err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+func statusOf(r *response) int {
+	if r == nil {
+		return 0
+	}
+	return r.status
+}

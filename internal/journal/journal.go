@@ -19,6 +19,26 @@
 // (a flipped byte) surfaces as a typed error, never a panic and never a
 // silently-wrong history: the same decoder contract the snapshot formats
 // honor.
+//
+// # Durability
+//
+// A single write(2) survives a crashed *process*, but not a crashed
+// *machine*: the bytes sit in the page cache until the kernel flushes
+// them, so a power cut (or kill -9 plus an unsynced unmount) can lose
+// ticks the caller already acked. The journal's SyncPolicy names the
+// guarantee explicitly:
+//
+//   - SyncCommit (the default): Commit fsyncs before returning, so every
+//     acked tick is on stable storage. A machine crash loses nothing.
+//   - SyncCheckpoint: only checkpoint markers fsync. A machine crash can
+//     lose acked ticks back to the last checkpoint; a process crash still
+//     loses nothing.
+//   - SyncOff: no fsync at all — benchmarks and throwaway runs. A machine
+//     crash can lose any unflushed suffix of the journal.
+//
+// Whatever is lost is lost from the *tail*: the commit order and the
+// one-write framing mean recovery always sees a valid prefix of the acked
+// history, never a gap or a reordering.
 package journal
 
 import (
@@ -101,10 +121,57 @@ func (c *Contents) LastTick() uint64 {
 	return c.Records[len(c.Records)-1].Tick
 }
 
+// SyncPolicy names when the journal fsyncs — the durability guarantee
+// spelled out in the package comment. The zero value is SyncCommit:
+// durability is opt-out, never opt-in by accident.
+type SyncPolicy int
+
+const (
+	// SyncCommit fsyncs on every Commit: an acked tick is on stable
+	// storage before the caller proceeds.
+	SyncCommit SyncPolicy = iota
+	// SyncCheckpoint fsyncs only on checkpoint commits: a machine crash
+	// can lose acked ticks back to the last checkpoint.
+	SyncCheckpoint
+	// SyncOff never fsyncs: a machine crash can lose any unflushed tail.
+	SyncOff
+)
+
+var syncPolicyNames = map[SyncPolicy]string{
+	SyncCommit:     "commit",
+	SyncCheckpoint: "checkpoint",
+	SyncOff:        "off",
+}
+
+func (p SyncPolicy) String() string {
+	if s, ok := syncPolicyNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("syncpolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy parses the -fsync flag form: commit, checkpoint, or
+// off.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	for p, name := range syncPolicyNames {
+		if s == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("journal: bad fsync policy %q (want commit|checkpoint|off)", s)
+}
+
 // Journal is an open journal file accepting appends.
 type Journal struct {
-	f *os.File
+	f      *os.File
+	policy SyncPolicy
 }
+
+// SetSyncPolicy sets when commits fsync. The default is SyncCommit.
+func (j *Journal) SetSyncPolicy(p SyncPolicy) { j.policy = p }
+
+// Policy returns the journal's sync policy.
+func (j *Journal) Policy() SyncPolicy { return j.policy }
 
 // Create writes a fresh journal at path — magic plus the header record —
 // and returns it open for appends. It refuses to overwrite an existing
@@ -165,6 +232,36 @@ func (j *Journal) AppendCheckpoint(c Checkpoint) error {
 		return fmt.Errorf("journal: encode checkpoint: %w", err)
 	}
 	return j.append(kindCheckpoint, payload)
+}
+
+// Commit appends one tick record and, under SyncCommit, fsyncs before
+// returning — the write the tick engine acks a tick on. Under the
+// weaker policies it is exactly Append.
+func (j *Journal) Commit(r Record) error {
+	if err := j.Append(r); err != nil {
+		return err
+	}
+	if j.policy == SyncCommit {
+		if err := j.Sync(); err != nil {
+			return fmt.Errorf("journal: sync commit: %w", err)
+		}
+	}
+	return nil
+}
+
+// CommitCheckpoint appends one checkpoint marker and fsyncs unless the
+// policy is SyncOff: checkpoints are the recovery anchors, so both
+// SyncCommit and SyncCheckpoint make them durable.
+func (j *Journal) CommitCheckpoint(c Checkpoint) error {
+	if err := j.AppendCheckpoint(c); err != nil {
+		return err
+	}
+	if j.policy != SyncOff {
+		if err := j.Sync(); err != nil {
+			return fmt.Errorf("journal: sync checkpoint: %w", err)
+		}
+	}
+	return nil
 }
 
 // Sync flushes the journal to stable storage.

@@ -178,3 +178,72 @@ func TestRecoverRejectsMidFileCorruption(t *testing.T) {
 		t.Fatalf("Recover on mid-file corruption: got %v, want ErrCorrupt", err)
 	}
 }
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+	}{
+		{"commit", SyncCommit},
+		{"checkpoint", SyncCheckpoint},
+		{"off", SyncOff},
+	} {
+		got, err := ParseSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if got.String() != tc.in {
+			t.Errorf("SyncPolicy(%v).String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+	for _, bad := range []string{"", "always", "Commit", "fsync"} {
+		if _, err := ParseSyncPolicy(bad); err == nil {
+			t.Errorf("ParseSyncPolicy(%q) should fail", bad)
+		}
+	}
+	// The zero value is the durable default: forgetting to set the policy
+	// must never silently weaken the guarantee.
+	var zero SyncPolicy
+	if zero != SyncCommit {
+		t.Fatalf("zero SyncPolicy = %v, want SyncCommit", zero)
+	}
+}
+
+func TestCommitRoundTrip(t *testing.T) {
+	// Commit and CommitCheckpoint write the same frames as their Append
+	// counterparts under every policy; the policies differ only in when
+	// fsync runs, which file contents can't distinguish — so pin that the
+	// framing and read-back are policy-invariant.
+	for _, policy := range []SyncPolicy{SyncCommit, SyncCheckpoint, SyncOff} {
+		path := filepath.Join(t.TempDir(), "journal.rpj")
+		j, err := Create(path, []byte(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.SetSyncPolicy(policy)
+		if got := j.Policy(); got != policy {
+			t.Fatalf("Policy() = %v, want %v", got, policy)
+		}
+		r := Record{Tick: 1, StreamKey: "apply-1", Events: []string{"traffic:1.01"}}
+		if err := j.Commit(r); err != nil {
+			t.Fatal(err)
+		}
+		cp := Checkpoint{Tick: 1, File: "checkpoint-000001.flat", Digest: "d"}
+		if err := j.CommitCheckpoint(cp); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		c, err := Read(path)
+		if err != nil {
+			t.Fatalf("policy %v: %v", policy, err)
+		}
+		if len(c.Records) != 1 || !reflect.DeepEqual(c.Records[0], r) {
+			t.Fatalf("policy %v: records = %+v, want [%+v]", policy, c.Records, r)
+		}
+		if len(c.Checkpoints) != 1 || c.Checkpoints[0] != cp {
+			t.Fatalf("policy %v: checkpoints = %+v, want [%+v]", policy, c.Checkpoints, cp)
+		}
+	}
+}

@@ -45,7 +45,7 @@ func TestChaosReportByteIdentical(t *testing.T) {
 			chaotic.Workers = workers
 			chaotic.FaultKey = "chaos-test"
 			chaotic.CellAttempts = 12 // 0.45^12 ≈ 7e-5: exhaustion is effectively impossible
-			var rates [5]float64
+			var rates fault.Rates
 			rates[fault.EvalPanic] = 0.45
 			chaotic.Faults = fault.New(fault.Config{Seed: seed, Rates: rates})
 			// Fast retries keep the 12-attempt budget cheap in test time.
@@ -73,7 +73,7 @@ func TestChaosReportByteIdentical(t *testing.T) {
 func TestCellRetryExhaustion(t *testing.T) {
 	w := testWorld(t)
 	grid, opts := chaosGrid(t)
-	var rates [5]float64
+	var rates fault.Rates
 	rates[fault.EvalPanic] = 1
 	opts.Faults = fault.New(fault.Config{Seed: 9, Rates: rates})
 	opts.CellAttempts = 2

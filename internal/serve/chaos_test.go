@@ -247,7 +247,7 @@ func TestQueryTimeout504(t *testing.T) {
 // panic becomes exactly {"error":"internal server error"} — no stack, no
 // internals — and the process keeps serving.
 func TestPanicStable500(t *testing.T) {
-	var rates [5]float64
+	var rates fault.Rates
 	rates[fault.EvalPanic] = 1
 	s, _ := catServer(t, catalog.Options{}, Config{
 		Faults: fault.New(fault.Config{Seed: 4, Rates: rates}),
@@ -349,7 +349,7 @@ func TestServeChaosByteIdentity(t *testing.T) {
 
 	goroutines := runtime.NumGoroutine()
 
-	var rates [5]float64
+	var rates fault.Rates
 	rates[fault.AttachSlow] = 0.4
 	rates[fault.AttachFail] = 0.2
 	rates[fault.EvalPanic] = 0.15

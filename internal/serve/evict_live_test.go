@@ -1,0 +1,163 @@
+package serve
+
+// Eviction vs liveness: a live-ticking world pins its catalog lease, so
+// eviction pressure from other worlds can never unmap the memory a
+// timeline grew from — it sheds the newcomer with 429 instead. And when
+// the server closes, every pin is released and every engine goroutine
+// gone: leases are refcounts, not leaks.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"remotepeering/internal/catalog"
+	"remotepeering/internal/scenario"
+	"remotepeering/internal/snapshot"
+	"remotepeering/internal/tick"
+	"remotepeering/internal/worldgen"
+)
+
+func TestLiveWorldSurvivesEvictionPressure(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	// Two world-only snapshots in a catalog whose budget fits only one.
+	dir := t.TempDir()
+	var digests []string
+	var maxSize int64
+	for i, seed := range []int64{21, 22} {
+		w, err := worldgen.Generate(worldgen.Config{Seed: seed, LeafNetworks: 700 + 50*i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("w%d.flat", i))
+		if _, err := snapshot.SaveFlatFile(path, &snapshot.Snapshot{World: w}); err != nil {
+			t.Fatal(err)
+		}
+		d, err := snapshot.DigestFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, d)
+		if sz := fileSize(t, path); sz > maxSize {
+			maxSize = sz
+		}
+	}
+	cat, err := catalog.Open(dir, catalog.Options{ResidentBytes: maxSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tcfg := tick.Config{
+		Seed: 5, ChurnIXPs: 1, ChurnJoins: 2, ChurnLeaves: 1, TrafficDrift: 0.05,
+		Pipeline: scenario.Options{
+			MeasureSeed: 2, TrafficSeed: 3, CoverageIXPs: 2, GreedyIXPs: 4, Intervals: 24,
+		},
+	}
+	s, err := New(Config{Catalog: cat, MaxInflight: 2, CacheMB: 4, Tick: &tcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	digA, digB := digests[0], digests[1]
+
+	// Bring world A to life: the engine pins A's lease.
+	if code, body := post(t, h, "/v1/tick?world="+digA[:12]+"&n=1"); code != http.StatusOK {
+		t.Fatalf("tick A: %d %s", code, body)
+	}
+	refsAfterTick := worldRefs(t, cat, digA)
+	if refsAfterTick < 1 {
+		t.Fatalf("live world holds no lease (refs=%d)", refsAfterTick)
+	}
+
+	// A query takes its own lease on A and holds it across what follows.
+	lease, err := cat.Acquire(context.Background(), digA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := worldRefs(t, cat, digA); got != refsAfterTick+1 {
+		t.Errorf("held query lease not counted: refs=%d, want %d", got, refsAfterTick+1)
+	}
+
+	// Eviction pressure: world B wants residency the budget cannot give
+	// while A is pinned. The request sheds with 429 + Retry-After; it
+	// must not tear down the live world.
+	status, hdr, body := get(t, h, "/v1/world?world="+digB[:12])
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("world B under pressure: status %d, body %s", status, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+
+	// The live world kept its memory: it still serves and still ticks.
+	if code, body := post(t, h, "/v1/tick?world="+digA[:12]+"&n=1"); code != http.StatusOK {
+		t.Fatalf("tick A after pressure: %d %s", code, body)
+	}
+	if s.LiveWorlds() != 1 {
+		t.Fatalf("live worlds = %d, want 1", s.LiveWorlds())
+	}
+	if got := worldRefs(t, cat, digA); got != refsAfterTick+1 {
+		t.Errorf("refs drifted under pressure: %d, want %d", got, refsAfterTick+1)
+	}
+
+	// Release the query lease: exactly one decrement.
+	lease.Release()
+	lease.Release() // idempotent
+	if got := worldRefs(t, cat, digA); got != refsAfterTick {
+		t.Errorf("refs after query release = %d, want %d", got, refsAfterTick)
+	}
+
+	// Close the server: the engine's pin releases and its resources go.
+	if err := s.Close(); err != nil {
+		t.Fatalf("server close: %v", err)
+	}
+	if got := worldRefs(t, cat, digA); got != 0 {
+		t.Errorf("refs after server close = %d, want 0 (leaked lease)", got)
+	}
+
+	// With A unpinned, B's attach can finally evict it and serve.
+	status, _, body = get(t, h, "/v1/world?world="+digB[:12])
+	if status != http.StatusOK {
+		t.Fatalf("world B after close: status %d, body %s", status, body)
+	}
+
+	// No goroutine leak: everything the live world spawned has exited.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d at start, %d after close\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func fileSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
+
+func worldRefs(t *testing.T, cat *catalog.Catalog, digest string) int {
+	t.Helper()
+	wi, err := cat.Lookup(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wi.Refs
+}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -79,6 +80,28 @@ func (lw *liveWorld) publish() *tickView {
 	return v
 }
 
+// Close shuts the living-world registry down: every engine (and its
+// journal, when the server journals live worlds) is closed and every
+// pinned catalog lease released. Callers stop the HTTP server first; a
+// query still holding a view keeps reading its immutable world safely,
+// but no new ticks can commit.
+func (s *Server) Close() error {
+	s.liveMu.Lock()
+	live := s.live
+	s.live = make(map[string]*liveWorld)
+	s.liveMu.Unlock()
+	var first error
+	for _, lw := range live {
+		lw.mu.Lock()
+		if err := lw.eng.Close(); err != nil && first == nil {
+			first = err
+		}
+		lw.release()
+		lw.mu.Unlock()
+	}
+	return first
+}
+
 // liveFor returns the live world for a genesis digest, if one exists.
 func (s *Server) liveFor(base string) *liveWorld {
 	s.liveMu.Lock()
@@ -118,7 +141,16 @@ func (s *Server) awaken(ctx context.Context, base string) (*liveWorld, error) {
 	cfg.Pipeline.Faults = s.faults
 	cfg.Pipeline.FaultKey = "live|" + base
 	cfg.Cones = ws.cones
-	eng, err := tick.New(ctx, ws.world, cfg)
+	var eng *tick.Engine
+	if s.liveDir != "" {
+		// Durable timeline: journal + checkpoints under the server's live
+		// directory, keyed by a digest prefix long enough to never collide
+		// within one catalog. An existing journal (a restarted server)
+		// recovers and resumes exactly where the previous process stopped.
+		eng, err = tick.Open(ctx, filepath.Join(s.liveDir, base[:min(16, len(base))]), ws.world, cfg)
+	} else {
+		eng, err = tick.New(ctx, ws.world, cfg)
+	}
 	if err != nil {
 		release()
 		return nil, err

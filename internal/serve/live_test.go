@@ -161,7 +161,7 @@ func TestLiveWorldEndpoints(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("whatif over live world: code=%d body=%s", code, body)
 	}
-	var wfr whatifResponse
+	var wfr WhatifResponse
 	if json.Unmarshal(body, &wfr) != nil || wfr.Digest != want3 {
 		t.Fatalf("whatif digest = %q, want %q", wfr.Digest, want3)
 	}
@@ -272,7 +272,7 @@ func TestLiveTickVsQueryRace(t *testing.T) {
 				code, _, body := get(t, h, "/v1/whatif?scenarios=surge=traffic:1.3")
 				switch code {
 				case http.StatusOK:
-					var wfr whatifResponse
+					var wfr WhatifResponse
 					if err := json.Unmarshal(body, &wfr); err != nil {
 						t.Errorf("reader %d: bad body: %v", r, err)
 						return

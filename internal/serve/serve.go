@@ -125,6 +125,12 @@ type Config struct {
 	// the per-world cone cache are always taken from the server, not from
 	// this config.
 	Tick *tick.Config
+	// LiveDir, when set, makes live worlds durable: awakening a world
+	// attaches its tick engine to <LiveDir>/<digest prefix>/ (journal +
+	// checkpoints, synced per Tick.Fsync), so acked ticks survive a
+	// crash and a restarted server resumes each timeline exactly where
+	// it stopped. Empty keeps timelines in memory only.
+	LiveDir string
 }
 
 // worldState is the per-world view a computation runs against: the
@@ -154,6 +160,7 @@ type Server struct {
 
 	// The living-world registry: evolving worlds keyed by genesis digest.
 	tickCfg tick.Config
+	liveDir string
 	liveMu  sync.Mutex
 	live    map[string]*liveWorld
 
@@ -218,6 +225,7 @@ func New(cfg Config) (*Server, error) {
 		cache:        newLRUCache(int64(cacheMB) << 20),
 		inflight:     make(map[string]*call),
 		tickCfg:      tick.DefaultConfig(),
+		liveDir:      cfg.LiveDir,
 		live:         make(map[string]*liveWorld),
 	}
 	if cfg.Tick != nil {
@@ -341,6 +349,40 @@ var (
 	errInternal     = errors.New("internal server error")
 )
 
+// overloadError is an admission-control shed carrying the backoff hint
+// finish writes as Retry-After. It matches errors.Is(err, errOverloaded)
+// so the status mapping is unchanged; the hint rides along.
+type overloadError struct {
+	pending    int
+	retryAfter int
+}
+
+func (e *overloadError) Error() string {
+	return fmt.Sprintf("%v: %d computations pending", errOverloaded, e.pending)
+}
+
+func (e *overloadError) Is(target error) bool { return target == errOverloaded }
+
+func (e *overloadError) RetryAfter() int { return e.retryAfter }
+
+// retryAfterSeconds derives a shed query's Retry-After from the
+// pending-queue depth: roughly the queue in units of service capacity,
+// with ±25% deterministic jitter keyed by (query, depth) so a burst of
+// shed clients comes back staggered instead of thundering in lockstep.
+func retryAfterSeconds(key string, pending, capacity int) int {
+	if capacity < 1 {
+		capacity = 1
+	}
+	base := 1 + pending/capacity
+	secs := int(float64(base) * (0.75 + 0.5*fault.Jitter("retry-after|"+key, pending)))
+	if secs < 1 {
+		secs = 1
+	} else if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
 // cacheGet and cachePut are the fault-injectable faces of the result
 // cache: an injected CacheFail degrades a lookup to a miss and drops an
 // insert — either way the query recomputes the same bytes, it just
@@ -380,7 +422,10 @@ func (s *Server) do(ctx context.Context, id string, fn func(context.Context) ([]
 				pending := len(s.inflight)
 				s.mu.Unlock()
 				s.shed.Add(1)
-				return nil, false, fmt.Errorf("%w: %d computations pending", errOverloaded, pending)
+				return nil, false, &overloadError{
+					pending:    pending,
+					retryAfter: retryAfterSeconds(id, pending, cap(s.sem)),
+				}
 			}
 			compCtx, cancel := s.computationContext()
 			c = &call{done: make(chan struct{}), cancel: cancel}
@@ -483,10 +528,11 @@ func (s *Server) leave(c *call) {
 	}
 }
 
-// queryID derives the content address of a canonical query against a
+// QueryID derives the content address of a canonical query against a
 // world: the cache key, the dedup key, and the public report id are all
-// this value.
-func queryID(digest, canonical string) string {
+// this value. It is exported for the fleet router, which must reproduce
+// a worker's response envelope byte-for-byte when it fans a grid out.
+func QueryID(digest, canonical string) string {
 	sum := sha256.Sum256([]byte(digest + "\n" + canonical))
 	return hex.EncodeToString(sum[:16])
 }
@@ -657,7 +703,7 @@ func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	canonical := fmt.Sprintf("spread|seed=%d|days=%d", seed, days)
-	id := queryID(digest, canonical)
+	id := QueryID(digest, canonical)
 	body, hit, err := s.do(r.Context(), id, func(ctx context.Context) ([]byte, error) {
 		ws, release, err := s.acquireView(ctx, digest, view)
 		if err != nil {
@@ -760,7 +806,7 @@ func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
 	}
 	canonical := fmt.Sprintf("offload|group=%d|k=%d|greedy=%d|tseed=%d|intervals=%d",
 		group, k, depth, trafficSeed, intervals)
-	id := queryID(digest, canonical)
+	id := QueryID(digest, canonical)
 	body, hit, err := s.do(r.Context(), id, func(ctx context.Context) ([]byte, error) {
 		ws, release, err := s.acquireView(ctx, digest, view)
 		if err != nil {
@@ -828,9 +874,11 @@ func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
 	finish(w, r, body, hit, err)
 }
 
-// whatifRequest is the /v1/whatif query: the same knobs cmd/rpwhatif
-// exposes, accepted as GET query parameters or a POST JSON body.
-type whatifRequest struct {
+// WhatifRequest is the /v1/whatif query: the same knobs cmd/rpwhatif
+// exposes, accepted as GET query parameters or a POST JSON body. It is
+// exported for the fleet router, which parses, splits, and re-issues
+// what-if grids against workers.
+type WhatifRequest struct {
 	Scenarios   string  `json:"scenarios"`
 	Seeds       []int64 `json:"seeds,omitempty"`
 	MeasureSeed int64   `json:"measure_seed,omitempty"`
@@ -841,10 +889,10 @@ type whatifRequest struct {
 	Days        int     `json:"days,omitempty"`
 }
 
-// canonical renders the request in a normalized, field-ordered form so
+// Canonical renders the request in a normalized, field-ordered form so
 // equivalent queries (GET vs POST, defaulted vs explicit) share one cache
 // slot and one computation.
-func (wr whatifRequest) canonical() string {
+func (wr WhatifRequest) Canonical() string {
 	seeds := wr.Seeds
 	if len(seeds) == 0 {
 		seeds = []int64{0}
@@ -858,7 +906,10 @@ func (wr whatifRequest) canonical() string {
 		wr.K, wr.Greedy, wr.Intervals, wr.Days)
 }
 
-func (wr *whatifRequest) applyDefaults() {
+// ApplyDefaults fills the zero-valued knobs with the server defaults —
+// the same normalization every node applies, so a router and its
+// workers agree on Canonical and QueryID.
+func (wr *WhatifRequest) ApplyDefaults() {
 	if wr.MeasureSeed == 0 {
 		wr.MeasureSeed = 2
 	}
@@ -873,18 +924,11 @@ func (wr *whatifRequest) applyDefaults() {
 	}
 }
 
-type whatifResponse struct {
-	ID     string              `json:"id"`
-	Digest string              `json:"digest"`
-	Report scenario.ReportJSON `json:"report"`
-}
-
-func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
-	digest, view, ok := s.resolveLive(w, r)
-	if !ok {
-		return
-	}
-	var req whatifRequest
+// ParseWhatifRequest decodes a /v1/whatif request — GET query parameters
+// or a capped POST JSON body — without applying defaults. Exported so
+// the fleet router parses requests exactly as a worker would.
+func ParseWhatifRequest(w http.ResponseWriter, r *http.Request) (WhatifRequest, error) {
+	var req WhatifRequest
 	switch r.Method {
 	case http.MethodPost:
 		// A what-if request is a few hundred bytes of JSON; anything near
@@ -892,13 +936,7 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 		// one client stream gigabytes into the heap.
 		r.Body = http.MaxBytesReader(w, r.Body, maxWhatifBody)
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			var tooBig *http.MaxBytesError
-			if errors.As(err, &tooBig) {
-				httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
-				return
-			}
-			httpError(w, http.StatusBadRequest, "bad JSON body: %v", err)
-			return
+			return req, err
 		}
 	default:
 		q := r.URL.Query()
@@ -907,8 +945,7 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 			for _, part := range strings.Split(v, ",") {
 				n, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
 				if err != nil {
-					httpError(w, http.StatusBadRequest, "bad seeds: %v", err)
-					return
+					return req, fmt.Errorf("bad seeds: %v", err)
 				}
 				req.Seeds = append(req.Seeds, n)
 			}
@@ -920,25 +957,51 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 		}{{"k", &req.K}, {"greedy", &req.Greedy}, {"intervals", &req.Intervals}, {"days", &req.Days}} {
 			var v int64
 			if v, err = intParam(q.Get(p.name), int64(*p.dst)); err != nil {
-				httpError(w, http.StatusBadRequest, "bad %s: %v", p.name, err)
-				return
+				return req, fmt.Errorf("bad %s: %v", p.name, err)
 			}
 			*p.dst = int(v)
 		}
 		if req.MeasureSeed, err = intParam(q.Get("measure-seed"), 0); err != nil {
-			httpError(w, http.StatusBadRequest, "bad measure-seed: %v", err)
-			return
+			return req, fmt.Errorf("bad measure-seed: %v", err)
 		}
 		if req.TrafficSeed, err = intParam(q.Get("traffic-seed"), 0); err != nil {
-			httpError(w, http.StatusBadRequest, "bad traffic-seed: %v", err)
+			return req, fmt.Errorf("bad traffic-seed: %v", err)
+		}
+	}
+	return req, nil
+}
+
+// WhatifResponse is the /v1/whatif response envelope.
+type WhatifResponse struct {
+	ID     string              `json:"id"`
+	Digest string              `json:"digest"`
+	Report scenario.ReportJSON `json:"report"`
+}
+
+func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
+	digest, view, ok := s.resolveLive(w, r)
+	if !ok {
+		return
+	}
+	req, err := ParseWhatifRequest(w, r)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooBig.Limit)
 			return
 		}
+		if r.Method == http.MethodPost {
+			httpError(w, http.StatusBadRequest, "bad JSON body: %v", err)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 	if req.Scenarios == "" {
 		httpError(w, http.StatusBadRequest, "missing scenarios (e.g. ?scenarios=ams-outage=outage:AMS-IX)")
 		return
 	}
-	req.applyDefaults()
+	req.ApplyDefaults()
 
 	grid, err := scenario.ParseGrid(req.Scenarios)
 	if err != nil {
@@ -947,7 +1010,7 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 	}
 	grid.Seeds = req.Seeds
 
-	id := queryID(digest, req.canonical())
+	id := QueryID(digest, req.Canonical())
 	body, hit, err := s.do(r.Context(), id, func(ctx context.Context) ([]byte, error) {
 		ws, release, err := s.acquireView(ctx, digest, view)
 		if err != nil {
@@ -972,7 +1035,7 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		return marshalBody(whatifResponse{ID: id, Digest: digest, Report: rep.JSONReport()})
+		return marshalBody(WhatifResponse{ID: id, Digest: digest, Report: rep.JSONReport()})
 	})
 	finish(w, r, body, hit, err)
 }
@@ -1027,6 +1090,12 @@ func marshalBody(v any) ([]byte, error) {
 	return append(buf, '\n'), nil
 }
 
+// MarshalBody renders a response body exactly as the server does —
+// indented JSON plus a trailing newline. The fleet router uses it to
+// reproduce a worker's bytes when assembling a fanned-out grid's
+// response.
+func MarshalBody(v any) ([]byte, error) { return marshalBody(v) }
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	body, err := marshalBody(v)
 	if err != nil {
@@ -1058,7 +1127,12 @@ func finish(w http.ResponseWriter, r *http.Request, body []byte, hit bool, err e
 		}
 		w.Write(body)
 	case errors.Is(err, errOverloaded) || errors.Is(err, catalog.ErrNoSlot):
-		w.Header().Set("Retry-After", "2")
+		retry := 2
+		var oe interface{ RetryAfter() int }
+		if errors.As(err, &oe) {
+			retry = oe.RetryAfter()
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		httpError(w, http.StatusTooManyRequests, "%v", err)
 	case errors.Is(err, errQueryTimeout):
 		httpError(w, http.StatusGatewayTimeout, "%v", err)

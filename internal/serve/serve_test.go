@@ -181,7 +181,7 @@ func TestWhatifCacheAndReport(t *testing.T) {
 	if hdr.Get("X-Cache") != "miss" {
 		t.Errorf("first query X-Cache = %q, want miss", hdr.Get("X-Cache"))
 	}
-	var resp whatifResponse
+	var resp WhatifResponse
 	if err := json.Unmarshal(body, &resp); err != nil {
 		t.Fatal(err)
 	}

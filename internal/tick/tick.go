@@ -82,6 +82,13 @@ type Config struct {
 	// checkpoints when a journal is attached (default 16).
 	CheckpointEvery int
 
+	// Fsync is the attached journal's sync policy — when an acked tick
+	// reaches stable storage (see journal.SyncPolicy). The zero value is
+	// SyncCommit: every acked tick is durable. A runtime knob like
+	// Workers: it never shapes results, so the journal header does not
+	// record it and a resumed run may choose differently.
+	Fsync journal.SyncPolicy
+
 	// Pipeline supplies the per-tick evaluation's knobs: seeds, campaign,
 	// detector, coverage depths, workers, and the fault plane. Its Econ
 	// field seeds the evolving price vector (zero = the reference
@@ -129,7 +136,7 @@ func DefaultConfig() Config {
 //
 //	seed=7,joins=3,leaves=2,churn-ixps=1,traffic=0.02,diurnal=0.25,
 //	price=0.01,outage=0.01,checkpoint=16,mseed=2,tseed=3,intervals=288,
-//	days=6,k=5,greedy=30
+//	days=6,k=5,greedy=30,fsync=commit
 //
 // An empty spec is DefaultConfig.
 func ParseConfig(spec string) (Config, error) {
@@ -177,6 +184,8 @@ func ParseConfig(spec string) (Config, error) {
 			err = parseInt(val, &cfg.Pipeline.CoverageIXPs)
 		case "greedy":
 			err = parseInt(val, &cfg.Pipeline.GreedyIXPs)
+		case "fsync":
+			cfg.Fsync, err = journal.ParseSyncPolicy(val)
 		default:
 			return Config{}, fmt.Errorf("tick: unknown spec key %q", key)
 		}
@@ -512,11 +521,12 @@ func (e *Engine) Advance(ctx context.Context) (Result, error) {
 	if lastErr != nil {
 		return Result{}, fmt.Errorf("tick: advance to %d failed %d attempts: %w", t, attempts, lastErr)
 	}
-	// Commit order: journal record first, then the in-memory swap — a
-	// crash between the two loses only unserved memory, never durability;
-	// a journal failure leaves the engine rolled back.
+	// Commit order: journal record first — synced per the journal's
+	// policy before the tick is acked — then the in-memory swap. A crash
+	// between the two loses only unserved memory, never durability; a
+	// journal failure leaves the engine rolled back.
 	if e.jr != nil {
-		if err := e.jr.Append(journal.Record{Tick: t, StreamKey: key, Events: events}); err != nil {
+		if err := e.jr.Commit(journal.Record{Tick: t, StreamKey: key, Events: events}); err != nil {
 			return Result{}, fmt.Errorf("tick %d: %w", t, err)
 		}
 	}
@@ -616,10 +626,7 @@ func (e *Engine) Checkpoint() error {
 	if err != nil {
 		return fmt.Errorf("tick: checkpoint at %d: %w", e.tick, err)
 	}
-	if err := e.jr.AppendCheckpoint(journal.Checkpoint{Tick: e.tick, File: name, Digest: digest}); err != nil {
-		return err
-	}
-	return e.jr.Sync()
+	return e.jr.CommitCheckpoint(journal.Checkpoint{Tick: e.tick, File: name, Digest: digest})
 }
 
 // header is the journal's genesis record: everything a later process
@@ -723,6 +730,7 @@ func Open(ctx context.Context, dir string, genesis *worldgen.World, cfg Config) 
 		if err != nil {
 			return nil, err
 		}
+		jr.SetSyncPolicy(cfg.Fsync)
 		e.jr, e.dir = jr, dir
 		return e, nil
 	}
@@ -788,6 +796,7 @@ func recoverDir(ctx context.Context, dir, path string, genesis *worldgen.World, 
 		jr.Close()
 		return nil, err
 	}
+	jr.SetSyncPolicy(cfg.Fsync)
 	e.jr, e.dir = jr, dir
 	return e, nil
 }

@@ -273,7 +273,7 @@ func TestAtomicRollbackUnderChaos(t *testing.T) {
 	cfg := testConfig(2)
 	cfg.Pipeline.FaultKey = "tick-chaos"
 	cfg.Pipeline.CellAttempts = 12
-	var rates [5]float64
+	var rates fault.Rates
 	rates[fault.EvalPanic] = 0.45
 	cfg.Pipeline.Faults = fault.New(fault.Config{Seed: 1, Rates: rates})
 	dir := t.TempDir()
@@ -300,7 +300,7 @@ func TestAtomicRollbackUnderChaos(t *testing.T) {
 	cfg2 := testConfig(0)
 	cfg2.Pipeline.FaultKey = "tick-rollback"
 	cfg2.Pipeline.CellAttempts = 1
-	var rates2 [5]float64
+	var rates2 fault.Rates
 	rates2[fault.EvalPanic] = 0.5
 	cfg2.Pipeline.Faults = fault.New(fault.Config{Seed: 3, Rates: rates2})
 	dir2 := t.TempDir()
@@ -489,7 +489,15 @@ func TestParseConfig(t *testing.T) {
 		t.Errorf("diurnal drift should default, got %v", cfg.DiurnalDrift)
 	}
 
-	for _, bad := range []string{"seed", "seed=x", "nope=1", "traffic=high"} {
+	cfg, err = ParseConfig("fsync=off")
+	if err != nil || cfg.Fsync != journal.SyncOff {
+		t.Errorf("fsync=off: cfg.Fsync = %v, err = %v", cfg.Fsync, err)
+	}
+	if cfg, err = ParseConfig(""); err != nil || cfg.Fsync != journal.SyncCommit {
+		t.Errorf("default Fsync = %v (err %v), want SyncCommit", cfg.Fsync, err)
+	}
+
+	for _, bad := range []string{"seed", "seed=x", "nope=1", "traffic=high", "fsync=always"} {
 		if _, err := ParseConfig(bad); err == nil {
 			t.Errorf("spec %q should fail", bad)
 		}

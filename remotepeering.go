@@ -35,6 +35,7 @@ import (
 	"remotepeering/internal/core"
 	"remotepeering/internal/econ"
 	"remotepeering/internal/fault"
+	"remotepeering/internal/fleet"
 	"remotepeering/internal/ixpsim"
 	"remotepeering/internal/journal"
 	"remotepeering/internal/lg"
@@ -539,6 +540,9 @@ type (
 	// JournalContents is a journal file decoded in full: header, tick
 	// records, and checkpoint markers.
 	JournalContents = journal.Contents
+	// JournalSyncPolicy names when the journal fsyncs — the durability
+	// guarantee of the -fsync flag (commit | checkpoint | off).
+	JournalSyncPolicy = journal.SyncPolicy
 )
 
 // Typed journal integrity errors, mirroring the snapshot family: a wrong
@@ -556,6 +560,11 @@ func DefaultTickConfig() TickConfig { return tick.DefaultConfig() }
 // by the tools' -tick flags, e.g. "seed=7,joins=3,leaves=2,outage=0.02".
 func ParseTickConfig(spec string) (TickConfig, error) { return tick.ParseConfig(spec) }
 
+// ParseJournalSyncPolicy parses the -fsync flag form: commit (every
+// acked tick durable, the default), checkpoint (durable up to the last
+// checkpoint), or off (page cache only).
+func ParseJournalSyncPolicy(s string) (JournalSyncPolicy, error) { return journal.ParseSyncPolicy(s) }
+
 // NewTickEngine builds an in-memory evolution over a genesis world (which
 // is cloned, never mutated) and evaluates the tick-0 baseline.
 func NewTickEngine(ctx context.Context, genesis *World, cfg TickConfig) (*TickEngine, error) {
@@ -569,6 +578,22 @@ func NewTickEngine(ctx context.Context, genesis *World, cfg TickConfig) (*TickEn
 func OpenTickEngine(ctx context.Context, dir string, genesis *World, cfg TickConfig) (*TickEngine, error) {
 	return tick.Open(ctx, dir, genesis, cfg)
 }
+
+type (
+	// FleetRouter fronts a fleet of rpserve workers: health-gated
+	// membership, rendezvous-hash routing with failover and hedging, and
+	// byte-identical what-if grid fan-out.
+	FleetRouter = fleet.Router
+	// FleetConfig parameterises a FleetRouter.
+	FleetConfig = fleet.Config
+	// FleetState is a member's health (Up, Suspect, Down) as decided by
+	// the router's heartbeat loop.
+	FleetState = fleet.State
+)
+
+// NewFleetRouter builds a router over the configured peers; call Start
+// on it to begin heartbeating and Handler for its HTTP surface.
+func NewFleetRouter(cfg FleetConfig) (*FleetRouter, error) { return fleet.New(cfg) }
 
 // ReadJournal decodes a journal file strictly, for inspection and for
 // driving ReplayTicks by hand.

@@ -36,6 +36,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -49,8 +50,15 @@ type worldsResponse struct {
 }
 
 type sample struct {
-	code int
-	d    time.Duration
+	class string // query class: whatif, world, tick
+	code  int
+	d     time.Duration
+}
+
+// bucket keys the latency report: one histogram per (class, status).
+type bucket struct {
+	class string
+	code  int
 }
 
 func main() {
@@ -59,6 +67,7 @@ func main() {
 	clients := flag.Int("clients", 8, "concurrent client goroutines")
 	ticker := flag.Bool("ticker", false, "advance every world's clock concurrently with the query load (POST /v1/tick)")
 	tickEvery := flag.Duration("tick-every", 2*time.Second, "interval between tick advances in -ticker mode")
+	benchJSON := flag.String("bench-json", "", "also write per-class latency percentiles to this file in the BENCH_<n>.json schema")
 	flag.Parse()
 
 	resp, err := http.Get(*addr + "/v1/worlds")
@@ -105,15 +114,17 @@ func main() {
 			defer wg.Done()
 			for i := 0; time.Now().Before(deadline); i++ {
 				world := digests[i%len(digests)]
+				t0 := time.Now()
 				resp, err := http.Post(fmt.Sprintf("%s/v1/tick?world=%s&n=1", *addr, world), "", nil)
 				if err == nil {
 					io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
+					mu.Lock()
+					samples = append(samples, sample{"tick", resp.StatusCode, time.Since(t0)})
 					if resp.StatusCode == http.StatusOK {
-						mu.Lock()
 						ticked++
-						mu.Unlock()
 					}
+					mu.Unlock()
 				}
 				time.Sleep(*tickEvery)
 			}
@@ -130,6 +141,22 @@ func main() {
 				pair := c + i
 				world := digests[pair%len(digests)]
 				grid := grids[(pair/len(digests))%len(grids)]
+				// Every seventh request is a cheap point read instead of a
+				// grid, so the latency report separates the classes a real
+				// dashboard would: interactive lookups vs batch evaluation.
+				if pair%7 == 3 {
+					t0 := time.Now()
+					resp, err := http.Get(fmt.Sprintf("%s/v1/world?world=%s", *addr, world))
+					if err != nil {
+						continue
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					mu.Lock()
+					samples = append(samples, sample{"world", resp.StatusCode, time.Since(t0)})
+					mu.Unlock()
+					continue
+				}
 				url := fmt.Sprintf("%s/v1/whatif?world=%s&%s", *addr, world, grid)
 				t0 := time.Now()
 				resp, err := http.Get(url)
@@ -153,7 +180,7 @@ func main() {
 					}
 				}
 				mu.Lock()
-				samples = append(samples, sample{resp.StatusCode, el})
+				samples = append(samples, sample{"whatif", resp.StatusCode, el})
 				if resp.StatusCode == http.StatusOK {
 					sum := sha256.Sum256(body)
 					if prev, seen := bodies[key]; seen && prev != sum {
@@ -168,27 +195,92 @@ func main() {
 	}
 	wg.Wait()
 
-	byCode := map[int][]time.Duration{}
+	// Group latencies by (class, status): the histogram a fleet operator
+	// actually reads — interactive lookups, batch grids, and tick acks
+	// each have their own tail, and a shed 429/503 resolves much faster
+	// than a completed 200.
+	byBucket := map[bucket][]time.Duration{}
+	completed := 0
 	for _, s := range samples {
-		byCode[s.code] = append(byCode[s.code], s.d)
+		byBucket[bucket{s.class, s.code}] = append(byBucket[bucket{s.class, s.code}], s.d)
+		if s.code == http.StatusOK {
+			completed++
+		}
 	}
-	ok := byCode[http.StatusOK]
 	fmt.Printf("total=%d completed=%d (%.1f/s over %v), %d distinct (view,grid) bodies all stable\n",
-		len(samples), len(ok), float64(len(ok))/duration.Seconds(), *duration, len(bodies))
+		len(samples), completed, float64(completed)/duration.Seconds(), *duration, len(bodies))
 	if *ticker {
 		fmt.Printf("  ticker: %d ticks committed while queries ran\n", ticked)
 	}
-	var codes []int
-	for c := range byCode {
-		codes = append(codes, c)
+	var buckets []bucket
+	for b := range byBucket {
+		buckets = append(buckets, b)
 	}
-	sort.Ints(codes)
-	for _, c := range codes {
-		ds := byCode[c]
+	sort.Slice(buckets, func(i, j int) bool {
+		if buckets[i].class != buckets[j].class {
+			return buckets[i].class < buckets[j].class
+		}
+		return buckets[i].code < buckets[j].code
+	})
+	for _, b := range buckets {
+		ds := byBucket[b]
 		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
-		fmt.Printf("  %d: n=%-6d p50=%-10v p90=%-10v p99=%v\n",
-			c, len(ds), pct(ds, 50), pct(ds, 90), pct(ds, 99))
+		fmt.Printf("  %-6s %d: n=%-6d p50=%-10v p95=%-10v p99=%v\n",
+			b.class, b.code, len(ds), pct(ds, 50), pct(ds, 95), pct(ds, 99))
 	}
+
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, buckets, byBucket, duration.Seconds()); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  wrote %s\n", *benchJSON)
+	}
+}
+
+// writeBenchJSON emits the per-class percentiles in the same schema as
+// scripts/benchjson, so chaosload runs land next to the Go benchmark
+// records in BENCH_<n>.json and CI's artifact trail without a second
+// format. One "benchmark" per (class, status) bucket; metric names carry
+// units the way testing.B metrics do.
+func writeBenchJSON(path string, buckets []bucket, byBucket map[bucket][]time.Duration, seconds float64) error {
+	type record struct {
+		Name       string             `json:"name"`
+		Iterations int64              `json:"iterations"`
+		Metrics    map[string]float64 `json:"metrics"`
+	}
+	out := struct {
+		GoVersion  string   `json:"go_version"`
+		GOOS       string   `json:"goos"`
+		GOARCH     string   `json:"goarch"`
+		CPU        int      `json:"cpu"`
+		GOMAXPROCS int      `json:"gomaxprocs"`
+		Benches    []record `json:"benchmarks"`
+	}{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPU:        runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, b := range buckets {
+		ds := byBucket[b] // already sorted by the caller's report pass
+		out.Benches = append(out.Benches, record{
+			Name:       fmt.Sprintf("Chaosload/%s/status=%d", b.class, b.code),
+			Iterations: int64(len(ds)),
+			Metrics: map[string]float64{
+				"p50-ms": ms(pct(ds, 50)),
+				"p95-ms": ms(pct(ds, 95)),
+				"p99-ms": ms(pct(ds, 99)),
+				"qps":    float64(len(ds)) / seconds,
+			},
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func pct(sorted []time.Duration, p int) time.Duration {
