@@ -57,6 +57,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -66,10 +68,38 @@ import (
 	"remotepeering"
 	"remotepeering/internal/cli"
 	"remotepeering/internal/fleet"
+	"remotepeering/internal/obs"
 	"remotepeering/internal/serve"
 )
 
 var fatal = cli.Fataler("rpserve")
+
+// newLogger builds the process logger: text to stderr at the -log-level
+// threshold.
+func newLogger(level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", level)
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})), nil
+}
+
+// startAdmin serves the -admin-listen plane (metrics, flight recorder,
+// pprof) on its own listener, so profiling a loaded server never
+// competes with the serving mux. Returns nil when the plane is off.
+func startAdmin(addr string, reg *obs.Registry, rec *obs.FlightRecorder) *http.Server {
+	if addr == "" {
+		return nil
+	}
+	hs := &http.Server{Addr: addr, Handler: obs.AdminHandler(reg, rec), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			slog.Error("admin listener failed", "addr", addr, "err", err)
+		}
+	}()
+	slog.Info("admin plane listening", "addr", addr)
+	return hs
+}
 
 func main() {
 	listen := flag.String("listen", ":8080", "listen address")
@@ -89,11 +119,19 @@ func main() {
 	fleetListen := flag.String("fleet-listen", "", "router listen address for -role=router (default: -listen)")
 	liveDir := flag.String("live-dir", "", "journal living worlds under this directory (synced per -fsync); restart resumes their timelines")
 	heartbeat := flag.Duration("heartbeat", 0, "router heartbeat interval (0 = 500ms)")
+	adminListen := flag.String("admin-listen", "", "admin plane listen address serving /metrics, /debug/requests, and /debug/pprof (empty = disabled; the serving listener also exposes /metrics and /debug/requests)")
+	logLevel := flag.String("log-level", "info", "log threshold: debug, info, warn, or error")
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	slog.SetDefault(logger)
 
 	switch *role {
 	case "router":
-		runRouter(*fleetListen, *listen, *peers, *chaos, *heartbeat)
+		runRouter(*fleetListen, *listen, *peers, *chaos, *adminListen, *heartbeat)
 		return
 	case "single", "worker":
 		// A worker is a plain rpserve that a router fronts; the role flag
@@ -114,9 +152,12 @@ func main() {
 		if plane, err = remotepeering.ParseFaultPlane(*chaos); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "rpserve: chaos plane armed (%s)\n", *chaos)
+		slog.Info("chaos plane armed", "spec", *chaos)
 	}
 
+	reg := obs.NewRegistry()
+	rec := obs.NewFlightRecorder(0)
+	rec.SetLogger(logger)
 	cfg := serve.Config{
 		MaxInflight:  *maxInflight,
 		MaxPending:   *maxPending,
@@ -125,6 +166,8 @@ func main() {
 		QueryTimeout: *queryTimeout,
 		Faults:       plane,
 		LiveDir:      *liveDir,
+		Metrics:      reg,
+		Recorder:     rec,
 	}
 	if *tickSpec != "" {
 		tcfg, err := remotepeering.ParseTickConfig(*tickSpec)
@@ -155,8 +198,8 @@ func main() {
 			fatal(err)
 		}
 		cfg.Catalog = cat
-		fmt.Fprintf(os.Stderr, "rpserve: catalogued %d worlds from %s in %.2fs (resident budget %d MiB)\n",
-			cat.Len(), *snapDir, time.Since(start).Seconds(), *residentMB)
+		slog.Info("catalog opened", "worlds", cat.Len(), "dir", *snapDir,
+			"elapsed", time.Since(start).Round(time.Millisecond), "resident_mb", *residentMB)
 	} else {
 		flat, err := remotepeering.SnapshotIsFlat(*snapPath)
 		if err != nil {
@@ -175,15 +218,15 @@ func main() {
 			if snap, err = a.Snapshot(); err != nil {
 				fatal(err)
 			}
-			fmt.Fprintf(os.Stderr, "rpserve: attached flat snapshot in %s, materialized in %s\n",
-				attached.Round(time.Microsecond), (time.Since(start) - attached).Round(time.Millisecond))
+			slog.Info("attached flat snapshot", "attach", attached.Round(time.Microsecond),
+				"materialize", (time.Since(start) - attached).Round(time.Millisecond))
 		} else if snap, err = remotepeering.LoadSnapshot(*snapPath); err != nil {
 			fatal(err)
 		}
 		cfg.Snapshot = snap
-		fmt.Fprintf(os.Stderr, "rpserve: loaded %s in %.2fs (digest %s, %d networks, dataset=%v spread=%v)\n",
-			*snapPath, time.Since(start).Seconds(), snap.Digest[:12],
-			snap.World.Graph.Len(), snap.Dataset != nil, snap.Spread != nil)
+		slog.Info("snapshot loaded", "path", *snapPath,
+			"elapsed", time.Since(start).Round(time.Millisecond), "digest", snap.Digest[:12],
+			"networks", snap.World.Graph.Len(), "dataset", snap.Dataset != nil, "spread", snap.Spread != nil)
 	}
 	srv, err := serve.New(cfg)
 	if err != nil {
@@ -193,22 +236,26 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	admin := startAdmin(*adminListen, reg, rec)
 	hs := serve.NewHTTPServer(*listen, srv.Handler())
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "rpserve: listening on %s\n", *listen)
+	slog.Info("listening", "addr", *listen, "role", *role)
 
 	select {
 	case err := <-errc:
 		fatal(err)
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "rpserve: shutting down (draining in-flight requests)")
+		slog.Info("shutting down, draining in-flight requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if admin != nil {
+			admin.Shutdown(shutdownCtx)
+		}
 		if err := hs.Shutdown(shutdownCtx); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintln(os.Stderr, "rpserve: bye")
+		slog.Info("bye")
 	}
 }
 
@@ -216,7 +263,7 @@ func main() {
 // front door. The chaos plane here injects the *network* classes
 // (conndrop, netdelay, partition, slownode) into requests the router
 // sends its workers, which is where link-level chaos belongs.
-func runRouter(fleetListen, listen, peers, chaos string, heartbeat time.Duration) {
+func runRouter(fleetListen, listen, peers, chaos, adminListen string, heartbeat time.Duration) {
 	if fleetListen == "" {
 		fleetListen = listen
 	}
@@ -229,15 +276,19 @@ func runRouter(fleetListen, listen, peers, chaos string, heartbeat time.Duration
 		if plane, err = remotepeering.ParseFaultPlane(chaos); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "rpserve: router chaos plane armed (%s)\n", chaos)
+		slog.Info("router chaos plane armed", "spec", chaos)
 	}
+	reg := obs.NewRegistry()
+	rec := obs.NewFlightRecorder(0)
+	rec.SetLogger(slog.Default())
+	plane.Instrument(reg)
 	router, err := fleet.New(fleet.Config{
 		Peers:          strings.Split(peers, ","),
 		HeartbeatEvery: heartbeat,
 		Faults:         plane,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
+		Logger:         slog.Default(),
+		Metrics:        reg,
+		Recorder:       rec,
 	})
 	if err != nil {
 		fatal(err)
@@ -248,21 +299,25 @@ func runRouter(fleetListen, listen, peers, chaos string, heartbeat time.Duration
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	admin := startAdmin(adminListen, reg, rec)
 	hs := serve.NewHTTPServer(fleetListen, router.Handler())
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "rpserve: routing %d peers on %s\n", len(strings.Split(peers, ",")), fleetListen)
+	slog.Info("routing", "peers", len(strings.Split(peers, ",")), "addr", fleetListen)
 
 	select {
 	case err := <-errc:
 		fatal(err)
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "rpserve: router shutting down")
+		slog.Info("router shutting down")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if admin != nil {
+			admin.Shutdown(shutdownCtx)
+		}
 		if err := hs.Shutdown(shutdownCtx); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintln(os.Stderr, "rpserve: bye")
+		slog.Info("bye")
 	}
 }

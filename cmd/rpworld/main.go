@@ -23,6 +23,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -40,7 +41,13 @@ func main() {
 	journalDir := flag.String("journal", "", "evolution directory holding the append-only journal and checkpoints; an existing journal resumes its timeline")
 	tickSpec := flag.String("tick", "", "evolution regime spec, e.g. seed=7,joins=3,leaves=2,traffic=0.02,outage=0.01,checkpoint=16 (empty = defaults; a resumed journal's recorded regime wins)")
 	fsync := flag.String("fsync", "", "journal sync policy: commit (every acked tick durable, the default), checkpoint, or off; overrides the spec's fsync key")
+	logLevel := flag.String("log-level", "info", "log threshold: debug, info, warn, or error")
 	flag.Parse()
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(*logLevel)); err != nil {
+		fatal(fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", *logLevel))
+	}
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lv})))
 	stopProfiles, err := common.StartProfiles()
 	if err != nil {
 		fatal(err)
@@ -143,7 +150,7 @@ func evolve(w *remotepeering.World, target int, dir, spec, fsync string, workers
 
 	from := eng.Tick()
 	if from > 0 {
-		fmt.Fprintf(os.Stderr, "rpworld: recovered %s at tick %d\n", dir, from)
+		slog.Info("recovered journal", "dir", dir, "tick", from)
 	}
 	results, err := eng.AdvanceTo(ctx, uint64(target))
 	for _, r := range results {

@@ -1,0 +1,29 @@
+package catalog
+
+import "remotepeering/internal/obs"
+
+// Instrument registers the catalog's observability surface on reg. The
+// existing getters stay the source of truth — the registry reads them
+// through value functions at exposition time, so instrumenting a
+// catalog changes nothing about attach/evict behaviour. Nil-safe on
+// both receiver and registry.
+func (c *Catalog) Instrument(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc("rp_catalog_attaches_total", "Completed snapshot attach operations.",
+		c.Attaches)
+	reg.CounterFunc("rp_catalog_evictions_total", "Worlds evicted from residency.",
+		c.Evictions)
+	reg.GaugeFunc("rp_catalog_resident_bytes", "Bytes of resident (Ready or Attaching) worlds.",
+		func() float64 { return float64(c.ResidentBytes()) })
+	reg.GaugeFunc("rp_catalog_budget_bytes", "Configured residency budget (0 = unlimited).",
+		func() float64 { return float64(c.Budget()) })
+	reg.GaugeFunc("rp_catalog_pinned_refs", "Outstanding lease refcounts across all worlds.",
+		func() float64 { return float64(c.PinnedRefs()) })
+	for _, state := range healthNames {
+		state := state
+		reg.GaugeFunc("rp_catalog_worlds", "Catalogued worlds by health state.",
+			func() float64 { return float64(c.StateCounts()[state]) }, "state", state)
+	}
+}

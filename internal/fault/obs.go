@@ -1,0 +1,19 @@
+package fault
+
+import "remotepeering/internal/obs"
+
+// Instrument registers the plane's per-class injection counters on reg
+// as rp_fault_injections_total{class=...}. The counters stay where they
+// are — the registry reads them through CounterFunc at exposition time,
+// so arming observability changes nothing about how faults are drawn.
+// Nil plane or nil registry is a no-op.
+func (p *Plane) Instrument(reg *obs.Registry) {
+	if p == nil || reg == nil {
+		return
+	}
+	for c := Class(0); c < numClasses; c++ {
+		c := c
+		reg.CounterFunc("rp_fault_injections_total", "Faults injected by the chaos plane, by class.",
+			func() int64 { return p.Injected(c) }, "class", c.String())
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"strings"
 	"sync"
 
+	"remotepeering/internal/obs"
 	"remotepeering/internal/scenario"
 	"remotepeering/internal/serve"
 )
@@ -50,6 +51,8 @@ func (r *Router) handleWhatif(w http.ResponseWriter, req *http.Request) {
 		routerError(w, resolveStatus(err), "%v", err)
 		return
 	}
+	query := rewriteWorld(req.URL.RawQuery, key, digest)
+	obs.TraceFrom(req).EnsureID(obs.TraceID(digest, req.Method+" /v1/whatif?"+query, 0))
 	var body []byte
 	if req.Method == http.MethodPost {
 		body, err = io.ReadAll(io.LimitReader(req.Body, maxProxyBody))
@@ -73,7 +76,7 @@ func (r *Router) handleWhatif(w http.ResponseWriter, req *http.Request) {
 	}
 
 	resp, err := r.send(req.Context(), digest, true, req.Method, req.URL.Path,
-		rewriteWorld(req.URL.RawQuery, key, digest), req.Header, body)
+		query, req.Header, body)
 	if err != nil {
 		r.routeFailure(w, digest, err)
 		return
@@ -174,8 +177,8 @@ func (r *Router) fanout(ctx context.Context, digest string, full serve.WhatifReq
 			hdr := http.Header{"Content-Type": []string{"application/json"}}
 			resp, err := r.forward(ctx, workers[i], http.MethodPost, "/v1/whatif", "world="+digest, hdr, payload)
 			if err != nil || resp.status != http.StatusOK {
-				r.logf("fleet: fanout slice %d/%d to %s failed: status=%v err=%v",
-					i+1, len(parts), workers[i].url, statusOf(resp), err)
+				r.log.Warn("fanout slice failed", "slice", i+1, "of", len(parts),
+					"member", workers[i].url, "status", statusOf(resp), "err", err)
 				cancel() // the grid cannot merge; stop the other slices
 				return
 			}

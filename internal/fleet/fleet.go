@@ -44,15 +44,16 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"remotepeering/internal/catalog"
 	"remotepeering/internal/fault"
+	"remotepeering/internal/obs"
 )
 
 // State is a member's health, as decided by the heartbeat loop.
@@ -115,8 +116,20 @@ type Config struct {
 	// Transport overrides the base HTTP transport (tests). nil uses a
 	// keepalive transport.
 	Transport http.RoundTripper
-	// Logf receives router events (nil discards them).
-	Logf func(format string, args ...any)
+	// Logger receives router events — membership transitions, route
+	// failures, fanout fallbacks — as structured records (nil discards
+	// them).
+	Logger *slog.Logger
+	// Metrics, when set, hosts the router's counters, the per-class
+	// latency histograms, and the member-state gauges, and mounts the
+	// exposition at GET /metrics. nil keeps the counters on a private
+	// registry (so /v1/fleet still reports them) without an exposition
+	// endpoint on the /v1 surface.
+	Metrics *obs.Registry
+	// Recorder, when set, captures per-request span records — forward,
+	// failover, and hedge legs included — into a bounded flight recorder
+	// mounted at GET /debug/requests.
+	Recorder *obs.FlightRecorder
 }
 
 func (c Config) withDefaults() Config {
@@ -223,8 +236,7 @@ type Router struct {
 	cfg     Config
 	client  *http.Client
 	members []*member
-	lat     *latencies
-	logf    func(string, ...any)
+	log     *slog.Logger
 
 	// liveMu guards live: digests the router has forwarded a successful
 	// POST /v1/tick for. Ticked worlds never fan out — their serving
@@ -235,12 +247,23 @@ type Router struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 
-	forwards   atomic.Int64
-	failovers  atomic.Int64
-	hedges     atomic.Int64
-	hedgeWins  atomic.Int64
-	fanouts    atomic.Int64
-	unroutable atomic.Int64
+	// The observability plane. reg is the registry the routing counters
+	// and histograms live on — Config.Metrics when provided, else a
+	// private one so /v1/fleet always reports. lat is the per-class
+	// successful-forward latency histogram the hedger derives its p99
+	// from; requests is the inbound request histogram the middleware
+	// feeds.
+	reg      *obs.Registry
+	lat      *obs.HistogramVec
+	requests *obs.HistogramVec
+	recorder *obs.FlightRecorder
+
+	forwards   *obs.Counter
+	failovers  *obs.Counter
+	hedges     *obs.Counter
+	hedgeWins  *obs.Counter
+	fanouts    *obs.Counter
+	unroutable *obs.Counter
 }
 
 // New builds a Router over the configured peers. Members start Down and
@@ -268,15 +291,15 @@ func New(cfg Config) (*Router, error) {
 		rt = &chaosTransport{base: base, plane: cfg.Faults}
 	}
 	r := &Router{
-		cfg:    cfg,
-		client: &http.Client{Transport: rt},
-		lat:    newLatencies(),
-		live:   make(map[string]bool),
-		stop:   make(chan struct{}),
-		logf:   cfg.Logf,
+		cfg:      cfg,
+		client:   &http.Client{Transport: rt},
+		live:     make(map[string]bool),
+		stop:     make(chan struct{}),
+		log:      cfg.Logger,
+		recorder: cfg.Recorder,
 	}
-	if r.logf == nil {
-		r.logf = func(string, ...any) {}
+	if r.log == nil {
+		r.log = slog.New(slog.DiscardHandler)
 	}
 	seen := make(map[string]bool, len(cfg.Peers))
 	for _, p := range cfg.Peers {
@@ -290,7 +313,40 @@ func New(cfg Config) (*Router, error) {
 	if len(r.members) == 0 {
 		return nil, fmt.Errorf("fleet: no usable peers in %q", cfg.Peers)
 	}
+	r.instrument()
 	return r, nil
+}
+
+// instrument registers the router's counters, histograms, and member-
+// state gauges. Without a configured registry they live on a private one
+// — the counters still feed /v1/fleet, there is just no /metrics mount.
+func (r *Router) instrument() {
+	reg := r.cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	r.reg = reg
+	r.forwards = reg.Counter("rp_fleet_forwards_total", "Requests successfully forwarded to a worker.")
+	r.failovers = reg.Counter("rp_fleet_failovers_total", "Failover attempts after a tried owner failed.")
+	r.hedges = reg.Counter("rp_fleet_hedges_total", "Hedged duplicate requests launched.")
+	r.hedgeWins = reg.Counter("rp_fleet_hedge_wins_total", "Hedged requests won by the duplicate leg.")
+	r.fanouts = reg.Counter("rp_fleet_fanouts_total", "What-if grids fanned out across workers and merged.")
+	r.unroutable = reg.Counter("rp_fleet_unroutable_total", "Requests answered 503 because no routable member owns the world.")
+	r.lat = reg.HistogramVec("rp_fleet_forward_seconds", "Successful-forward latency by request class (the hedger's p99 source).", nil, "class")
+	r.requests = reg.HistogramVec("rp_fleet_request_seconds", "Router request latency by endpoint class.", nil, "class")
+	for _, st := range []State{Up, Suspect, Down} {
+		st := st
+		reg.GaugeFunc("rp_fleet_members", "Fleet members by health state.",
+			func() float64 {
+				n := 0
+				for _, m := range r.members {
+					if m.getState() == st {
+						n++
+					}
+				}
+				return float64(n)
+			}, "state", st.String())
+	}
 }
 
 // Start runs one synchronous heartbeat round (so routing works as soon
@@ -339,13 +395,13 @@ func (r *Router) probe(m *member) {
 	ok := r.checkHealth(ctx, m)
 	if !ok {
 		if state, changed := m.miss(r.cfg); changed {
-			r.logf("fleet: %s -> %s", m.url, state)
+			r.log.Info("member state changed", "member", m.url, "state", state.String())
 		}
 		return
 	}
 	worlds := r.fetchWorlds(ctx, m)
 	if changed := m.beat(worlds); changed {
-		r.logf("fleet: %s -> up", m.url)
+		r.log.Info("member state changed", "member", m.url, "state", "up")
 	}
 }
 
@@ -575,78 +631,24 @@ func (t *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	return t.base.RoundTrip(req)
 }
 
-// --- latency tracking (hedge-delay derivation) ---
-
-const latWindow = 128
-
-// latencies tracks recent successful-forward durations per query class
-// (endpoint), from which hedge delays derive their p99.
-type latencies struct {
-	mu      sync.Mutex
-	byClass map[string]*latRing
-}
-
-type latRing struct {
-	buf  [latWindow]time.Duration
-	n    int // total observations (buf index wraps)
-	full bool
-}
-
-func newLatencies() *latencies {
-	return &latencies{byClass: make(map[string]*latRing)}
-}
-
-func (l *latencies) observe(class string, d time.Duration) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	ring := l.byClass[class]
-	if ring == nil {
-		ring = &latRing{}
-		l.byClass[class] = ring
-	}
-	ring.buf[ring.n%latWindow] = d
-	ring.n++
-	if ring.n >= latWindow {
-		ring.full = true
-	}
-}
-
-// p99 returns the 99th percentile of the class's recent window, or 0
-// with fewer than 8 observations (not enough signal to hedge on).
-func (l *latencies) p99(class string) time.Duration {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	ring := l.byClass[class]
-	if ring == nil || ring.n < 8 {
-		return 0
-	}
-	n := ring.n
-	if ring.full {
-		n = latWindow
-	}
-	s := make([]time.Duration, n)
-	copy(s, ring.buf[:n])
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	idx := (99*n + 99) / 100
-	if idx >= n {
-		idx = n - 1
-	}
-	return s[idx]
-}
+// --- hedge-delay derivation ---
 
 // hedgeDelay is how long the router waits on the primary before
-// launching the hedge: the configured override, or p99×1.25 clamped to
-// [HedgeMin, HedgeMax]; with no latency signal yet it is HedgeMax (a
-// hedge should be rare, not a default).
+// launching the hedge: the configured override, or the class's p99×1.25
+// clamped to [HedgeMin, HedgeMax]; with fewer than 8 observations it is
+// HedgeMax (a hedge should be rare, not a default). The p99 comes from
+// the shared rp_fleet_forward_seconds histogram — the same series a
+// dashboard scrapes, at the same bucket resolution.
 func (r *Router) hedgeDelay(class string) time.Duration {
 	if r.cfg.HedgeDelay > 0 {
 		return r.cfg.HedgeDelay
 	}
-	p99 := r.lat.p99(class)
-	if p99 <= 0 {
+	h := r.lat.With(class)
+	if h.Count() < 8 {
 		return r.cfg.HedgeMax
 	}
-	d := p99 + p99/4
+	d := h.Quantile(0.99)
+	d += d / 4
 	if d < r.cfg.HedgeMin {
 		d = r.cfg.HedgeMin
 	}

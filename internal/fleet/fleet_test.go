@@ -15,6 +15,7 @@ import (
 
 	"remotepeering/internal/catalog"
 	"remotepeering/internal/fault"
+	"remotepeering/internal/obs"
 )
 
 // stubWorker is a fake rpserve: real HTTP, canned bodies. It lets the
@@ -285,7 +286,7 @@ func TestFailoverToSurvivor(t *testing.T) {
 	if !strings.Contains(string(body), survivor.name) {
 		t.Errorf("body %s does not name the survivor", body)
 	}
-	if r.failovers.Load() == 0 {
+	if r.failovers.Value() == 0 {
 		t.Error("failover counter did not move")
 	}
 	// The world key was rewritten to the authoritative digest.
@@ -321,8 +322,8 @@ func TestHedgeRacesSlowOwner(t *testing.T) {
 	if d := time.Since(start); d > 300*time.Millisecond {
 		t.Errorf("hedged request took %v, want well under the owner's 400ms", d)
 	}
-	if r.hedges.Load() == 0 || r.hedgeWins.Load() == 0 {
-		t.Errorf("hedges=%d hedgeWins=%d, want both > 0", r.hedges.Load(), r.hedgeWins.Load())
+	if r.hedges.Value() == 0 || r.hedgeWins.Value() == 0 {
+		t.Errorf("hedges=%d hedgeWins=%d, want both > 0", r.hedges.Value(), r.hedgeWins.Value())
 	}
 }
 
@@ -351,8 +352,8 @@ func TestTickNeverHedgesOrRetries(t *testing.T) {
 	if total := w1.ticks.Load() + w2.ticks.Load(); total != 1 {
 		t.Fatalf("tick request reached workers %d times, want exactly 1", total)
 	}
-	if r.hedges.Load() != 0 {
-		t.Errorf("a tick was hedged (%d)", r.hedges.Load())
+	if r.hedges.Value() != 0 {
+		t.Errorf("a tick was hedged (%d)", r.hedges.Value())
 	}
 	if !r.isLive(digA) {
 		t.Error("successful tick should mark the world live (fan-out off)")
@@ -478,7 +479,11 @@ func TestWorldsAggregation(t *testing.T) {
 }
 
 func TestHedgeDelayDerivation(t *testing.T) {
-	r := &Router{cfg: Config{HedgeMin: 25 * time.Millisecond, HedgeMax: 2 * time.Second}, lat: newLatencies()}
+	reg := obs.NewRegistry()
+	r := &Router{
+		cfg: Config{HedgeMin: 25 * time.Millisecond, HedgeMax: 2 * time.Second},
+		lat: reg.HistogramVec("rp_fleet_forward_seconds", "Outbound forward latency.", nil, "class"),
+	}
 
 	// No signal yet: hedge at the max, not eagerly.
 	if got := r.hedgeDelay("GET /v1/world"); got != 2*time.Second {
@@ -487,13 +492,13 @@ func TestHedgeDelayDerivation(t *testing.T) {
 	// A tight latency distribution pulls the trigger close to p99×1.25,
 	// floored at HedgeMin.
 	for i := 0; i < 64; i++ {
-		r.lat.observe("GET /v1/world", 2*time.Millisecond)
+		r.lat.With("GET /v1/world").Observe(2 * time.Millisecond)
 	}
 	if got := r.hedgeDelay("GET /v1/world"); got != 25*time.Millisecond {
 		t.Errorf("hedge delay = %v, want the 25ms floor", got)
 	}
 	for i := 0; i < 64; i++ {
-		r.lat.observe("GET /v1/world", 200*time.Millisecond)
+		r.lat.With("GET /v1/world").Observe(200 * time.Millisecond)
 	}
 	got := r.hedgeDelay("GET /v1/world")
 	if got < 200*time.Millisecond || got > 300*time.Millisecond {

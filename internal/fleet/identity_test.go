@@ -157,7 +157,7 @@ func TestFanoutByteIdentity(t *testing.T) {
 				peers[i] = handlers[i].URL
 			}
 			r := newTestRouter(t, fastConfig(peers...))
-			before := r.fanouts.Load()
+			before := r.fanouts.Value()
 
 			status, hdr, body := routerGet(t, r, gridQuery(digest[:12]))
 			if status != http.StatusOK {
@@ -166,7 +166,7 @@ func TestFanoutByteIdentity(t *testing.T) {
 			if !bytes.Equal(body, ref) {
 				t.Fatalf("fleet(%d) bytes differ from single-process reference:\n fleet: %.200s\n ref:   %.200s", n, body, ref)
 			}
-			fanned := r.fanouts.Load() > before
+			fanned := r.fanouts.Value() > before
 			if n >= 2 && !fanned {
 				t.Errorf("fleet(%d) did not fan out (header %q)", n, hdr.Get("X-Fleet-Fanout"))
 			}
@@ -285,8 +285,8 @@ func TestExactlyOnceTickJournal(t *testing.T) {
 	tick(3)
 	tick(2)
 
-	if r.hedges.Load() != 0 {
-		t.Errorf("ticks were hedged %d times; the duplicate would double-advance a timeline", r.hedges.Load())
+	if r.hedges.Value() != 0 {
+		t.Errorf("ticks were hedged %d times; the duplicate would double-advance a timeline", r.hedges.Value())
 	}
 
 	// Exactly one journal exists across the fleet, and it acked exactly

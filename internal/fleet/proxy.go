@@ -15,6 +15,7 @@ import (
 
 	"remotepeering/internal/catalog"
 	"remotepeering/internal/fault"
+	"remotepeering/internal/obs"
 	"remotepeering/internal/serve"
 )
 
@@ -48,7 +49,11 @@ func (rs *response) write(w http.ResponseWriter) {
 
 // Handler returns the router's HTTP surface: the same /v1 routes a
 // single worker exposes (so clients and load generators are
-// fleet-oblivious), plus /v1/fleet for membership introspection.
+// fleet-oblivious), plus /v1/fleet for membership introspection and
+// GET /metrics for the router's own registry. The whole mux runs under
+// obs.Instrument, so every routed request carries a trace and lands in
+// the inbound latency histogram (and the flight recorder, when one is
+// configured).
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/fleet", r.handleFleet)
@@ -64,7 +69,14 @@ func (r *Router) Handler() http.Handler {
 	} {
 		mux.HandleFunc(route, r.handleRouted)
 	}
-	return mux
+	mux.Handle("GET /metrics", r.reg.Handler())
+	if r.recorder != nil {
+		mux.Handle("GET /debug/requests", r.recorder.Handler())
+	}
+	observe := func(req *http.Request, _ int, d time.Duration) {
+		r.requests.With(obs.EndpointClass(req)).Observe(d)
+	}
+	return obs.Instrument(mux, r.recorder, observe)
 }
 
 func routerJSON(w http.ResponseWriter, status int, v any) {
@@ -128,15 +140,23 @@ func (r *Router) forward(ctx context.Context, m *member, method, path, query str
 	if ct := hdr.Get("Content-Type"); ct != "" {
 		req.Header.Set("Content-Type", ct)
 	}
+	tr := obs.TraceFromContext(ctx)
+	if id := tr.ID(); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
+	start := time.Now()
 	resp, err := r.client.Do(req)
 	if err != nil {
+		tr.Add("forward-error", m.url+": "+err.Error(), start, time.Since(start))
 		return nil, err
 	}
 	defer resp.Body.Close()
 	buf, err := io.ReadAll(resp.Body)
 	if err != nil {
+		tr.Add("forward-error", m.url+": "+err.Error(), start, time.Since(start))
 		return nil, err
 	}
+	tr.Add("forward", m.url, start, time.Since(start))
 	return &response{status: resp.StatusCode, header: resp.Header, body: buf, member: m.url}, nil
 }
 
@@ -157,7 +177,13 @@ func (r *Router) send(ctx context.Context, digest string, idempotent bool, metho
 	tried := make(map[string]bool)
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			r.failovers.Add(1)
+			// A failover is a retry after a member actually failed us. An
+			// orphaned world (no candidate was ever tried) is not one — it
+			// is counted once, as unroutable, when the 503 is written.
+			if len(tried) > 0 {
+				r.failovers.Add(1)
+				obs.TraceFromContext(ctx).Event("failover", "attempt "+strconv.Itoa(attempt))
+			}
 			d := fault.Backoff(r.cfg.BackoffBase, r.cfg.BackoffMax, "fleet|"+digest+"|"+class, attempt-1)
 			select {
 			case <-time.After(d):
@@ -198,7 +224,7 @@ func (r *Router) send(ctx context.Context, digest string, idempotent bool, metho
 			lastErr = err
 			continue
 		}
-		r.lat.observe(class, time.Since(start))
+		r.lat.With(class).Observe(time.Since(start))
 		r.forwards.Add(1)
 		return resp, nil
 	}
@@ -251,6 +277,7 @@ func (r *Router) race(ctx context.Context, primary, hedgeTo *member, idempotent 
 				}
 				if launched && res.resp.member != primary.url {
 					r.hedgeWins.Add(1)
+					obs.TraceFromContext(ctx).Event("hedge-win", res.resp.member)
 				}
 				return res.resp, nil
 			}
@@ -267,6 +294,7 @@ func (r *Router) race(ctx context.Context, primary, hedgeTo *member, idempotent 
 			launched = true
 			inFlight++
 			r.hedges.Add(1)
+			obs.TraceFromContext(ctx).Event("hedge-launch", hedgeTo.url)
 			hctx, hcancel = context.WithCancel(ctx)
 			defer hcancel()
 			go func() {
@@ -289,6 +317,8 @@ func (r *Router) handleRouted(w http.ResponseWriter, req *http.Request) {
 		routerError(w, resolveStatus(err), "%v", err)
 		return
 	}
+	query := rewriteWorld(req.URL.RawQuery, key, digest)
+	obs.TraceFrom(req).EnsureID(obs.TraceID(digest, req.Method+" "+req.URL.Path+"?"+query, 0))
 	isTick := req.Method == http.MethodPost && req.URL.Path == "/v1/tick"
 	var body []byte
 	if req.Body != nil && req.Method == http.MethodPost {
@@ -299,7 +329,7 @@ func (r *Router) handleRouted(w http.ResponseWriter, req *http.Request) {
 		}
 	}
 	resp, err := r.send(req.Context(), digest, !isTick, req.Method, req.URL.Path,
-		rewriteWorld(req.URL.RawQuery, key, digest), req.Header, body)
+		query, req.Header, body)
 	if err != nil {
 		r.routeFailure(w, digest, err)
 		return
@@ -319,7 +349,7 @@ func (r *Router) routeFailure(w http.ResponseWriter, digest string, err error) {
 		routerError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	r.logf("fleet: route %.16s failed: %v", digest, err)
+	r.log.Warn("route failed", "world", digest[:min(16, len(digest))], "err", err)
 	r.orphan503(w, digest)
 }
 
@@ -356,12 +386,12 @@ type fleetResponse struct {
 
 func (r *Router) handleFleet(w http.ResponseWriter, _ *http.Request) {
 	resp := fleetResponse{
-		Forwards:   r.forwards.Load(),
-		Failovers:  r.failovers.Load(),
-		Hedges:     r.hedges.Load(),
-		HedgeWins:  r.hedgeWins.Load(),
-		Fanouts:    r.fanouts.Load(),
-		Unroutable: r.unroutable.Load(),
+		Forwards:   r.forwards.Value(),
+		Failovers:  r.failovers.Value(),
+		Hedges:     r.hedges.Value(),
+		HedgeWins:  r.hedgeWins.Value(),
+		Fanouts:    r.fanouts.Value(),
+		Unroutable: r.unroutable.Value(),
 	}
 	for _, m := range r.members {
 		resp.Members = append(resp.Members, memberJSON{

@@ -163,8 +163,9 @@ func ParseSyncPolicy(s string) (SyncPolicy, error) {
 
 // Journal is an open journal file accepting appends.
 type Journal struct {
-	f      *os.File
-	policy SyncPolicy
+	f       *os.File
+	policy  SyncPolicy
+	metrics *Metrics
 }
 
 // SetSyncPolicy sets when commits fsync. The default is SyncCommit.
@@ -242,9 +243,12 @@ func (j *Journal) Commit(r Record) error {
 		return err
 	}
 	if j.policy == SyncCommit {
-		if err := j.Sync(); err != nil {
+		if err := j.timedSync(); err != nil {
 			return fmt.Errorf("journal: sync commit: %w", err)
 		}
+	}
+	if j.metrics != nil {
+		j.metrics.Commits.Inc()
 	}
 	return nil
 }
@@ -257,7 +261,7 @@ func (j *Journal) CommitCheckpoint(c Checkpoint) error {
 		return err
 	}
 	if j.policy != SyncOff {
-		if err := j.Sync(); err != nil {
+		if err := j.timedSync(); err != nil {
 			return fmt.Errorf("journal: sync checkpoint: %w", err)
 		}
 	}

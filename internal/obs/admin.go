@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminHandler builds the -admin-listen plane: the registry at
+// /metrics, the flight recorder at /debug/requests, and the standard
+// net/http/pprof surface at /debug/pprof/. Either argument may be nil;
+// the corresponding endpoints 404.
+func AdminHandler(reg *Registry, rec *FlightRecorder) http.Handler {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("GET /metrics", reg.Handler())
+	}
+	if rec != nil {
+		mux.Handle("GET /debug/requests", rec.Handler())
+	}
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+)
+
+// endpointClasses is the label allowlist for request histograms: the
+// class label must stay bounded no matter what paths clients invent.
+var endpointClasses = map[string]bool{
+	"/v1/world": true, "/v1/worlds": true, "/v1/healthz": true,
+	"/v1/readyz": true, "/v1/spread": true, "/v1/offload": true,
+	"/v1/whatif": true, "/v1/tick": true, "/v1/since": true,
+	"/v1/newspaper": true, "/v1/fleet": true, "/metrics": true,
+	"/debug/requests": true,
+}
+
+// EndpointClass collapses a request to its histogram label — e.g.
+// "GET /v1/whatif" — with /v1/report/{id} collapsed to its route and
+// anything off the API surface bucketed as "other". Both the worker and
+// the router label their request histograms with this, so a dashboard
+// (and chaosload's cross-check) reads one class vocabulary fleet-wide.
+func EndpointClass(r *http.Request) string {
+	path := r.URL.Path
+	switch {
+	case strings.HasPrefix(path, "/v1/report/"):
+		path = "/v1/report"
+	case !endpointClasses[path]:
+		path = "other"
+	}
+	return r.Method + " " + path
+}

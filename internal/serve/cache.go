@@ -73,3 +73,10 @@ func (c *lruCache) Len() int {
 	defer c.mu.Unlock()
 	return len(c.items)
 }
+
+// Bytes returns the resident byte total (the rp_serve_cache_bytes gauge).
+func (c *lruCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}

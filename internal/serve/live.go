@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"remotepeering/internal/catalog"
+	"remotepeering/internal/obs"
 	"remotepeering/internal/scenario"
 	"remotepeering/internal/tick"
 )
@@ -268,9 +269,13 @@ func (s *Server) handleTick(w http.ResponseWriter, r *http.Request) {
 		finish(w, r, nil, false, err)
 		return
 	}
+	tr := obs.TraceFrom(r)
+	tr.EnsureID(obs.TraceID(base, fmt.Sprintf("tick|n=%d", n), 0))
 	lw.mu.Lock()
 	target := lw.eng.Tick() + uint64(n)
+	applied := tr.Begin("tick-apply")
 	advanced, err := lw.eng.AdvanceTo(r.Context(), target)
+	applied()
 	var view *tickView
 	if len(advanced) > 0 {
 		view = lw.publish()

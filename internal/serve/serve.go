@@ -41,7 +41,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -54,6 +54,7 @@ import (
 	"remotepeering/internal/econ"
 	"remotepeering/internal/fault"
 	"remotepeering/internal/netflow"
+	"remotepeering/internal/obs"
 	"remotepeering/internal/offload"
 	"remotepeering/internal/scenario"
 	"remotepeering/internal/snapshot"
@@ -131,6 +132,17 @@ type Config struct {
 	// crash and a restarted server resumes each timeline exactly where
 	// it stopped. Empty keeps timelines in memory only.
 	LiveDir string
+	// Metrics, when set, exposes the server's observability surface —
+	// scheduler, cache, catalog, tick engine, journal, fault plane — on
+	// the registry and mounts it at GET /metrics. Observability never
+	// perturbs results: every response is byte-identical with or without
+	// a registry. nil disables metrics at near-zero cost.
+	Metrics *obs.Registry
+	// Recorder, when set, captures per-request span records (queue wait,
+	// attach, eval, cache, tick application) into a bounded flight
+	// recorder mounted at GET /debug/requests; 5xx records are also
+	// dumped through slog. nil disables tracing.
+	Recorder *obs.FlightRecorder
 }
 
 // worldState is the per-world view a computation runs against: the
@@ -170,6 +182,13 @@ type Server struct {
 	evals  atomic.Int64
 	panics atomic.Int64
 	shed   atomic.Int64
+
+	// The observability plane (all nil when Config.Metrics/Recorder are
+	// unset): the registry serving /metrics, the request-path handles,
+	// and the flight recorder serving /debug/requests.
+	reg      *obs.Registry
+	om       *serveMetrics
+	recorder *obs.FlightRecorder
 }
 
 // call is one in-flight computation: the leader evaluates, followers wait
@@ -181,6 +200,13 @@ type call struct {
 	waiters int
 	val     []byte
 	err     error
+
+	// Span timestamps for the flight recorder: queued at creation, runAt
+	// once a scheduler slot is held, doneAt when the evaluation returns.
+	// Written by the leader before done closes; read by waiters after.
+	queuedAt time.Time
+	runAt    time.Time
+	doneAt   time.Time
 }
 
 // New builds a Server over a loaded snapshot or a catalog. In single-
@@ -231,6 +257,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Tick != nil {
 		s.tickCfg = *cfg.Tick
 	}
+	if cfg.Metrics != nil {
+		s.reg = cfg.Metrics
+		s.om = s.instrument(cfg.Metrics)
+		// One shared tick.Metrics per server: every live world's engine
+		// (and its journal) reports into the same aggregated series.
+		s.tickCfg.Metrics = tick.NewMetrics(cfg.Metrics)
+		cfg.Faults.Instrument(cfg.Metrics)
+		if cfg.Catalog != nil {
+			cfg.Catalog.Instrument(cfg.Metrics)
+		}
+	}
+	s.recorder = cfg.Recorder
 	if cfg.Snapshot != nil {
 		if err := materialize(cfg.Snapshot); err != nil {
 			return nil, err
@@ -295,7 +333,9 @@ func (s *Server) acquire(ctx context.Context, digest string) (*worldState, func(
 	if s.single != nil {
 		return s.single, func() {}, nil
 	}
+	done := obs.TraceFromContext(ctx).Begin("attach")
 	lease, err := s.cat.Acquire(ctx, digest)
+	done()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -318,7 +358,22 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/tick", s.handleTick)
 	mux.HandleFunc("GET /v1/since", s.handleSince)
 	mux.HandleFunc("GET /v1/newspaper", s.handleNewspaper)
-	return mux
+	if s.reg != nil {
+		mux.Handle("GET /metrics", s.reg.Handler())
+	}
+	if s.recorder != nil {
+		mux.Handle("GET /debug/requests", s.recorder.Handler())
+	}
+	if s.reg == nil && s.recorder == nil {
+		return mux
+	}
+	var observe func(r *http.Request, status int, d time.Duration)
+	if s.om != nil {
+		observe = func(r *http.Request, status int, d time.Duration) {
+			observeRequest(s.om.requests, r, d)
+		}
+	}
+	return obs.Instrument(mux, s.recorder, observe)
 }
 
 // Evaluations returns the number of leader computations performed — the
@@ -407,8 +462,11 @@ func (s *Server) cachePut(id string, val []byte) {
 // computation context, which carries the per-query deadline and is
 // cancelled once every requester has gone away.
 func (s *Server) do(ctx context.Context, id string, fn func(context.Context) ([]byte, error)) (val []byte, hit bool, err error) {
+	tr := obs.TraceFromContext(ctx)
 	for attempt := 0; ; attempt++ {
 		if v, ok := s.cacheGet(id); ok {
+			tr.Event("cache", "hit")
+			s.om.hit(len(v))
 			return v, true, nil
 		}
 
@@ -428,7 +486,12 @@ func (s *Server) do(ctx context.Context, id string, fn func(context.Context) ([]
 				}
 			}
 			compCtx, cancel := s.computationContext()
-			c = &call{done: make(chan struct{}), cancel: cancel}
+			// The computation context is detached from any one request, but
+			// it carries the founding request's trace so attach and eval
+			// spans land somewhere. Followers get the scheduler spans from
+			// the call's timestamps instead.
+			compCtx = obs.ContextWithTrace(compCtx, tr)
+			c = &call{done: make(chan struct{}), cancel: cancel, queuedAt: time.Now()}
 			s.inflight[id] = c
 			go s.lead(compCtx, id, c, fn)
 		}
@@ -445,6 +508,15 @@ func (s *Server) do(ctx context.Context, id string, fn func(context.Context) ([]
 			return nil, false, ctx.Err()
 		}
 		s.leave(c)
+		// The call's timestamps were written before done closed; replay
+		// them as this request's queue/eval spans (followers inherit the
+		// shared computation's timing — that is what they waited on).
+		if tr != nil && !c.runAt.IsZero() {
+			tr.Add("queue", "", c.queuedAt, c.runAt.Sub(c.queuedAt))
+			if !c.doneAt.IsZero() {
+				tr.Add("eval", "", c.runAt, c.doneAt.Sub(c.runAt))
+			}
+		}
 		if cErr != nil && ctx.Err() == nil {
 			if errors.Is(cErr, context.DeadlineExceeded) {
 				// The computation ran out of its own budget, not the
@@ -460,6 +532,9 @@ func (s *Server) do(ctx context.Context, id string, fn func(context.Context) ([]
 			}
 		}
 		_ = joined // joins are reported as misses; dedup shows in Evaluations
+		if cErr == nil {
+			s.om.miss(len(cVal))
+		}
 		return cVal, false, cErr
 	}
 }
@@ -492,7 +567,9 @@ func (s *Server) lead(ctx context.Context, id string, c *call, fn func(context.C
 	}
 	defer func() { <-s.sem }()
 	s.evals.Add(1)
+	c.runAt = time.Now()
 	c.val, c.err = s.eval(ctx, id, fn)
+	c.doneAt = time.Now()
 	if c.err == nil {
 		s.cachePut(id, c.val)
 	}
@@ -506,7 +583,8 @@ func (s *Server) eval(ctx context.Context, id string, fn func(context.Context) (
 	defer func() {
 		if r := recover(); r != nil {
 			s.panics.Add(1)
-			log.Printf("serve: panic evaluating %s: %v\n%s", id, r, debug.Stack())
+			slog.Error("evaluation panic recovered",
+				"query", id, "panic", fmt.Sprint(r), "stack", string(debug.Stack()))
 			val, err = nil, errInternal
 		}
 	}()
@@ -704,6 +782,7 @@ func (s *Server) handleSpread(w http.ResponseWriter, r *http.Request) {
 	}
 	canonical := fmt.Sprintf("spread|seed=%d|days=%d", seed, days)
 	id := QueryID(digest, canonical)
+	obs.TraceFrom(r).EnsureID(obs.TraceID(digest, canonical, 0))
 	body, hit, err := s.do(r.Context(), id, func(ctx context.Context) ([]byte, error) {
 		ws, release, err := s.acquireView(ctx, digest, view)
 		if err != nil {
@@ -807,6 +886,7 @@ func (s *Server) handleOffload(w http.ResponseWriter, r *http.Request) {
 	canonical := fmt.Sprintf("offload|group=%d|k=%d|greedy=%d|tseed=%d|intervals=%d",
 		group, k, depth, trafficSeed, intervals)
 	id := QueryID(digest, canonical)
+	obs.TraceFrom(r).EnsureID(obs.TraceID(digest, canonical, 0))
 	body, hit, err := s.do(r.Context(), id, func(ctx context.Context) ([]byte, error) {
 		ws, release, err := s.acquireView(ctx, digest, view)
 		if err != nil {
@@ -1011,6 +1091,7 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 	grid.Seeds = req.Seeds
 
 	id := QueryID(digest, req.Canonical())
+	obs.TraceFrom(r).EnsureID(obs.TraceID(digest, req.Canonical(), 0))
 	body, hit, err := s.do(r.Context(), id, func(ctx context.Context) ([]byte, error) {
 		ws, release, err := s.acquireView(ctx, digest, view)
 		if err != nil {

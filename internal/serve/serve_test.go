@@ -27,6 +27,7 @@ var (
 	testSrvOnce sync.Once
 	testSrvVal  *Server
 	testSrvErr  error
+	testSnapVal *snapshot.Snapshot
 )
 
 func testServer(t testing.TB) *Server {
@@ -68,6 +69,7 @@ func testServer(t testing.TB) *Server {
 			testSrvErr = err
 			return
 		}
+		testSnapVal = snap
 		testSrvVal, testSrvErr = New(Config{Snapshot: snap, MaxInflight: 2, CacheMB: 8})
 	})
 	if testSrvErr != nil {

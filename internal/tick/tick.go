@@ -100,6 +100,12 @@ type Config struct {
 	// events never touch the AS graph, so one cache serves the whole
 	// timeline.
 	Cones *offload.ConeCache
+
+	// Metrics receives tick/checkpoint/recovery observations and is
+	// threaded to the attached journal. A runtime knob like Workers: it
+	// never shapes results, the journal header does not record it, and a
+	// resumed run may attach different metrics (or none).
+	Metrics *Metrics
 }
 
 func (c Config) withDefaults() Config {
@@ -486,6 +492,7 @@ func (e *Engine) Advance(ctx context.Context) (Result, error) {
 		return Result{}, fmt.Errorf("tick: engine has no evaluated baseline")
 	}
 	t := e.tick + 1
+	t0 := time.Now()
 	ops, events := e.genEvents(t)
 	key := streamKey(t)
 	faultKey := fmt.Sprintf("%s|tick|%d", e.cfg.Pipeline.FaultKey, t)
@@ -532,6 +539,7 @@ func (e *Engine) Advance(ctx context.Context) (Result, error) {
 	}
 	e.es, e.art, e.tick = staged, art, t
 	e.hist = append(e.hist, res)
+	e.cfg.Metrics.observeTick(time.Since(t0))
 	if e.jr != nil && t%uint64(e.cfg.CheckpointEvery) == 0 {
 		if err := e.Checkpoint(); err != nil {
 			return res, err
@@ -622,11 +630,20 @@ func (e *Engine) Checkpoint() error {
 	}
 	name := fmt.Sprintf("checkpoint-%06d.flat", e.tick)
 	snap := &snapshot.Snapshot{World: e.es.World, Tick: e.State()}
+	t0 := time.Now()
 	digest, err := snapshot.SaveFlatFile(filepath.Join(e.dir, name), snap)
 	if err != nil {
 		return fmt.Errorf("tick: checkpoint at %d: %w", e.tick, err)
 	}
-	return e.jr.CommitCheckpoint(journal.Checkpoint{Tick: e.tick, File: name, Digest: digest})
+	if err := e.jr.CommitCheckpoint(journal.Checkpoint{Tick: e.tick, File: name, Digest: digest}); err != nil {
+		return err
+	}
+	var size int64
+	if fi, err := os.Stat(filepath.Join(e.dir, name)); err == nil {
+		size = fi.Size()
+	}
+	e.cfg.Metrics.observeCheckpoint(time.Since(t0), size)
+	return nil
 }
 
 // header is the journal's genesis record: everything a later process
@@ -731,6 +748,7 @@ func Open(ctx context.Context, dir string, genesis *worldgen.World, cfg Config) 
 			return nil, err
 		}
 		jr.SetSyncPolicy(cfg.Fsync)
+		jr.SetMetrics(cfg.Metrics.journalMetrics())
 		e.jr, e.dir = jr, dir
 		return e, nil
 	}
@@ -797,7 +815,9 @@ func recoverDir(ctx context.Context, dir, path string, genesis *worldgen.World, 
 		return nil, err
 	}
 	jr.SetSyncPolicy(cfg.Fsync)
+	jr.SetMetrics(cfg.Metrics.journalMetrics())
 	e.jr, e.dir = jr, dir
+	cfg.Metrics.observeRecovery(len(tail))
 	return e, nil
 }
 

@@ -38,6 +38,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -229,12 +231,203 @@ func main() {
 			b.class, b.code, len(ds), pct(ds, 50), pct(ds, 95), pct(ds, 99))
 	}
 
+	serverQ := crossCheckServerTruth(*addr, samples)
+
 	if *benchJSON != "" {
-		if err := writeBenchJSON(*benchJSON, buckets, byBucket, duration.Seconds()); err != nil {
+		if err := writeBenchJSON(*benchJSON, buckets, byBucket, duration.Seconds(), serverQ); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("  wrote %s\n", *benchJSON)
 	}
+}
+
+// --- server-truth cross-check ---
+//
+// The server keeps its own per-class latency histograms
+// (rp_serve_request_seconds on a worker, rp_fleet_request_seconds on a
+// router). After the run, chaosload scrapes GET /metrics and checks
+// that the server's percentiles agree with what the clients measured,
+// within the histogram's bucket resolution — if the two views of the
+// same requests diverge by more than one bucket, either the
+// instrumentation or the load report is lying, and the run fails.
+
+// clientToServerClass maps chaosload's workload classes to the
+// obs.EndpointClass vocabulary the server labels its histograms with.
+var clientToServerClass = map[string]string{
+	"whatif": "GET /v1/whatif",
+	"world":  "GET /v1/world",
+	"tick":   "POST /v1/tick",
+}
+
+// serverHist is one class's cumulative bucket counts from /metrics.
+type serverHist struct {
+	bounds []float64 // upper bounds in seconds, ascending, excluding +Inf
+	counts []int64   // cumulative counts per bound
+	total  int64     // the +Inf (total) count
+}
+
+// quantileBucket returns the bucket index and upper bound (seconds)
+// holding the q-quantile; index len(bounds) is the overflow bucket.
+func (h *serverHist) quantileBucket(q float64) (int, float64) {
+	rank := int64(q * float64(h.total))
+	if rank < 1 {
+		rank = 1
+	}
+	for i, c := range h.counts {
+		if c >= rank {
+			return i, h.bounds[i]
+		}
+	}
+	last := 0.0
+	if len(h.bounds) > 0 {
+		last = h.bounds[len(h.bounds)-1]
+	}
+	return len(h.bounds), last
+}
+
+func (h *serverHist) bucketIndex(v float64) int {
+	for i, b := range h.bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(h.bounds)
+}
+
+// crossCheckServerTruth scrapes the server's request histograms and
+// fails the run on disagreement beyond bucket resolution. It returns
+// the server-side quantile bounds (class -> percentile -> seconds) for
+// the bench-json columns; a failed scrape skips gracefully — not every
+// target serves /metrics.
+func crossCheckServerTruth(addr string, samples []sample) map[string]map[int]float64 {
+	hists, family, err := scrapeHists(addr)
+	if err != nil {
+		fmt.Printf("  server-truth: skipped (%v)\n", err)
+		return nil
+	}
+	merged := map[string][]time.Duration{}
+	for _, s := range samples {
+		merged[s.class] = append(merged[s.class], s.d)
+	}
+	out := map[string]map[int]float64{}
+	for _, class := range []string{"whatif", "world", "tick"} {
+		ds := merged[class]
+		h := hists[clientToServerClass[class]]
+		if len(ds) == 0 || h == nil {
+			continue
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		q := map[int]float64{}
+		for _, p := range []int{50, 95, 99} {
+			si, bound := h.quantileBucket(float64(p) / 100)
+			q[p] = bound
+			ci := h.bucketIndex(pct(ds, p).Seconds())
+			if diff := si - ci; diff < -1 || diff > 1 {
+				fatal(fmt.Errorf("server-truth mismatch for %s p%d: client %v is bucket %d, server reports bucket %d (≤%gs) — beyond bucket resolution",
+					clientToServerClass[class], p, pct(ds, p), ci, si, bound))
+			}
+		}
+		out[class] = q
+		fmt.Printf("  server-truth %-15s p50≤%gs p95≤%gs p99≤%gs (%s, agrees with client within bucket resolution)\n",
+			clientToServerClass[class], q[50], q[95], q[99], family)
+	}
+	return out
+}
+
+// scrapeHists pulls the per-class request histograms from /metrics,
+// trying the worker family first and the router family second, so the
+// cross-check works against either tier.
+func scrapeHists(addr string) (map[string]*serverHist, string, error) {
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	for _, family := range []string{"rp_serve_request_seconds", "rp_fleet_request_seconds"} {
+		if hists := parseHists(string(body), family); len(hists) > 0 {
+			return hists, family, nil
+		}
+	}
+	return nil, "", fmt.Errorf("no request histograms in /metrics")
+}
+
+func parseHists(text, family string) map[string]*serverHist {
+	type cell struct {
+		le  float64
+		n   int64
+		inf bool
+	}
+	byClass := map[string][]cell{}
+	prefix := family + "_bucket{"
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		class := labelValue(line, "class")
+		leStr := labelValue(line, "le")
+		sp := strings.LastIndexByte(line, ' ')
+		if class == "" || leStr == "" || sp < 0 {
+			continue
+		}
+		n, err := strconv.ParseInt(line[sp+1:], 10, 64)
+		if err != nil {
+			continue
+		}
+		if leStr == "+Inf" {
+			byClass[class] = append(byClass[class], cell{inf: true, n: n})
+			continue
+		}
+		le, err := strconv.ParseFloat(leStr, 64)
+		if err != nil {
+			continue
+		}
+		byClass[class] = append(byClass[class], cell{le: le, n: n})
+	}
+	out := map[string]*serverHist{}
+	for class, cells := range byClass {
+		sort.Slice(cells, func(i, j int) bool {
+			if cells[i].inf != cells[j].inf {
+				return !cells[i].inf
+			}
+			return cells[i].le < cells[j].le
+		})
+		h := &serverHist{}
+		for _, c := range cells {
+			if c.inf {
+				h.total = c.n
+				continue
+			}
+			h.bounds = append(h.bounds, c.le)
+			h.counts = append(h.counts, c.n)
+		}
+		if h.total > 0 {
+			out[class] = h
+		}
+	}
+	return out
+}
+
+// labelValue extracts key="..." from an exposition line. The values
+// this tool reads (endpoint classes, bucket bounds) never contain
+// escaped quotes.
+func labelValue(line, key string) string {
+	i := strings.Index(line, key+`="`)
+	if i < 0 {
+		return ""
+	}
+	rest := line[i+len(key)+2:]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
 }
 
 // writeBenchJSON emits the per-class percentiles in the same schema as
@@ -242,7 +435,7 @@ func main() {
 // records in BENCH_<n>.json and CI's artifact trail without a second
 // format. One "benchmark" per (class, status) bucket; metric names carry
 // units the way testing.B metrics do.
-func writeBenchJSON(path string, buckets []bucket, byBucket map[bucket][]time.Duration, seconds float64) error {
+func writeBenchJSON(path string, buckets []bucket, byBucket map[bucket][]time.Duration, seconds float64, serverQ map[string]map[int]float64) error {
 	type record struct {
 		Name       string             `json:"name"`
 		Iterations int64              `json:"iterations"`
@@ -265,15 +458,24 @@ func writeBenchJSON(path string, buckets []bucket, byBucket map[bucket][]time.Du
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	for _, b := range buckets {
 		ds := byBucket[b] // already sorted by the caller's report pass
+		metrics := map[string]float64{
+			"p50-ms": ms(pct(ds, 50)),
+			"p95-ms": ms(pct(ds, 95)),
+			"p99-ms": ms(pct(ds, 99)),
+			"qps":    float64(len(ds)) / seconds,
+		}
+		// Server-truth columns: the server's own histogram quantiles for
+		// the class (bucket upper bounds, all statuses merged), scraped
+		// from /metrics and cross-checked against the client columns.
+		if sq := serverQ[b.class]; sq != nil {
+			metrics["server-p50-ms"] = sq[50] * 1000
+			metrics["server-p95-ms"] = sq[95] * 1000
+			metrics["server-p99-ms"] = sq[99] * 1000
+		}
 		out.Benches = append(out.Benches, record{
 			Name:       fmt.Sprintf("Chaosload/%s/status=%d", b.class, b.code),
 			Iterations: int64(len(ds)),
-			Metrics: map[string]float64{
-				"p50-ms": ms(pct(ds, 50)),
-				"p95-ms": ms(pct(ds, 95)),
-				"p99-ms": ms(pct(ds, 99)),
-				"qps":    float64(len(ds)) / seconds,
-			},
+			Metrics:    metrics,
 		})
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
